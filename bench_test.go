@@ -1,0 +1,477 @@
+// Benchmarks, one per experiment row of DESIGN.md. Each reports
+// questions/op — the paper's complexity measure — alongside the usual
+// time and allocation figures. Regenerate the full tables with
+// cmd/qhornexp; these benches pin the per-run cost of every code
+// path the tables exercise.
+package qhorn_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/brute"
+	"qhorn/internal/deep"
+	"qhorn/internal/learn"
+	"qhorn/internal/nested"
+	"qhorn/internal/oracle"
+	"qhorn/internal/pac"
+	"qhorn/internal/query"
+	"qhorn/internal/revise"
+	"qhorn/internal/session"
+	"qhorn/internal/verify"
+)
+
+// E1: qhorn-1 learning at growing n.
+func BenchmarkLearnQhorn1(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			target := query.GenQhorn1Sized(rng, n, 4)
+			o := oracle.Target(target)
+			questions := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := learn.Qhorn1(target.U, o)
+				questions = st.Total()
+			}
+			b.ReportMetric(float64(questions), "questions/op")
+		})
+	}
+}
+
+// E1 baseline: the serial O(n²) strategy.
+func BenchmarkLearnQhorn1Naive(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			target := query.GenQhorn1Sized(rng, n, 4)
+			o := oracle.Target(target)
+			questions := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := learn.Qhorn1Naive(target.U, o)
+				questions = st.Total()
+			}
+			b.ReportMetric(float64(questions), "questions/op")
+		})
+	}
+}
+
+// E2: universal Horn body search at growing causal density θ.
+func BenchmarkLearnUniversal(b *testing.B) {
+	for _, theta := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("theta=%d", theta), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			const n = 16
+			target := query.GenRolePreserving(rng, n, query.RPOptions{
+				Heads: 1, BodiesPerHead: theta,
+				MinBodySize: n / 4, MaxBodySize: n / 4,
+				Conjs: 2, MaxConjSize: n / 2,
+			})
+			o := oracle.Target(target)
+			questions := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := learn.RolePreserving(target.U, o)
+				questions = st.UniversalQuestions
+			}
+			b.ReportMetric(float64(questions), "questions/op")
+		})
+	}
+}
+
+// E3: existential conjunction lattice search at growing k.
+func BenchmarkLearnExistential(b *testing.B) {
+	for _, k := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			const n = 16
+			target := query.GenConjunctions(rng, n, k, n/2)
+			o := oracle.Target(target)
+			questions := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := learn.RolePreserving(target.U, o)
+				questions = st.ExistentialQuestions
+			}
+			b.ReportMetric(float64(questions), "questions/op")
+		})
+	}
+}
+
+// E4: the Theorem 2.1 adversary forcing 2^n − 1 questions.
+func BenchmarkAliasAdversary(b *testing.B) {
+	for _, n := range []int{6, 8, 10} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			u := boolean.MustUniverse(n)
+			class := oracle.AliasClass(u)
+			pool := oracle.AliasQuestions(u)
+			questions := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				adv := oracle.NewAdversary(class)
+				res, err := brute.Learn(class, adv, pool)
+				if err != nil {
+					b.Fatal(err)
+				}
+				questions = res.Questions
+			}
+			b.ReportMetric(float64(questions), "questions/op")
+		})
+	}
+}
+
+// E5: the Lemma 3.4 adversary with 2-tuple questions.
+func BenchmarkPairAdversary(b *testing.B) {
+	for _, n := range []int{12, 16, 24} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			u := boolean.MustUniverse(n)
+			class := oracle.HeadPairClass(u)
+			pool := oracle.HeadPairQuestions(u, 2)
+			questions := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				adv := oracle.NewAdversary(class)
+				res, err := brute.Learn(class, adv, pool)
+				if err != nil {
+					b.Fatal(err)
+				}
+				questions = res.Questions
+			}
+			b.ReportMetric(float64(questions), "questions/op")
+		})
+	}
+}
+
+// E6: the Theorem 3.6 adversary at θ = 3.
+func BenchmarkBodyAdversary(b *testing.B) {
+	u := boolean.MustUniverse(13) // 12 body variables + head
+	class := oracle.BodyClass(u, 3)
+	// Pool: one question per candidate Bθ combination, as in the
+	// proof (see internal/exp).
+	all := u.All()
+	var pool []boolean.Set
+	for _, q := range class {
+		// The distinguishing question of each candidate's Bθ.
+		dom := q.DominantUniversals()
+		bTheta := dom[len(dom)-1].Body
+		for _, e := range dom {
+			if e.Body.Count() > bTheta.Count() {
+				bTheta = e.Body
+			}
+		}
+		pool = append(pool, boolean.NewSet(all, bTheta))
+	}
+	questions := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv := oracle.NewAdversary(class)
+		res, err := brute.Learn(class, adv, pool)
+		if err != nil {
+			b.Fatal(err)
+		}
+		questions = res.Questions
+	}
+	b.ReportMetric(float64(questions), "questions/op")
+}
+
+// E7: verification-set construction at growing k.
+func BenchmarkVerificationSet(b *testing.B) {
+	for _, conjs := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("conjs=%d", conjs), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(4))
+			const n = 16
+			target := query.GenRolePreserving(rng, n, query.RPOptions{
+				Heads: 2, BodiesPerHead: 2, MaxBodySize: 3,
+				Conjs: conjs, MaxConjSize: n / 2,
+			})
+			qs := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vs, err := verify.Build(target)
+				if err != nil {
+					b.Fatal(err)
+				}
+				qs = len(vs.Questions)
+			}
+			b.ReportMetric(float64(qs), "questions/op")
+		})
+	}
+}
+
+// E8: regenerating Fig 7 (all two-variable verification sets).
+func BenchmarkFig7(b *testing.B) {
+	u := boolean.MustUniverse(2)
+	queries := query.AllQueries(u)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := verify.Build(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// E9: regenerating Fig 8 (all two-variable verification pairs).
+func BenchmarkFig8(b *testing.B) {
+	u := boolean.MustUniverse(2)
+	queries := query.AllQueries(u)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, given := range queries {
+			vs, err := verify.Build(given)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, intended := range queries {
+				vs.Run(oracle.Target(intended))
+			}
+		}
+	}
+}
+
+// E10: the §4.2 worked example, learning plus verification.
+func BenchmarkWorkedExample(b *testing.B) {
+	u := boolean.MustUniverse(6)
+	target := query.MustParse(u,
+		"∀x1x4 → x5 ∀x3x4 → x5 ∀x1x2 → x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6")
+	o := oracle.Target(target)
+	questions := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		learned, st := learn.RolePreserving(u, o)
+		if _, err := verify.Build(learned); err != nil {
+			b.Fatal(err)
+		}
+		questions = st.Total()
+	}
+	b.ReportMetric(float64(questions), "questions/op")
+}
+
+// E11: verification vs learning cost on the same query.
+func BenchmarkLearnVsVerify(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 16
+	target := query.GenRolePreserving(rng, n, query.RPOptions{
+		Heads: 2, BodiesPerHead: 2, MaxBodySize: 3, Conjs: 3, MaxConjSize: n / 2,
+	})
+	o := oracle.Target(target)
+	b.Run("learn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			learn.RolePreserving(target.U, o)
+		}
+	})
+	b.Run("verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := verify.Verify(target, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E12: the data-domain round trip — synthesize a box for a Boolean
+// question and execute a query over a store.
+func BenchmarkDataDomain(b *testing.B) {
+	ps := nested.ChocolatePropositions()
+	u := ps.Universe()
+	q := boolean.MustParseSet(u, "{111, 011, 100}")
+	b.Run("concretize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ps.ConcretizeQuestion("probe", q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("execute", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(6))
+		store := nested.RandomChocolates(rng, 100, 6)
+		intent := query.MustParse(u, "∀x1 ∃x2x3")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := nested.Execute(intent, ps, store); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Micro-benchmarks for the primitives everything sits on.
+func BenchmarkEval(b *testing.B) {
+	u := boolean.MustUniverse(6)
+	q := query.MustParse(u,
+		"∀x1x4 → x5 ∀x3x4 → x5 ∀x1x2 → x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6")
+	s := boolean.MustParseSet(u, "{111001, 011110, 110011, 011011, 100110}")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Eval(s)
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	u := boolean.MustUniverse(6)
+	q := query.MustParse(u,
+		"∀x1x4 → x5 ∀x3x4 → x5 ∀x1x2 → x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Normalize()
+	}
+}
+
+// E13: revision cost by edit count.
+func BenchmarkRevise(b *testing.B) {
+	u := boolean.MustUniverse(10)
+	intended := query.MustParse(u, "∀x1x2 → x9 ∀x3x4 → x10 ∃x5x6 ∃x7x8")
+	cases := []struct {
+		name  string
+		given query.Query
+	}{
+		{"correct", intended},
+		{"one-edit", query.MustParse(u, "∀x1x2 → x9 ∀x3x4 → x10 ∃x5x6 ∃x7x8 ∃x5x7")},
+		{"two-edits", query.MustParse(u, "∀x1x2 → x9 ∃x5x6 ∃x6x7x8")},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			o := oracle.Target(intended)
+			questions := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := revise.Revise(tc.given, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				questions = res.Questions()
+			}
+			b.ReportMetric(float64(questions), "questions/op")
+		})
+	}
+}
+
+// E14: PAC learning at growing sample sizes.
+func BenchmarkPACLearn(b *testing.B) {
+	for _, m := range []int{30, 100, 300} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			u := boolean.MustUniverse(6)
+			target := query.MustParse(u, "∀x1x2 → x5 ∃x3x4")
+			o := oracle.Target(target)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				sampler := pac.NewBoundarySampler(target, rng, 2)
+				pac.Learn(u, o, sampler, m, pac.Params{})
+			}
+		})
+	}
+}
+
+// E15: session replay after an amendment.
+func BenchmarkSessionReplay(b *testing.B) {
+	u := boolean.MustUniverse(8)
+	target := query.MustParse(u, "∀x1x2 → x7 ∃x3x4 ∃x5x6")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := session.New(oracle.Target(target))
+		learn.RolePreserving(u, s)
+		s.ResetRun()
+		learn.RolePreserving(u, s) // full replay: zero live questions
+		if s.LiveQuestions != 0 {
+			b.Fatal("replay asked live questions")
+		}
+	}
+}
+
+// E16: the learner with optimizations disabled.
+func BenchmarkAblatedLearner(b *testing.B) {
+	u := boolean.MustUniverse(12)
+	rng := rand.New(rand.NewSource(9))
+	target := query.GenRolePreserving(rng, 12, query.RPOptions{
+		Heads: 2, BodiesPerHead: 2, MaxBodySize: 3, Conjs: 4, MaxConjSize: 6,
+	})
+	o := oracle.Target(target)
+	for _, tc := range []struct {
+		name string
+		ab   learn.Ablations
+	}{
+		{"full", learn.Ablations{}},
+		{"no-seeds", learn.Ablations{NoGuaranteeSeeds: true}},
+		{"serial-prune", learn.Ablations{SerialPrune: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			questions := 0
+			for i := 0; i < b.N; i++ {
+				_, st := learn.RolePreservingAblated(u, o, tc.ab)
+				questions = st.Total()
+			}
+			b.ReportMetric(float64(questions), "questions/op")
+		})
+	}
+}
+
+// E17: deep-nesting evaluation.
+func BenchmarkDeepEval(b *testing.B) {
+	u := boolean.MustUniverse(4)
+	q := deep.Query{U: u, Depth: 2, Exprs: []deep.Expr{
+		{Prefix: []query.Quantifier{query.Forall, query.Exists}, Body: boolean.FromVars(0, 1), Head: query.NoHead},
+		{Prefix: []query.Quantifier{query.Forall, query.Forall}, Body: boolean.FromVars(2), Head: 3},
+	}}
+	shelf := deep.Set(
+		deep.Set(deep.Leaf(u.MustParse("1111")), deep.Leaf(u.MustParse("0011"))),
+		deep.Set(deep.Leaf(u.MustParse("1101")), deep.Leaf(u.MustParse("1111"))),
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Eval(shelf)
+	}
+}
+
+// Data-domain extensions.
+func BenchmarkSQLRender(b *testing.B) {
+	ps := nested.ChocolatePropositions()
+	q := query.MustParse(ps.Universe(), "∀x1 ∃x2x3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nested.SQL(q, ps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	u := boolean.MustUniverse(6)
+	q := query.MustParse(u, "∀x1x4 → x5 ∀x3x4 → x5 ∀x1x2 → x6 ∃x1x2x3 ∃x2x3x4")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Classify()
+	}
+}
+
+// Indexed vs direct execution over a 1000-box store.
+func BenchmarkExecuteIndexedVsDirect(b *testing.B) {
+	ps := nested.ChocolatePropositions()
+	u := ps.Universe()
+	rng := rand.New(rand.NewSource(10))
+	store := nested.RandomChocolates(rng, 1000, 6)
+	q := query.MustParse(u, "∀x1 ∃x2x3")
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nested.Execute(q, ps, store); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		ix, err := nested.NewIndex(ps, store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Execute(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

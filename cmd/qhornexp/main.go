@@ -1,0 +1,121 @@
+// Command qhornexp regenerates the tables and figures of the paper's
+// evaluation (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	qhornexp -list
+//	qhornexp -exp qhorn1-scaling [-seed 1] [-trials 20] [-format text|markdown|csv]
+//	qhornexp -exp all -quick
+//	qhornexp -exp summary          # hard pass/fail reproduction gate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"qhorn/internal/exp"
+	"qhorn/internal/stats"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI with explicit streams so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qhornexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name    = fs.String("exp", "all", "experiment name or ID (see -list), or \"all\"")
+		seed    = fs.Int64("seed", 1, "random seed")
+		trials  = fs.Int("trials", 20, "trials per parameter point")
+		quick   = fs.Bool("quick", false, "shrink parameter sweeps for a fast run")
+		format  = fs.String("format", "text", "output format: text, markdown or csv")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		outPath = fs.String("out", "", "write output to file instead of stdout")
+		outDir  = fs.String("outdir", "", "write one markdown file per experiment into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Fprintf(stdout, "%-4s %-22s %s\n     claim: %s\n", e.ID, e.Name, e.Paper, e.Claim)
+		}
+		return 0
+	}
+
+	var experiments []exp.Experiment
+	if *name == "all" {
+		experiments = exp.All()
+	} else {
+		e, ok := exp.ByName(*name)
+		if !ok {
+			fmt.Fprintf(stderr, "qhornexp: unknown experiment %q; try -list\n", *name)
+			return 2
+		}
+		experiments = []exp.Experiment{e}
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "qhornexp: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+
+	cfg := exp.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	render := func(t *stats.Table) string {
+		switch *format {
+		case "markdown":
+			return t.Markdown()
+		case "csv":
+			return t.CSV()
+		case "text":
+			return t.Text()
+		default:
+			return t.Text()
+		}
+	}
+	if *format != "text" && *format != "markdown" && *format != "csv" {
+		fmt.Fprintf(stderr, "qhornexp: unknown format %q (want text, markdown or csv)\n", *format)
+		return 2
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "qhornexp: %v\n", err)
+			return 1
+		}
+		for _, e := range experiments {
+			var b strings.Builder
+			fmt.Fprintf(&b, "# %s — %s\n\n%s\n\nClaim: %s\n\n", e.ID, e.Name, e.Paper, e.Claim)
+			for _, t := range e.Run(cfg) {
+				b.WriteString(t.Markdown())
+				b.WriteString("\n")
+			}
+			path := filepath.Join(*outDir, fmt.Sprintf("%s-%s.md", e.ID, e.Name))
+			if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+				fmt.Fprintf(stderr, "qhornexp: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", path)
+		}
+		return 0
+	}
+	for _, e := range experiments {
+		for _, t := range e.Run(cfg) {
+			fmt.Fprintln(out, render(t))
+		}
+	}
+	return 0
+}

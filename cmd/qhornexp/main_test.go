@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestListExperiments(t *testing.T) {
+	out, _, code := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"E1", "qhorn1-scaling", "E18", "teaching-sets", "claim:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, _, code := runCLI(t, "-exp", "fig7")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "E8 fig7") || !strings.Contains(out, "A1") {
+		t.Errorf("fig7 output incomplete:\n%s", out[:min(400, len(out))])
+	}
+}
+
+func TestRunSummaryGate(t *testing.T) {
+	out, _, code := runCLI(t, "-exp", "summary", "-quick", "-trials", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("reproduction gate failed:\n%s", out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Fatal("no verdicts printed")
+	}
+}
+
+func TestFormats(t *testing.T) {
+	md, _, code := runCLI(t, "-exp", "worked-example", "-format", "markdown")
+	if code != 0 || !strings.Contains(md, "| kind |") {
+		t.Errorf("markdown output wrong (exit %d)", code)
+	}
+	csv, _, code := runCLI(t, "-exp", "worked-example", "-format", "csv")
+	if code != 0 || !strings.Contains(csv, "kind,about") {
+		t.Errorf("csv output wrong (exit %d)", code)
+	}
+	_, errb, code := runCLI(t, "-exp", "worked-example", "-format", "yaml")
+	if code == 0 || !strings.Contains(errb, "unknown format") {
+		t.Errorf("bad format accepted (exit %d, %q)", code, errb)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	_, errb, code := runCLI(t, "-exp", "nope")
+	if code == 0 || !strings.Contains(errb, "unknown experiment") {
+		t.Errorf("unknown experiment accepted (exit %d)", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	_, _, code := runCLI(t, "-definitely-not-a-flag")
+	if code == 0 {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	_, _, code := runCLI(t, "-exp", "fig7", "-out", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "fig7") {
+		t.Error("output file empty")
+	}
+	_, _, code = runCLI(t, "-exp", "fig7", "-out", filepath.Join(path, "impossible", "x"))
+	if code == 0 {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestOutDir(t *testing.T) {
+	dir := t.TempDir()
+	out, _, code := runCLI(t, "-exp", "fig7", "-outdir", dir)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "wrote ") {
+		t.Error("no file reported")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "E8-fig7.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Claim:") || !strings.Contains(string(data), "| query |") {
+		t.Error("markdown file incomplete")
+	}
+}

@@ -1,0 +1,96 @@
+// Future: the four §5/§6 directions of the paper, implemented and
+// runnable — response-history amendment for noisy users, query
+// revision, PAC learning from random examples, and multi-level
+// nesting.
+//
+//	go run ./examples/future
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qhorn"
+	"qhorn/internal/boolean"
+	"qhorn/internal/deep"
+	"qhorn/internal/query"
+)
+
+func main() {
+	u := qhorn.MustUniverse(6)
+	intended := qhorn.MustParseQuery(u, "∀x1x4 → x5 ∃x2x3")
+
+	// ------------------------------------------------------------------
+	fmt.Println("1. Noisy user + history amendment (§5)")
+	truth := qhorn.TargetOracle(intended)
+	asked := 0
+	liar := qhorn.OracleFunc(func(s qhorn.Set) bool {
+		asked++
+		a := truth.Ask(s)
+		if asked == 4 { // one mistaken response
+			return !a
+		}
+		return a
+	})
+	sess := qhorn.NewSession(liar)
+	first, _ := qhorn.LearnRolePreserving(u, sess)
+	fmt.Printf("   learned with one lie:  %s (equivalent: %v)\n", first, first.Equivalent(intended))
+	for i, e := range sess.Entries() {
+		if truth.Ask(e.Question) != e.Answer {
+			fmt.Printf("   user reviews history, flips response #%d\n", i+1)
+			if err := sess.Amend(i); err != nil {
+				panic(err)
+			}
+		}
+	}
+	sess.ResetRun()
+	fixed, _ := qhorn.LearnRolePreserving(u, sess)
+	fmt.Printf("   re-learned:            %s (equivalent: %v, %d new questions)\n",
+		fixed, fixed.Equivalent(intended), sess.LiveQuestions)
+
+	// ------------------------------------------------------------------
+	fmt.Println("\n2. Query revision (§6)")
+	almost := qhorn.MustParseQuery(u, "∀x1x4 → x5 ∃x2x3 ∃x3x6") // one extra conjunction
+	fmt.Printf("   user wrote:   %s\n", almost)
+	fmt.Printf("   distance to intent: %d distinguishing tuples\n", qhorn.QueryDistance(almost, intended))
+	res, err := qhorn.Revise(almost, qhorn.TargetOracle(intended))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("   revised:      %s\n", res.Revised)
+	fmt.Printf("   cost: %d questions (%d verification + %d repair), escalated: %v\n",
+		res.Questions(), res.VerificationQuestions, res.RepairQuestions, res.Escalated)
+
+	// ------------------------------------------------------------------
+	fmt.Println("\n3. PAC learning from random examples (§6)")
+	rng := rand.New(rand.NewSource(1))
+	sampler := qhorn.NewBoundarySampler(intended, rng, 2)
+	for _, m := range []int{20, 200} {
+		h, stats := qhorn.LearnPAC(u, qhorn.TargetOracle(intended), sampler, m, qhorn.PACParams{})
+		test := qhorn.NewBoundarySampler(intended, rand.New(rand.NewSource(2)), 2)
+		fmt.Printf("   m=%-4d (%3d positives): error %.3f   hypothesis: %s\n",
+			m, stats.Positives, qhorn.PACError(h, intended, test, 2000), h)
+	}
+
+	// ------------------------------------------------------------------
+	fmt.Println("\n4. Multi-level nesting (§6): Shelf(Box(Chocolate))")
+	u2 := boolean.MustUniverse(2) // x1 isDark, x2 hasFilling
+	// Every box on the shelf contains a dark chocolate, and some box
+	// is entirely filled chocolates.
+	dq := deep.Query{U: u2, Depth: 2, Exprs: []deep.Expr{
+		{Prefix: []query.Quantifier{query.Forall, query.Exists}, Body: boolean.FromVars(0), Head: query.NoHead},
+		{Prefix: []query.Quantifier{query.Exists, query.Forall}, Body: boolean.FromVars(1), Head: query.NoHead},
+	}}
+	fmt.Printf("   query: %s\n", dq)
+	dark := deep.Leaf(u2.MustParse("10"))
+	filled := deep.Leaf(u2.MustParse("01"))
+	both := deep.Leaf(u2.MustParse("11"))
+	goodShelf := deep.Set(deep.Set(dark, filled), deep.Set(both))
+	badShelf := deep.Set(deep.Set(filled), deep.Set(both))
+	fmt.Printf("   shelf {{dark,filled},{both}}: %v\n", dq.Eval(goodShelf))
+	fmt.Printf("   shelf {{filled},{both}}:      %v (a box has no dark chocolate)\n", dq.Eval(badShelf))
+	q1 := deep.AllQueries(boolean.MustUniverse(1), 1)
+	q2 := deep.AllQueries(boolean.MustUniverse(1), 2)
+	fmt.Printf("   distinct queries on one proposition: depth 1 → %d, depth 2 → %d\n", len(q1), len(q2))
+	fmt.Println("   (the blow-up with depth is why the paper stops at single-level nesting)")
+}

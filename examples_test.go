@@ -1,0 +1,41 @@
+package qhorn_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun guards every runnable example against rot: each one
+// must build, run to completion, and print its key line. Requires the
+// go toolchain; skipped with -short.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples exec the go toolchain")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"./examples/quickstart", []string{"equivalent:         true", "verification: correct=true"}},
+		{"./examples/chocolates", []string{"equivalent to intent: true", "match the query"}},
+		{"./examples/verification", []string{"correct=true", "caught by [A3]"}},
+		{"./examples/adversary", []string{"2^n − 1", "4095"}},
+		{"./examples/future", []string{"equivalent: true, ", "error 0.000", "depth 1 → 4, depth 2 → 12"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", tc.dir, err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", tc.dir, want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module qhorn
+
+go 1.22

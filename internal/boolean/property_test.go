@@ -1,0 +1,99 @@
+package boolean
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomSet is a quick.Generator for small tuple sets over 6
+// variables.
+type randomSet struct{ S Set }
+
+func (randomSet) Generate(rng *rand.Rand, size int) reflect.Value {
+	m := rng.Intn(5)
+	tuples := make([]Tuple, m)
+	for i := range tuples {
+		tuples[i] = Tuple(rng.Intn(64))
+	}
+	return reflect.ValueOf(randomSet{NewSet(tuples...)})
+}
+
+func TestQuickSetAlgebra(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	// Union is commutative, associative and idempotent.
+	comm := func(a, b randomSet) bool {
+		return a.S.Union(b.S).Equal(b.S.Union(a.S))
+	}
+	if err := quick.Check(comm, cfg); err != nil {
+		t.Error("commutativity:", err)
+	}
+	assoc := func(a, b, c randomSet) bool {
+		return a.S.Union(b.S).Union(c.S).Equal(a.S.Union(b.S.Union(c.S)))
+	}
+	if err := quick.Check(assoc, cfg); err != nil {
+		t.Error("associativity:", err)
+	}
+	idem := func(a randomSet) bool {
+		return a.S.Union(a.S).Equal(a.S)
+	}
+	if err := quick.Check(idem, cfg); err != nil {
+		t.Error("idempotence:", err)
+	}
+}
+
+func TestQuickSetWithWithoutInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	f := func(a randomSet) bool {
+		tp := Tuple(rng.Intn(64))
+		if a.S.Has(tp) {
+			return a.S.Without(tp).With(tp).Equal(a.S)
+		}
+		return a.S.With(tp).Without(tp).Equal(a.S)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAnyContainsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	f := func(a randomSet) bool {
+		conj := Tuple(rng.Intn(64))
+		sub := conj & Tuple(rng.Intn(64)) // sub ⊆ conj
+		// Satisfying the bigger conjunction satisfies the smaller.
+		if a.S.AnyContains(conj) && !a.S.AnyContains(sub) {
+			return false
+		}
+		// Adding a tuple never unsatisfies.
+		extra := Tuple(rng.Intn(64))
+		if a.S.AnyContains(conj) && !a.S.With(extra).AnyContains(conj) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyFaithful(t *testing.T) {
+	f := func(a, b randomSet) bool {
+		return (a.S.Key() == b.S.Key()) == a.S.Equal(b.S)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFormatParseRoundTrip(t *testing.T) {
+	u := MustUniverse(6)
+	f := func(a randomSet) bool {
+		back, err := ParseSet(u, a.S.Format(u))
+		return err == nil && back.Equal(a.S)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

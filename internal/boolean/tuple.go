@@ -1,0 +1,230 @@
+// Package boolean implements the Boolean domain of the qhorn paper
+// (Abouzied et al., PODS 2013, §2): Boolean tuples over n variables,
+// sets of tuples (the objects that membership questions are made of),
+// and the textual notation used throughout the paper ("111001" etc.).
+//
+// A Tuple assigns true/false to each of n Boolean variables x1..xn.
+// Variables are indexed 0..n-1 internally; variable i corresponds to
+// the paper's x_{i+1}. Tuples are represented as bitsets so that all
+// learning and verification algorithms are allocation-light: a tuple
+// over up to 64 variables is a single machine word.
+package boolean
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxVars is the largest number of Boolean variables supported by the
+// bitset representation. The paper's algorithms ask O(n lg n) to
+// O(n^(θ+1)) questions, so 64 variables is far beyond any interactive
+// use and ample for every experiment in the evaluation.
+const MaxVars = 64
+
+// Tuple is a true/false assignment to n Boolean variables, stored as a
+// bitset: bit i set means variable i is true. The tuple does not carry
+// n itself; the surrounding context (Universe, Set, Query) does.
+type Tuple uint64
+
+// ErrTooManyVars is returned when a universe of more than MaxVars
+// variables is requested.
+var ErrTooManyVars = errors.New("boolean: more than 64 variables")
+
+// AllTrue returns the tuple 1^n: every one of the n variables true.
+// It panics if n is out of range; universes are validated at
+// construction time so this is an internal invariant.
+func AllTrue(n int) Tuple {
+	if n < 0 || n > MaxVars {
+		panic(fmt.Sprintf("boolean: invalid variable count %d", n))
+	}
+	if n == MaxVars {
+		return ^Tuple(0)
+	}
+	return Tuple(1)<<uint(n) - 1
+}
+
+// Empty is the tuple with every variable false (the paper's 0^n).
+const Empty Tuple = 0
+
+// Has reports whether variable i is true in t.
+func (t Tuple) Has(i int) bool { return t&(1<<uint(i)) != 0 }
+
+// With returns t with variable i set true.
+func (t Tuple) With(i int) Tuple { return t | 1<<uint(i) }
+
+// Without returns t with variable i set false.
+func (t Tuple) Without(i int) Tuple { return t &^ (1 << uint(i)) }
+
+// Union returns the variables true in t or u.
+func (t Tuple) Union(u Tuple) Tuple { return t | u }
+
+// Intersect returns the variables true in both t and u.
+func (t Tuple) Intersect(u Tuple) Tuple { return t & u }
+
+// Minus returns the variables true in t but not in u.
+func (t Tuple) Minus(u Tuple) Tuple { return t &^ u }
+
+// Contains reports whether every variable true in u is also true in t
+// (u ⊆ t when tuples are read as sets of true variables).
+func (t Tuple) Contains(u Tuple) bool { return t&u == u }
+
+// Intersects reports whether t and u share a true variable.
+func (t Tuple) Intersects(u Tuple) bool { return t&u != 0 }
+
+// IsEmpty reports whether no variable is true in t.
+func (t Tuple) IsEmpty() bool { return t == 0 }
+
+// Count returns the number of true variables in t.
+func (t Tuple) Count() int { return bits.OnesCount64(uint64(t)) }
+
+// Vars returns the indices of the true variables in ascending order.
+func (t Tuple) Vars() []int {
+	out := make([]int, 0, t.Count())
+	for v := t; v != 0; {
+		i := bits.TrailingZeros64(uint64(v))
+		out = append(out, i)
+		v &= v - 1
+	}
+	return out
+}
+
+// Lowest returns the index of the lowest true variable, or -1 if t is
+// empty.
+func (t Tuple) Lowest() int {
+	if t == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(t))
+}
+
+// Comparable reports whether t and u are comparable in the Boolean
+// lattice order: one contains the other. Incomparable tuples (the
+// paper's t1 || t2) are related to distinct, non-dominating
+// expressions.
+func (t Tuple) Comparable(u Tuple) bool {
+	return t.Contains(u) || u.Contains(t)
+}
+
+// InUpset reports whether t lies in the upset of u, i.e. t ⊇ u.
+// Questions built from the upset of a universal distinguishing tuple
+// are non-answers (§3.2.1).
+func (t Tuple) InUpset(u Tuple) bool { return t.Contains(u) }
+
+// InDownset reports whether t lies in the downset of u, i.e. t ⊆ u.
+func (t Tuple) InDownset(u Tuple) bool { return u.Contains(t) }
+
+// String renders t over an unknown universe width using the set of
+// true variables, e.g. "{x1,x3}". For the paper's fixed-width 0/1
+// notation use Universe.Format.
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range t.Vars() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "x%d", v+1)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// FromVars builds a tuple whose true variables are exactly vars
+// (indices, 0-based). Duplicate indices are allowed and idempotent.
+func FromVars(vars ...int) Tuple {
+	var t Tuple
+	for _, v := range vars {
+		if v < 0 || v >= MaxVars {
+			panic(fmt.Sprintf("boolean: variable index %d out of range", v))
+		}
+		t = t.With(v)
+	}
+	return t
+}
+
+// Universe is a fixed set of n Boolean variables, one per proposition
+// of the user's query outline. It provides parsing and formatting in
+// the paper's notation, where the leftmost character is x1.
+type Universe struct {
+	n int
+}
+
+// NewUniverse returns a universe of n variables. It returns
+// ErrTooManyVars if n exceeds MaxVars and an error for negative n.
+func NewUniverse(n int) (Universe, error) {
+	if n < 0 {
+		return Universe{}, fmt.Errorf("boolean: negative variable count %d", n)
+	}
+	if n > MaxVars {
+		return Universe{}, ErrTooManyVars
+	}
+	return Universe{n: n}, nil
+}
+
+// MustUniverse is NewUniverse for statically known sizes; it panics on
+// error.
+func MustUniverse(n int) Universe {
+	u, err := NewUniverse(n)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// N returns the number of variables in the universe.
+func (u Universe) N() int { return u.n }
+
+// All returns the all-true tuple 1^n for this universe.
+func (u Universe) All() Tuple { return AllTrue(u.n) }
+
+// Complement returns the variables of the universe not true in t.
+func (u Universe) Complement(t Tuple) Tuple { return u.All().Minus(t) }
+
+// Contains reports whether t only uses variables of the universe.
+func (u Universe) Contains(t Tuple) bool { return u.All().Contains(t) }
+
+// Format renders t in the paper's fixed-width notation: one character
+// per variable, leftmost is x1. Example for n=6: "100110".
+func (u Universe) Format(t Tuple) string {
+	b := make([]byte, u.n)
+	for i := 0; i < u.n; i++ {
+		if t.Has(i) {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// Parse reads a tuple in the paper's fixed-width notation. The string
+// must be exactly n characters of '0' and '1'.
+func (u Universe) Parse(s string) (Tuple, error) {
+	if len(s) != u.n {
+		return 0, fmt.Errorf("boolean: tuple %q has %d characters, universe has %d variables", s, len(s), u.n)
+	}
+	var t Tuple
+	for i := 0; i < u.n; i++ {
+		switch s[i] {
+		case '1':
+			t = t.With(i)
+		case '0':
+			// false: nothing to set
+		default:
+			return 0, fmt.Errorf("boolean: tuple %q has invalid character %q at position %d", s, s[i], i)
+		}
+	}
+	return t, nil
+}
+
+// MustParse is Parse for test fixtures and examples; it panics on
+// malformed input.
+func (u Universe) MustParse(s string) Tuple {
+	t, err := u.Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

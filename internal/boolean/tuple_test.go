@@ -1,0 +1,228 @@
+package boolean
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllTrue(t *testing.T) {
+	tests := []struct {
+		n    int
+		want Tuple
+	}{
+		{0, 0},
+		{1, 0b1},
+		{3, 0b111},
+		{6, 0b111111},
+		{63, 1<<63 - 1},
+		{64, ^Tuple(0)},
+	}
+	for _, tc := range tests {
+		if got := AllTrue(tc.n); got != tc.want {
+			t.Errorf("AllTrue(%d) = %b, want %b", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestAllTruePanics(t *testing.T) {
+	for _, n := range []int{-1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AllTrue(%d) did not panic", n)
+				}
+			}()
+			AllTrue(n)
+		}()
+	}
+}
+
+func TestTupleBasics(t *testing.T) {
+	tp := FromVars(0, 2, 5)
+	if !tp.Has(0) || !tp.Has(2) || !tp.Has(5) {
+		t.Fatalf("FromVars(0,2,5): missing variables: %v", tp.Vars())
+	}
+	if tp.Has(1) || tp.Has(3) {
+		t.Fatalf("FromVars(0,2,5): spurious variables: %v", tp.Vars())
+	}
+	if got := tp.Count(); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+	if got := tp.With(1); !got.Has(1) || got.Count() != 4 {
+		t.Errorf("With(1) = %v", got.Vars())
+	}
+	if got := tp.Without(2); got.Has(2) || got.Count() != 2 {
+		t.Errorf("Without(2) = %v", got.Vars())
+	}
+	if got := tp.Without(3); got != tp {
+		t.Errorf("Without absent variable changed tuple: %v", got.Vars())
+	}
+}
+
+func TestTupleSetOps(t *testing.T) {
+	a := FromVars(0, 1, 2)
+	b := FromVars(1, 2, 3)
+	if got := a.Union(b); got != FromVars(0, 1, 2, 3) {
+		t.Errorf("Union = %v", got.Vars())
+	}
+	if got := a.Intersect(b); got != FromVars(1, 2) {
+		t.Errorf("Intersect = %v", got.Vars())
+	}
+	if got := a.Minus(b); got != FromVars(0) {
+		t.Errorf("Minus = %v", got.Vars())
+	}
+	if !a.Contains(FromVars(0, 2)) {
+		t.Error("Contains(subset) = false")
+	}
+	if a.Contains(b) {
+		t.Error("Contains(incomparable) = true")
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false")
+	}
+	if a.Intersects(FromVars(4, 5)) {
+		t.Error("Intersects(disjoint) = true")
+	}
+}
+
+func TestComparable(t *testing.T) {
+	tests := []struct {
+		a, b Tuple
+		want bool
+	}{
+		{FromVars(0, 1), FromVars(0), true},
+		{FromVars(0), FromVars(0, 1), true},
+		{FromVars(0, 1), FromVars(0, 1), true},
+		{FromVars(0, 1), FromVars(1, 2), false},
+		{Empty, FromVars(3), true},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Comparable(tc.b); got != tc.want {
+			t.Errorf("%v.Comparable(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestUpsetDownset(t *testing.T) {
+	d := FromVars(1, 2) // distinguishing tuple for ∃x2x3
+	if !FromVars(0, 1, 2).InUpset(d) {
+		t.Error("supertuple not in upset")
+	}
+	if FromVars(1).InUpset(d) {
+		t.Error("subtuple in upset")
+	}
+	if !FromVars(1).InDownset(d) {
+		t.Error("subtuple not in downset")
+	}
+	if FromVars(1, 3).InDownset(d) {
+		t.Error("incomparable tuple in downset")
+	}
+}
+
+func TestVarsRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		tp := Tuple(raw)
+		return FromVars(tp.Vars()...) == tp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowest(t *testing.T) {
+	if got := Empty.Lowest(); got != -1 {
+		t.Errorf("Empty.Lowest() = %d, want -1", got)
+	}
+	if got := FromVars(3, 5).Lowest(); got != 3 {
+		t.Errorf("Lowest = %d, want 3", got)
+	}
+}
+
+func TestUniverseFormatParse(t *testing.T) {
+	u := MustUniverse(6)
+	tests := []struct {
+		tuple Tuple
+		text  string
+	}{
+		{u.All(), "111111"},
+		{Empty, "000000"},
+		{FromVars(0, 3, 4), "100110"},
+		{FromVars(1, 2, 4, 5), "011011"},
+	}
+	for _, tc := range tests {
+		if got := u.Format(tc.tuple); got != tc.text {
+			t.Errorf("Format(%v) = %q, want %q", tc.tuple.Vars(), got, tc.text)
+		}
+		parsed, err := u.Parse(tc.text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.text, err)
+		}
+		if parsed != tc.tuple {
+			t.Errorf("Parse(%q) = %v, want %v", tc.text, parsed.Vars(), tc.tuple.Vars())
+		}
+	}
+}
+
+func TestUniverseParseErrors(t *testing.T) {
+	u := MustUniverse(3)
+	for _, bad := range []string{"", "11", "1111", "1a1", "12 "} {
+		if _, err := u.Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestNewUniverseErrors(t *testing.T) {
+	if _, err := NewUniverse(-1); err == nil {
+		t.Error("NewUniverse(-1) succeeded")
+	}
+	if _, err := NewUniverse(65); err != ErrTooManyVars {
+		t.Errorf("NewUniverse(65) err = %v, want ErrTooManyVars", err)
+	}
+	if _, err := NewUniverse(64); err != nil {
+		t.Errorf("NewUniverse(64): %v", err)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	u := MustUniverse(4)
+	if got := u.Complement(FromVars(0, 2)); got != FromVars(1, 3) {
+		t.Errorf("Complement = %v", got.Vars())
+	}
+	if got := u.Complement(u.All()); got != Empty {
+		t.Errorf("Complement(all) = %v", got.Vars())
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	if got := FromVars(0, 2).String(); got != "{x1,x3}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Empty.String(); got != "{}" {
+		t.Errorf("Empty.String = %q", got)
+	}
+}
+
+func TestContainmentIsPartialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := Tuple(rng.Uint64())
+		b := Tuple(rng.Uint64())
+		c := Tuple(rng.Uint64())
+		// reflexive
+		if !a.Contains(a) {
+			t.Fatal("not reflexive")
+		}
+		// antisymmetric
+		if a.Contains(b) && b.Contains(a) && a != b {
+			t.Fatal("not antisymmetric")
+		}
+		// transitive: a ⊇ a∩b ⊇ a∩b∩c
+		ab := a.Intersect(b)
+		abc := ab.Intersect(c)
+		if !a.Contains(ab) || !ab.Contains(abc) || !a.Contains(abc) {
+			t.Fatal("not transitive")
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package dataplay_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qhorn/internal/dataplay"
+	"qhorn/internal/nested"
+	"qhorn/internal/query"
+)
+
+func Example() {
+	// The whole lifecycle of §1's chocolate-shop conversation.
+	ps := nested.ChocolatePropositions()
+	store := nested.RandomChocolates(rand.New(rand.NewSource(19)), 200, 5)
+	sys, err := dataplay.New(ps, store)
+	if err != nil {
+		panic(err)
+	}
+	intended := query.MustParse(sys.Universe(), "∀x1 ∃x2x3")
+	user := dataplay.SimulatedUser(ps, intended)
+
+	learned, err := sys.Learn(dataplay.Qhorn1, user)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("learned:", learned)
+	fmt.Println("exact:", learned.Equivalent(intended))
+
+	res, err := sys.VerifyQuery(learned, user)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verified:", res.Correct)
+
+	matches, err := sys.Execute(learned)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("answers in the store:", len(matches))
+	// Output:
+	// learned: ∀x1 ∃x3 → x2
+	// exact: true
+	// verified: true
+	// answers in the store: 7
+}

@@ -1,0 +1,86 @@
+package deep
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qhorn/internal/nested"
+	"qhorn/internal/query"
+)
+
+// This file ties the multi-level Boolean model to concrete data: a
+// depth-2 nested relation Shelf(Box(Chocolate(...))), abstracted
+// through the same propositions as the flat model.
+
+// Shelf is one element of a depth-2 nested relation: a named set of
+// nested objects (boxes).
+type Shelf struct {
+	Name  string
+	Boxes []nested.Object
+}
+
+// AbstractShelf lifts a shelf into the Boolean domain as a depth-2
+// deep.Object: leaves are the Boolean abstractions of the chocolates.
+func AbstractShelf(ps nested.Propositions, s Shelf) Object {
+	boxes := make([]Object, 0, len(s.Boxes))
+	for _, b := range s.Boxes {
+		kids := make([]Object, 0, len(b.Tuples))
+		for _, t := range b.Tuples {
+			kids = append(kids, Leaf(ps.Abstract(t)))
+		}
+		boxes = append(boxes, Set(kids...))
+	}
+	return Set(boxes...)
+}
+
+// ExecuteShelves runs a depth-2 query over shelves and returns the
+// answers.
+func ExecuteShelves(q Query, ps nested.Propositions, shelves []Shelf) ([]Shelf, error) {
+	if q.Depth != 2 {
+		return nil, fmt.Errorf("deep: query depth %d, shelves are depth 2", q.Depth)
+	}
+	if q.U.N() != len(ps.Props) {
+		return nil, fmt.Errorf("deep: query over %d variables, %d propositions", q.U.N(), len(ps.Props))
+	}
+	var out []Shelf
+	for _, s := range shelves {
+		if q.Eval(AbstractShelf(ps, s)) {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// RandomShelves generates a depth-2 chocolate-store: numShelves
+// shelves of up to maxBoxes random boxes each.
+func RandomShelves(rng *rand.Rand, numShelves, maxBoxes, maxPerBox int) []Shelf {
+	out := make([]Shelf, 0, numShelves)
+	for i := 0; i < numShelves; i++ {
+		n := 1 + rng.Intn(maxBoxes)
+		d := nested.RandomChocolates(rng, n, maxPerBox)
+		out = append(out, Shelf{
+			Name:  fmt.Sprintf("shelf-%02d", i+1),
+			Boxes: d.Objects,
+		})
+	}
+	return out
+}
+
+// LiftFlat wraps a flat qhorn query as a depth-2 query by prefixing
+// every expression with the outer quantifier. With ∀ this means
+// "every box satisfies the flat query" (conjunction and ∀ commute);
+// with ∃ each expression is witnessed independently — possibly by
+// different boxes — which is the natural lift of qhorn's normal form
+// (a conjunction of independently quantified expressions).
+func LiftFlat(fq query.Query, outer query.Quantifier) Query {
+	d1 := FromFlat(fq)
+	out := Query{U: fq.U, Depth: 2}
+	for _, e := range d1.Exprs {
+		out.Exprs = append(out.Exprs, Expr{
+			Prefix: []query.Quantifier{outer, e.Prefix[0]},
+			Body:   e.Body,
+			Head:   e.Head,
+		})
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package deep
+
+import (
+	"math/rand"
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/nested"
+	"qhorn/internal/query"
+)
+
+func TestAbstractShelf(t *testing.T) {
+	ps := nested.ChocolatePropositions()
+	d := nested.Fig1Dataset()
+	shelf := Shelf{Name: "window", Boxes: d.Objects}
+	obj := AbstractShelf(ps, shelf)
+	if obj.Depth() != 2 {
+		t.Fatalf("depth = %d", obj.Depth())
+	}
+	if err := obj.Validate(ps.Universe(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(obj.Kids) != 2 || len(obj.Kids[0].Kids) != 3 {
+		t.Fatalf("structure: %d boxes, %d chocolates", len(obj.Kids), len(obj.Kids[0].Kids))
+	}
+}
+
+func TestExecuteShelves(t *testing.T) {
+	ps := nested.ChocolatePropositions()
+	u := ps.Universe()
+	rng := rand.New(rand.NewSource(23))
+	shelves := RandomShelves(rng, 40, 4, 4)
+	if len(shelves) != 40 {
+		t.Fatalf("shelves = %d", len(shelves))
+	}
+	// ∀box ∃chocolate dark: every box on the shelf has a dark one.
+	q := Query{U: u, Depth: 2, Exprs: []Expr{{
+		Prefix: []query.Quantifier{query.Forall, query.Exists},
+		Body:   boolean.FromVars(0),
+		Head:   query.NoHead,
+	}}}
+	matches, err := ExecuteShelves(q, ps, shelves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against direct per-box evaluation.
+	flatDark := query.MustParse(u, "∃x1")
+	want := 0
+	for _, s := range shelves {
+		all := true
+		for _, b := range s.Boxes {
+			if !flatDark.Eval(ps.AbstractObject(b)) {
+				all = false
+				break
+			}
+		}
+		if all {
+			want++
+		}
+	}
+	if len(matches) != want {
+		t.Fatalf("matches = %d, direct = %d", len(matches), want)
+	}
+	// Depth / arity errors.
+	if _, err := ExecuteShelves(Query{U: u, Depth: 1}, ps, shelves); err == nil {
+		t.Error("depth-1 query accepted")
+	}
+	if _, err := ExecuteShelves(Query{U: boolean.MustUniverse(7), Depth: 2}, ps, shelves); err == nil {
+		t.Error("mismatched universe accepted")
+	}
+}
+
+func TestLiftFlat(t *testing.T) {
+	ps := nested.ChocolatePropositions()
+	u := ps.Universe()
+	flat := query.MustParse(u, "∀x1 ∃x2x3")
+	rng := rand.New(rand.NewSource(24))
+	shelves := RandomShelves(rng, 60, 3, 4)
+
+	// ∀-lift: every box satisfies the flat query.
+	lifted := LiftFlat(flat, query.Forall)
+	if lifted.Depth != 2 {
+		t.Fatalf("depth = %d", lifted.Depth)
+	}
+	matches, err := ExecuteShelves(lifted, ps, shelves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, s := range shelves {
+		all := true
+		for _, b := range s.Boxes {
+			if !flat.Eval(ps.AbstractObject(b)) {
+				all = false
+				break
+			}
+		}
+		if all {
+			want++
+		}
+	}
+	if len(matches) != want {
+		t.Fatalf("∀-lift: %d matches, direct %d", len(matches), want)
+	}
+
+	// ∃-lift accepts at least every shelf where one box satisfies the
+	// whole query (per-expression witnesses may differ).
+	existsLift := LiftFlat(flat, query.Exists)
+	matches, err = ExecuteShelves(existsLift, ps, shelves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atLeast := 0
+	for _, s := range shelves {
+		for _, b := range s.Boxes {
+			if flat.Eval(ps.AbstractObject(b)) {
+				atLeast++
+				break
+			}
+		}
+	}
+	if len(matches) < atLeast {
+		t.Fatalf("∃-lift: %d matches < %d single-box witnesses", len(matches), atLeast)
+	}
+}

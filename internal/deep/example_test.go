@@ -1,0 +1,37 @@
+package deep_test
+
+import (
+	"fmt"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/deep"
+)
+
+func ExampleQuery_Eval() {
+	// Shelf(Box(Chocolate)): every box has a dark chocolate, and some
+	// box is entirely filled chocolates.
+	u := boolean.MustUniverse(2) // x1 isDark, x2 hasFilling
+	q := deep.MustParse(u, 2, "∀∃(x1) ∃∀(x2)")
+
+	dark := deep.Leaf(u.MustParse("10"))
+	filled := deep.Leaf(u.MustParse("01"))
+	both := deep.Leaf(u.MustParse("11"))
+
+	good := deep.Set(deep.Set(dark, filled), deep.Set(both))
+	bad := deep.Set(deep.Set(filled), deep.Set(both))
+	fmt.Println("good shelf:", q.Eval(good))
+	fmt.Println("bad shelf: ", q.Eval(bad))
+	// Output:
+	// good shelf: true
+	// bad shelf:  false
+}
+
+func ExampleParse() {
+	u := boolean.MustUniverse(3)
+	q := deep.MustParse(u, 2, "AA(x1 -> x2) EE(x3)")
+	fmt.Println(q)
+	fmt.Println("depth:", q.Depth)
+	// Output:
+	// ∀∀(x1 → x2) ∃∃(x3)
+	// depth: 2
+}

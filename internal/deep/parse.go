@@ -1,0 +1,139 @@
+package deep
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+// Parse reads a depth-d query in the prefix notation String prints:
+// a space-separated sequence of expressions, each a quantifier prefix
+// followed by a parenthesized (Horn) expression:
+//
+//	∀∃(x1x2 → x3) ∃∀(x4)
+//
+// ASCII forms are accepted: 'A' for ∀, 'E' for ∃, "->" for →. Every
+// prefix must have exactly depth quantifiers. "⊤" (or an empty
+// string) parses as the empty query.
+func Parse(u boolean.Universe, depth int, s string) (Query, error) {
+	q := Query{U: u, Depth: depth}
+	s = strings.TrimSpace(s)
+	if s == "" || s == "⊤" {
+		return q, nil
+	}
+	rs := []rune(s)
+	i := 0
+	skipSpace := func() {
+		for i < len(rs) && unicode.IsSpace(rs[i]) {
+			i++
+		}
+	}
+	for skipSpace(); i < len(rs); skipSpace() {
+		// Quantifier prefix.
+		var prefix []query.Quantifier
+		for i < len(rs) {
+			switch rs[i] {
+			case '∀', 'A':
+				prefix = append(prefix, query.Forall)
+				i++
+				continue
+			case '∃', 'E':
+				prefix = append(prefix, query.Exists)
+				i++
+				continue
+			}
+			break
+		}
+		if len(prefix) == 0 {
+			return Query{}, fmt.Errorf("deep: expected quantifier prefix at %q", string(rs[i:]))
+		}
+		if i >= len(rs) || rs[i] != '(' {
+			return Query{}, fmt.Errorf("deep: expected '(' after prefix")
+		}
+		i++
+		// Body variables.
+		body, err := parseVars(rs, &i, u)
+		if err != nil {
+			return Query{}, err
+		}
+		head := query.NoHead
+		skipInner(rs, &i)
+		if i+1 < len(rs) && (rs[i] == '→' || (rs[i] == '-' && rs[i+1] == '>')) {
+			if rs[i] == '→' {
+				i++
+			} else {
+				i += 2
+			}
+			skipInner(rs, &i)
+			h, err := parseVars(rs, &i, u)
+			if err != nil {
+				return Query{}, err
+			}
+			if h.Count() != 1 {
+				return Query{}, fmt.Errorf("deep: head must be a single variable")
+			}
+			head = h.Lowest()
+		}
+		skipInner(rs, &i)
+		if i >= len(rs) || rs[i] != ')' {
+			return Query{}, fmt.Errorf("deep: expected ')' to close expression")
+		}
+		i++
+		q.Exprs = append(q.Exprs, Expr{Prefix: prefix, Body: body, Head: head})
+	}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse for fixtures; it panics on error.
+func MustParse(u boolean.Universe, depth int, s string) Query {
+	q, err := Parse(u, depth, s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func skipInner(rs []rune, i *int) {
+	for *i < len(rs) && unicode.IsSpace(rs[*i]) {
+		*i++
+	}
+}
+
+// parseVars reads one or more x<digits> variables.
+func parseVars(rs []rune, i *int, u boolean.Universe) (boolean.Tuple, error) {
+	var t boolean.Tuple
+	count := 0
+	for {
+		skipInner(rs, i)
+		if *i >= len(rs) || (rs[*i] != 'x' && rs[*i] != 'X') {
+			break
+		}
+		*i++
+		start := *i
+		for *i < len(rs) && unicode.IsDigit(rs[*i]) {
+			*i++
+		}
+		if *i == start {
+			return 0, fmt.Errorf("deep: variable without index")
+		}
+		idx := 0
+		for _, d := range rs[start:*i] {
+			idx = idx*10 + int(d-'0')
+		}
+		if idx < 1 || idx > u.N() {
+			return 0, fmt.Errorf("deep: variable x%d outside universe of %d variables", idx, u.N())
+		}
+		t = t.With(idx - 1)
+		count++
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("deep: expected variables")
+	}
+	return t, nil
+}

@@ -1,0 +1,83 @@
+package deep
+
+import (
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	inputs := []string{
+		"∀∃(x1x2 → x3) ∃∀(x4)",
+		"∀∀(x1 → x2)",
+		"∃∃(x1x2x3x4)",
+		"⊤",
+	}
+	for _, in := range inputs {
+		q := MustParse(u, 2, in)
+		back := MustParse(u, 2, q.String())
+		if q.String() != back.String() {
+			t.Errorf("round trip %q -> %q -> %q", in, q.String(), back.String())
+		}
+	}
+}
+
+func TestParseASCII(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	a := MustParse(u, 2, "AE(x1x2 -> x3) EA(x4)")
+	b := MustParse(u, 2, "∀∃(x1x2 → x3) ∃∀(x4)")
+	if a.String() != b.String() {
+		t.Errorf("ASCII parse differs: %s vs %s", a, b)
+	}
+}
+
+func TestParseMatchesConstructed(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	q := MustParse(u, 2, "∀∃(x1x2 → x3)")
+	want := Query{U: u, Depth: 2, Exprs: []Expr{{
+		Prefix: []query.Quantifier{query.Forall, query.Exists},
+		Body:   boolean.FromVars(0, 1),
+		Head:   2,
+	}}}
+	if q.String() != want.String() {
+		t.Errorf("parsed %s, want %s", q, want)
+	}
+	// Semantics agree on a few objects.
+	dark := Leaf(u.MustParse("1110"))
+	shelf := Set(Set(dark))
+	if q.Eval(shelf) != want.Eval(shelf) {
+		t.Error("parsed query evaluates differently")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	for _, bad := range []string{
+		"(x1)",         // no prefix
+		"∀x1",          // missing parens
+		"∀()",          // no variables
+		"∀(x9)",        // out of range
+		"∀(x1 → x1)",   // head in body
+		"∀(x1 → x2x3)", // multi-variable head
+		"∀∃(x1)",       // prefix deeper than query depth 1
+		"∀(x1",         // unclosed
+		"∀(x1 -",       // dangling arrow
+		"∀(x)",         // no index
+	} {
+		if _, err := Parse(u, 1, bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseDepthMismatch(t *testing.T) {
+	u := boolean.MustUniverse(2)
+	if _, err := Parse(u, 2, "∀(x1)"); err == nil {
+		t.Error("short prefix accepted")
+	}
+	if _, err := Parse(u, 1, "∀(x1)"); err != nil {
+		t.Error(err)
+	}
+}

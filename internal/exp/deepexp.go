@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"qhorn/internal/boolean"
+	"qhorn/internal/deep"
+	"qhorn/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E17",
+		Name:  "deep-nesting",
+		Paper: "§6 future work (multi-level nesting)",
+		Claim: "the query space and question complexity blow up with nesting depth, which is why the paper stops at single-level nesting",
+		Run:   runDeepNesting,
+	})
+}
+
+// runDeepNesting measures, for tiny universes, how many semantically
+// distinct prefix-quantified queries exist per nesting depth and how
+// many membership questions exhaustive elimination needs in the worst
+// case.
+func runDeepNesting(cfg Config) []*stats.Table {
+	e, _ := ByName("deep-nesting")
+	t := stats.NewTable(header(e),
+		"n", "depth", "objects", "distinct queries (≤2 exprs)", "worst-case elimination questions")
+	type point struct{ n, depth int }
+	points := []point{{1, 1}, {1, 2}, {2, 1}}
+	if !cfg.Quick {
+		points = append(points, point{2, 2})
+	}
+	for _, p := range points {
+		u := boolean.MustUniverse(p.n)
+		objects := deep.AllObjects(u, p.depth)
+		queries := deep.AllQueries(u, p.depth)
+		worst := 0
+		for _, target := range queries {
+			_, q := deep.EliminationLearn(queries, target, objects)
+			if q > worst {
+				worst = q
+			}
+		}
+		t.AddRow(p.n, p.depth, len(objects), len(queries), worst)
+	}
+	t.AddNote("queries capped at two expressions per candidate; the growth from depth 1 to 2 is the point")
+	return []*stats.Table{t}
+}

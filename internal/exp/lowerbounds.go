@@ -1,0 +1,197 @@
+package exp
+
+import (
+	"math"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/brute"
+	"qhorn/internal/oracle"
+	"qhorn/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E4",
+		Name:  "alias-lowerbound",
+		Paper: "Theorem 2.1",
+		Claim: "learning qhorn with repeated variables requires Ω(2^n) questions",
+		Run:   runAliasLowerBound,
+	})
+	register(Experiment{
+		ID:    "E5",
+		Name:  "pair-lowerbound",
+		Paper: "Lemma 3.4",
+		Claim: "with c tuples per question, learning existential expressions requires ≈ n²/c² questions",
+		Run:   runPairLowerBound,
+	})
+	register(Experiment{
+		ID:    "E6",
+		Name:  "body-lowerbound",
+		Paper: "Theorem 3.6",
+		Claim: "learning the θ universal Horn expressions of a head requires Ω((n/θ)^(θ−1)) questions",
+		Run:   runBodyLowerBound,
+	})
+}
+
+// runAliasLowerBound plays the brute-force learner against the
+// Theorem 2.1 adversary over the Uni/Alias class and records that
+// every instance costs 2^n − 1 questions.
+func runAliasLowerBound(cfg Config) []*stats.Table {
+	e, _ := ByName("alias-lowerbound")
+	sizes := []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if cfg.Quick {
+		sizes = []int{2, 4, 6, 8}
+	}
+	t := stats.NewTable(header(e),
+		"n", "class size 2^n", "questions forced", "2^n − 1", "match")
+	for _, n := range sizes {
+		u := boolean.MustUniverse(n)
+		class := oracle.AliasClass(u)
+		adv := oracle.NewAdversary(class)
+		res, err := brute.Learn(class, adv, oracle.AliasQuestions(u))
+		if err != nil {
+			panic(err)
+		}
+		want := 1<<uint(n) - 1
+		t.AddRow(n, len(class), res.Questions, want, res.Questions == want)
+	}
+	t.AddNote("each informative question eliminates exactly one candidate: the class is unlearnable in polynomial questions")
+	return []*stats.Table{t}
+}
+
+// runPairLowerBound plays the brute-force learner against the
+// Lemma 3.4 adversary with c-tuple questions: the measured counts
+// track C(n,2)/C(c,2).
+func runPairLowerBound(cfg Config) []*stats.Table {
+	e, _ := ByName("pair-lowerbound")
+	// Each c gets its own sweep with n ≫ c, where the cover-design
+	// pool's n²/c² shape is visible.
+	sweeps := map[int][]int{
+		2: {8, 12, 16, 24, 32},
+		4: {16, 24, 32, 48},
+		8: {32, 48, 64},
+	}
+	cs := []int{2, 4, 8}
+	if cfg.Quick {
+		sweeps = map[int][]int{2: {8, 16}, 4: {16, 24}}
+		cs = []int{2, 4}
+	}
+	t := stats.NewTable(header(e),
+		"c (tuples/question)", "n", "questions forced", "C(n,2)/C(c,2)", "n²/c²")
+	for _, c := range cs {
+		var xs, ys []float64
+		for _, n := range sweeps[c] {
+			u := boolean.MustUniverse(n)
+			class := oracle.HeadPairClass(u)
+			adv := oracle.NewAdversary(class)
+			res, err := brute.Learn(class, adv, headPairPool(u, c))
+			if err != nil {
+				panic(err)
+			}
+			pairs := float64(n*(n-1)) / 2
+			perQ := float64(c*(c-1)) / 2
+			t.AddRow(c, n, res.Questions, pairs/perQ, float64(n*n)/float64(c*c))
+			xs = append(xs, float64(n))
+			ys = append(ys, float64(res.Questions))
+		}
+		t.AddNote("c=%d growth exponent %.2f (claim ≈ 2)", c, stats.GrowthExponent(xs, ys))
+	}
+	return []*stats.Table{t}
+}
+
+// headPairPool builds a question pool of c-tuple class-2 questions
+// (Lemma 3.4): a block-pair cover so that every variable pair lies in
+// some question (≈ 2n²/c² questions), followed by the exhaustive
+// 2-tuple questions as tie-breakers for head pairs that no c-subset
+// of the cover separates. For c = 2 the cover is already exhaustive.
+func headPairPool(u boolean.Universe, c int) []boolean.Set {
+	if c <= 2 {
+		return oracle.HeadPairQuestions(u, 2)
+	}
+	n := u.N()
+	all := u.All()
+	half := c / 2
+	var blocks []boolean.Tuple
+	for start := 0; start < n; start += half {
+		var b boolean.Tuple
+		for v := start; v < start+half && v < n; v++ {
+			b = b.With(v)
+		}
+		blocks = append(blocks, b)
+	}
+	question := func(h boolean.Tuple) boolean.Set {
+		tuples := make([]boolean.Tuple, 0, h.Count())
+		for _, v := range h.Vars() {
+			tuples = append(tuples, all.Without(v))
+		}
+		return boolean.NewSet(tuples...)
+	}
+	var pool []boolean.Set
+	for i := 0; i < len(blocks); i++ {
+		for j := i + 1; j < len(blocks); j++ {
+			pool = append(pool, question(blocks[i].Union(blocks[j])))
+		}
+	}
+	return append(pool, oracle.HeadPairQuestions(u, 2)...)
+}
+
+// runBodyLowerBound plays the brute-force learner against the
+// Theorem 3.6 adversary: one question per candidate Bθ combination.
+func runBodyLowerBound(cfg Config) []*stats.Table {
+	e, _ := ByName("body-lowerbound")
+	type point struct{ n, theta int }
+	points := []point{
+		{6, 2}, {8, 2}, {12, 2}, {16, 2},
+		{6, 3}, {8, 3}, {12, 3},
+		{6, 4}, {9, 4}, {12, 4},
+	}
+	if cfg.Quick {
+		points = []point{{6, 2}, {8, 2}, {6, 3}}
+	}
+	t := stats.NewTable(header(e),
+		"θ", "n (body vars)", "class size (n/(θ−1))^(θ−1)", "questions forced", "(n/θ)^(θ−1)")
+	for _, p := range points {
+		u := boolean.MustUniverse(p.n + 1)
+		class := oracle.BodyClass(u, p.theta)
+		adv := oracle.NewAdversary(class)
+		pool := bodyLowerBoundQuestions(u, p.theta)
+		res, err := brute.Learn(class, adv, pool)
+		if err != nil {
+			panic(err)
+		}
+		ref := math.Pow(float64(p.n)/float64(p.theta), float64(p.theta-1))
+		t.AddRow(p.theta, p.n, len(class), res.Questions, ref)
+	}
+	t.AddNote("questions forced = class size − 1: each question eliminates one candidate Bθ")
+	return []*stats.Table{t}
+}
+
+// bodyLowerBoundQuestions enumerates the only informative questions
+// of the Theorem 3.6 proof: for each choice of one variable per fixed
+// body, the object {1^(n+1), t} where t sets the chosen variables and
+// the head false.
+func bodyLowerBoundQuestions(u boolean.Universe, theta int) []boolean.Set {
+	n := u.N() - 1
+	h := n
+	size := n / (theta - 1)
+	bodies := make([]boolean.Tuple, theta-1)
+	for i := range bodies {
+		for v := i * size; v < (i+1)*size; v++ {
+			bodies[i] = bodies[i].With(v)
+		}
+	}
+	all := u.All()
+	var out []boolean.Set
+	var rec func(i int, chosen boolean.Tuple)
+	rec = func(i int, chosen boolean.Tuple) {
+		if i == len(bodies) {
+			out = append(out, boolean.NewSet(all, all.Minus(chosen).Without(h)))
+			return
+		}
+		for _, v := range bodies[i].Vars() {
+			rec(i+1, chosen.With(v))
+		}
+	}
+	rec(0, 0)
+	return out
+}

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+	"qhorn/internal/stats"
+	"qhorn/internal/verify"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E18",
+		Name:  "teaching-sets",
+		Paper: "§5 related work (Goldman–Kearns)",
+		Claim: "the O(k) verification sets stay close to the exact minimal teaching sets",
+		Run:   runTeachingSets,
+	})
+}
+
+// runTeachingSets computes, for every two-variable role-preserving
+// query, the exact minimal teaching set over the full object space
+// and compares its size with the verification set of §4.
+func runTeachingSets(cfg Config) []*stats.Table {
+	e, _ := ByName("teaching-sets")
+	u := boolean.MustUniverse(2)
+	class := query.AllQueries(u)
+	t := stats.NewTable(header(e),
+		"query", "teaching minimum", "verification set", "ratio")
+	worst := 0.0
+	sumT, sumV := 0, 0
+	for _, target := range class {
+		teach, ver, err := verify.TeachingLowerBound(target, class)
+		if err != nil {
+			panic(err)
+		}
+		ratio := "-"
+		if teach > 0 {
+			r := float64(ver) / float64(teach)
+			ratio = stats.FormatFloat(r)
+			if r > worst {
+				worst = r
+			}
+		}
+		sumT += teach
+		sumV += ver
+		t.AddRow(target.String(), teach, ver, ratio)
+	}
+	t.AddNote("totals: teaching %d vs verification %d; worst ratio %.2f", sumT, sumV, worst)
+	t.AddNote("teaching sets are information-theoretically minimal; verification sets trade a small constant for O(k) constructibility")
+	return []*stats.Table{t}
+}

@@ -1,0 +1,28 @@
+package lattice_test
+
+import (
+	"fmt"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/lattice"
+)
+
+func Example() {
+	// The Fig 5 lattice: learning bodies for head x5 with heads
+	// {x5, x6} — free variables x1..x4, x6 pinned true, x5 false.
+	u := boolean.MustUniverse(6)
+	l, err := lattice.New(u, boolean.FromVars(0, 1, 2, 3), boolean.FromVars(5))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("top:   ", u.Format(l.Top()))
+	fmt.Println("bottom:", u.Format(l.Bottom()))
+	for _, c := range l.Children(u.MustParse("100101")) {
+		fmt.Println("child: ", u.Format(c))
+	}
+	// Output:
+	// top:    111101
+	// bottom: 000001
+	// child:  000101
+	// child:  100001
+}

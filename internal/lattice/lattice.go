@@ -1,0 +1,226 @@
+// Package lattice implements the Boolean lattice machinery of §3.2
+// of the qhorn paper (Fig. 4): the partial order of Boolean tuples
+// under variable containment, restricted sub-lattices over a subset of
+// free variables, level enumeration, children/parents, and paths.
+//
+// The role-preserving learners search this lattice top-to-bottom for
+// "distinguishing tuples": the inflection points where the user's
+// answers flip from answer to non-answer (universal expressions) or
+// vice versa (existential conjunctions).
+package lattice
+
+import (
+	"fmt"
+	"sort"
+
+	"qhorn/internal/boolean"
+)
+
+// Lattice is the Boolean lattice over a set of free variables, with
+// the remaining variables of the universe pinned to fixed values. The
+// learners use two instances:
+//
+//   - learning universal Horn bodies for head h (§3.2.1): free
+//     variables are the non-head variables, h is pinned false, other
+//     head variables pinned true (Fig. 5);
+//   - learning existential conjunctions (§3.2.2): every variable is
+//     free.
+//
+// A point of the lattice is represented as a full boolean.Tuple over
+// the universe, always satisfying t = pinnedTrue ∪ (t ∩ free).
+type Lattice struct {
+	universe boolean.Universe
+	free     boolean.Tuple // variables that vary
+	pinned   boolean.Tuple // fixed true values among non-free variables
+}
+
+// New returns the lattice over the given free variables with the
+// remaining variables fixed: those in pinnedTrue are true, all other
+// non-free variables are false. It returns an error if pinnedTrue
+// overlaps free or escapes the universe.
+func New(u boolean.Universe, free, pinnedTrue boolean.Tuple) (*Lattice, error) {
+	if !u.Contains(free) || !u.Contains(pinnedTrue) {
+		return nil, fmt.Errorf("lattice: variables outside universe of %d variables", u.N())
+	}
+	if free.Intersects(pinnedTrue) {
+		return nil, fmt.Errorf("lattice: pinned variables %v overlap free variables %v", pinnedTrue, free)
+	}
+	return &Lattice{universe: u, free: free, pinned: pinnedTrue}, nil
+}
+
+// Full returns the unrestricted lattice on all variables of the
+// universe, used for learning existential conjunctions.
+func Full(u boolean.Universe) *Lattice {
+	l, err := New(u, u.All(), 0)
+	if err != nil {
+		panic(err) // unreachable: all/none cannot conflict
+	}
+	return l
+}
+
+// Universe returns the underlying universe.
+func (l *Lattice) Universe() boolean.Universe { return l.universe }
+
+// Free returns the set of free variables.
+func (l *Lattice) Free() boolean.Tuple { return l.free }
+
+// Top returns the top of the lattice: all free variables true plus the
+// pinned-true variables.
+func (l *Lattice) Top() boolean.Tuple { return l.free.Union(l.pinned) }
+
+// Bottom returns the bottom of the lattice: all free variables false.
+func (l *Lattice) Bottom() boolean.Tuple { return l.pinned }
+
+// Contains reports whether t is a point of this lattice: it agrees
+// with the pinned values outside the free variables.
+func (l *Lattice) Contains(t boolean.Tuple) bool {
+	return t.Minus(l.free) == l.pinned
+}
+
+// Level returns the level of t in the lattice: the number of free
+// variables that are false (level 0 is the top, Fig. 4).
+func (l *Lattice) Level(t boolean.Tuple) int {
+	return l.free.Minus(t).Count()
+}
+
+// Levels returns the number of levels, |free|+1.
+func (l *Lattice) Levels() int { return l.free.Count() + 1 }
+
+// Children returns the tuples obtained from t by setting exactly one
+// of its true free variables to false, in ascending variable order.
+// Tuples at level l have out-degree |free|−l (Fig. 4).
+func (l *Lattice) Children(t boolean.Tuple) []boolean.Tuple {
+	trueFree := t.Intersect(l.free)
+	out := make([]boolean.Tuple, 0, trueFree.Count())
+	for _, v := range trueFree.Vars() {
+		out = append(out, t.Without(v))
+	}
+	return out
+}
+
+// Parents returns the tuples obtained from t by setting exactly one of
+// its false free variables to true. Tuples at level l have in-degree
+// l (Fig. 4).
+func (l *Lattice) Parents(t boolean.Tuple) []boolean.Tuple {
+	falseFree := l.free.Minus(t)
+	out := make([]boolean.Tuple, 0, falseFree.Count())
+	for _, v := range falseFree.Vars() {
+		out = append(out, t.With(v))
+	}
+	return out
+}
+
+// AtLevel enumerates all tuples at the given level (exactly level free
+// variables false). It is exponential in |free| and intended for small
+// lattices (tests, the Fig 7/8 experiments, and the verifier's A4
+// question at level 1).
+func (l *Lattice) AtLevel(level int) []boolean.Tuple {
+	vars := l.free.Vars()
+	n := len(vars)
+	if level < 0 || level > n {
+		return nil
+	}
+	var out []boolean.Tuple
+	// Choose which `level` free variables are false.
+	choose := make([]int, 0, level)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(choose) == level {
+			t := l.Top()
+			for _, v := range choose {
+				t = t.Without(v)
+			}
+			out = append(out, t)
+			return
+		}
+		for i := start; i < n; i++ {
+			choose = append(choose, vars[i])
+			rec(i + 1)
+			choose = choose[:len(choose)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Path returns the sequence of free variables to set false to walk
+// from tuple from down to tuple to, or ok=false if to is not in the
+// downset of from within this lattice. This is the paper's notion of a
+// path between two tuples (proof of Theorem 3.7).
+func (l *Lattice) Path(from, to boolean.Tuple) (vars []int, ok bool) {
+	if !l.Contains(from) || !l.Contains(to) {
+		return nil, false
+	}
+	if !from.Contains(to) {
+		return nil, false
+	}
+	return from.Minus(to).Intersect(l.free).Vars(), true
+}
+
+// Upset enumerates every lattice point ⊇ t (including t itself), in
+// ascending bitset order. Membership questions built from the upset
+// of a universal distinguishing tuple are non-answers (§3.2.1). The
+// enumeration is exponential in the number of free variables above t;
+// it panics past 2^20 points.
+func (l *Lattice) Upset(t boolean.Tuple) []boolean.Tuple {
+	if !l.Contains(t) {
+		return nil
+	}
+	raisable := l.free.Minus(t)
+	if raisable.Count() > 20 {
+		panic("lattice: Upset enumeration past 2^20 points")
+	}
+	out := make([]boolean.Tuple, 0, 1<<uint(raisable.Count()))
+	for _, m := range submasks(raisable) {
+		out = append(out, t.Union(m))
+	}
+	sortTuples(out)
+	return out
+}
+
+// Downset enumerates every lattice point ⊆ t (including t itself), in
+// ascending bitset order. Questions built from the downset of a
+// universal distinguishing tuple are answers (§3.2.1). It panics past
+// 2^20 points.
+func (l *Lattice) Downset(t boolean.Tuple) []boolean.Tuple {
+	if !l.Contains(t) {
+		return nil
+	}
+	lowerable := t.Intersect(l.free)
+	if lowerable.Count() > 20 {
+		panic("lattice: Downset enumeration past 2^20 points")
+	}
+	out := make([]boolean.Tuple, 0, 1<<uint(lowerable.Count()))
+	for _, m := range submasks(lowerable) {
+		out = append(out, t.Minus(m))
+	}
+	sortTuples(out)
+	return out
+}
+
+// submasks enumerates every subset of the set bits of m ascending.
+func submasks(m boolean.Tuple) []boolean.Tuple {
+	var out []boolean.Tuple
+	s := boolean.Tuple(0)
+	for {
+		out = append(out, s)
+		if s == m {
+			return out
+		}
+		s = (s - m) & m
+	}
+}
+
+func sortTuples(ts []boolean.Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+}
+
+// Size returns the number of points in the lattice, 2^|free|. It
+// saturates at the maximum int for |free| >= 63.
+func (l *Lattice) Size() int {
+	f := l.free.Count()
+	if f >= 63 {
+		return int(^uint(0) >> 1)
+	}
+	return 1 << uint(f)
+}

@@ -1,0 +1,287 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+func mustParseQuery(t *testing.T, u boolean.Universe, s string) query.Query {
+	t.Helper()
+	return query.MustParse(u, s)
+}
+
+func mustNew(t *testing.T, u boolean.Universe, free, pinned boolean.Tuple) *Lattice {
+	t.Helper()
+	l, err := New(u, free, pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestFullLatticeFig4(t *testing.T) {
+	// Fig. 4: the Boolean lattice on four variables.
+	u := boolean.MustUniverse(4)
+	l := Full(u)
+	if l.Top() != u.All() {
+		t.Fatalf("Top = %s", u.Format(l.Top()))
+	}
+	if l.Bottom() != boolean.Empty {
+		t.Fatalf("Bottom = %s", u.Format(l.Bottom()))
+	}
+	if l.Levels() != 5 {
+		t.Fatalf("Levels = %d, want n+1 = 5", l.Levels())
+	}
+	if l.Size() != 16 {
+		t.Fatalf("Size = %d", l.Size())
+	}
+	// Tuple 0011 (x3,x4 true) is at level 2 with out-degree 2 and
+	// in-degree 2.
+	tp := u.MustParse("0011")
+	if got := l.Level(tp); got != 2 {
+		t.Fatalf("Level(0011) = %d", got)
+	}
+	if got := len(l.Children(tp)); got != 2 {
+		t.Fatalf("out-degree = %d", got)
+	}
+	if got := len(l.Parents(tp)); got != 2 {
+		t.Fatalf("in-degree = %d", got)
+	}
+}
+
+func TestChildrenParents(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	l := Full(u)
+	tp := u.MustParse("1101")
+	kids := l.Children(tp)
+	want := map[string]bool{"0101": true, "1001": true, "1100": true}
+	if len(kids) != len(want) {
+		t.Fatalf("children = %d", len(kids))
+	}
+	for _, k := range kids {
+		if !want[u.Format(k)] {
+			t.Fatalf("unexpected child %s", u.Format(k))
+		}
+		if l.Level(k) != l.Level(tp)+1 {
+			t.Fatalf("child level wrong")
+		}
+	}
+	parents := l.Parents(tp)
+	if len(parents) != 1 || u.Format(parents[0]) != "1111" {
+		t.Fatalf("parents of 1101 = %v", parents)
+	}
+}
+
+func TestRestrictedLatticeFig5(t *testing.T) {
+	// Fig. 5: learning bodies for head x5 in a 6-variable query with
+	// heads {x5, x6}. Free variables are the non-heads x1..x4; x6 is
+	// pinned true; x5 is pinned false.
+	u := boolean.MustUniverse(6)
+	free := boolean.FromVars(0, 1, 2, 3)
+	pinned := boolean.FromVars(5) // x6 true
+	l := mustNew(t, u, free, pinned)
+
+	if got := u.Format(l.Top()); got != "111101" {
+		t.Fatalf("Top = %s, want 111101", got)
+	}
+	if got := u.Format(l.Bottom()); got != "000001" {
+		t.Fatalf("Bottom = %s, want 000001", got)
+	}
+	if !l.Contains(u.MustParse("100101")) {
+		t.Fatal("distinguishing tuple 100101 should be in lattice")
+	}
+	if l.Contains(u.MustParse("100111")) {
+		t.Fatal("tuple with x5 true must not be in lattice")
+	}
+	if l.Contains(u.MustParse("100100")) {
+		t.Fatal("tuple with x6 false must not be in lattice")
+	}
+	// Level-1 search roots from the paper: 011101 101101 110101 111001.
+	lvl1 := l.AtLevel(1)
+	want := map[string]bool{"011101": true, "101101": true, "110101": true, "111001": true}
+	if len(lvl1) != 4 {
+		t.Fatalf("level 1 size = %d", len(lvl1))
+	}
+	for _, tp := range lvl1 {
+		if !want[u.Format(tp)] {
+			t.Fatalf("unexpected level-1 tuple %s", u.Format(tp))
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	if _, err := New(u, boolean.FromVars(0, 1), boolean.FromVars(1)); err == nil {
+		t.Error("overlapping pinned/free accepted")
+	}
+	if _, err := New(u, boolean.FromVars(5), 0); err == nil {
+		t.Error("free variable outside universe accepted")
+	}
+	if _, err := New(u, 0, boolean.FromVars(4)); err == nil {
+		t.Error("pinned variable outside universe accepted")
+	}
+}
+
+func TestAtLevelCounts(t *testing.T) {
+	u := boolean.MustUniverse(5)
+	l := Full(u)
+	// Binomial coefficients C(5, level).
+	want := []int{1, 5, 10, 10, 5, 1}
+	total := 0
+	for level, w := range want {
+		got := l.AtLevel(level)
+		if len(got) != w {
+			t.Fatalf("level %d: %d tuples, want %d", level, len(got), w)
+		}
+		for _, tp := range got {
+			if l.Level(tp) != level {
+				t.Fatalf("tuple %s at wrong level", u.Format(tp))
+			}
+		}
+		total += len(got)
+	}
+	if total != l.Size() {
+		t.Fatalf("levels cover %d of %d points", total, l.Size())
+	}
+	if got := l.AtLevel(-1); got != nil {
+		t.Fatal("negative level returned tuples")
+	}
+	if got := l.AtLevel(6); got != nil {
+		t.Fatal("overflow level returned tuples")
+	}
+}
+
+func TestPath(t *testing.T) {
+	u := boolean.MustUniverse(6)
+	l := Full(u)
+	from := u.MustParse("111011")
+	to := u.MustParse("110011")
+	vars, ok := l.Path(from, to)
+	if !ok || len(vars) != 1 || vars[0] != 2 {
+		t.Fatalf("Path = %v, %v", vars, ok)
+	}
+	if _, ok := l.Path(to, from); ok {
+		t.Fatal("upward path reported")
+	}
+	if _, ok := l.Path(u.MustParse("110000"), u.MustParse("001100")); ok {
+		t.Fatal("incomparable path reported")
+	}
+	// Path within a restricted lattice ignores pinned variables.
+	lr := mustNew(t, u, boolean.FromVars(0, 1, 2, 3), boolean.FromVars(5))
+	vars, ok = lr.Path(u.MustParse("111101"), u.MustParse("100101"))
+	if !ok || len(vars) != 2 {
+		t.Fatalf("restricted Path = %v, %v", vars, ok)
+	}
+}
+
+func TestChildParentInverse(t *testing.T) {
+	u := boolean.MustUniverse(8)
+	l := Full(u)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		tp := boolean.Tuple(rng.Intn(256))
+		for _, c := range l.Children(tp) {
+			found := false
+			for _, p := range l.Parents(c) {
+				if p == tp {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("parent/child not inverse for %s", u.Format(tp))
+			}
+			if !tp.Contains(c) || c.Count() != tp.Count()-1 {
+				t.Fatalf("child %s not covered by %s", u.Format(c), u.Format(tp))
+			}
+		}
+	}
+}
+
+func TestSizeSaturates(t *testing.T) {
+	u := boolean.MustUniverse(64)
+	l := Full(u)
+	if l.Size() <= 0 {
+		t.Fatalf("Size overflowed: %d", l.Size())
+	}
+}
+
+func TestUpsetDownsetEnumeration(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	l := Full(u)
+	tp := u.MustParse("0011")
+	up := l.Upset(tp)
+	down := l.Downset(tp)
+	// |upset| = 2^(false vars) = 4, |downset| = 2^(true vars) = 4.
+	if len(up) != 4 || len(down) != 4 {
+		t.Fatalf("upset %d, downset %d", len(up), len(down))
+	}
+	for _, x := range up {
+		if !x.InUpset(tp) {
+			t.Fatalf("%s not in upset", u.Format(x))
+		}
+	}
+	for _, x := range down {
+		if !x.InDownset(tp) {
+			t.Fatalf("%s not in downset", u.Format(x))
+		}
+	}
+	// Upset ∩ downset = {t}.
+	common := 0
+	for _, a := range up {
+		for _, b := range down {
+			if a == b {
+				common++
+			}
+		}
+	}
+	if common != 1 {
+		t.Fatalf("upset ∩ downset has %d points", common)
+	}
+	// The union of upset sizes over a level partitions correctly:
+	// |upset(t)| + |downset(t)| - 1 ≤ size.
+	if len(up)+len(down)-1 > l.Size() {
+		t.Fatal("upset/downset overflow lattice")
+	}
+	// Restricted lattice: pinned variables never vary.
+	lr, err := New(u, boolean.FromVars(0, 1), boolean.FromVars(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range lr.Upset(u.MustParse("1001")) {
+		if !lr.Contains(x) {
+			t.Fatalf("upset left the lattice: %s", u.Format(x))
+		}
+	}
+	// Points outside the lattice enumerate nothing.
+	if got := lr.Upset(u.MustParse("1111")); got != nil {
+		t.Fatalf("foreign point enumerated: %v", got)
+	}
+	if got := lr.Downset(u.MustParse("0000")); got != nil {
+		t.Fatalf("foreign point enumerated: %v", got)
+	}
+}
+
+func TestUpsetDownsetMatchPaperInflections(t *testing.T) {
+	// §3.2.1: questions from the upset of a universal distinguishing
+	// tuple are non-answers; from the strict downset, answers.
+	u := boolean.MustUniverse(4)
+	q := mustParseQuery(t, u, "∀x1x2 → x3 ∃x4")
+	l, err := New(u, boolean.FromVars(0, 1, 3), 0) // free: non-heads; x3 pinned false
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := u.MustParse("1100") // distinguishing tuple: body true, head false
+	for _, x := range l.Upset(tg) {
+		if !q.Violates(x) {
+			t.Fatalf("upset point %s does not violate", u.Format(x))
+		}
+	}
+	for _, x := range l.Downset(tg) {
+		if x != tg && q.Violates(x) {
+			t.Fatalf("downset point %s violates", u.Format(x))
+		}
+	}
+}

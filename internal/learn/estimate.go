@@ -1,0 +1,51 @@
+package learn
+
+import "math"
+
+// Estimates give a user-facing upper bound on how many membership
+// questions a learning session may take before it starts — the
+// number a query interface shows next to "start learning". They are
+// the paper's bounds with the small constants measured in experiment
+// E1–E3 (EXPERIMENTS.md), rounded up.
+
+// EstimateQhorn1 bounds the questions to learn a qhorn-1 query on n
+// propositions: n head questions plus ≈ n lg n for bodies and
+// existential structure (Theorem 3.1; measured constant ≈ 1.1, bound
+// uses 2).
+func EstimateQhorn1(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n == 1 {
+		return 1
+	}
+	return n + int(math.Ceil(2*float64(n)*math.Log2(float64(n))))
+}
+
+// EstimateRolePreserving bounds the questions to learn a
+// role-preserving query on n propositions with at most `heads`
+// universal head variables of causal density at most theta and at
+// most k existential conjunctions: n head questions, O(n^θ) per head
+// for bodies (Theorem 3.5), and ≈ k·n·lg n for conjunctions
+// (Theorem 3.8).
+func EstimateRolePreserving(n, heads, theta, k int) int {
+	if n <= 0 {
+		return 0
+	}
+	if heads < 0 {
+		heads = 0
+	}
+	if theta < 1 {
+		theta = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	lg := math.Log2(float64(n))
+	if n == 1 {
+		lg = 1
+	}
+	universal := float64(heads) * math.Pow(float64(n), float64(theta))
+	existential := 2 * float64(k) * float64(n) * lg
+	return n + int(math.Ceil(universal+existential))
+}

@@ -1,0 +1,40 @@
+package learn
+
+import (
+	"qhorn/internal/boolean"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+)
+
+// Qhorn1Naive learns a qhorn-1 query with the straightforward serial
+// strategy the paper uses as the baseline in §3.1.2: instead of
+// binary-searching for body variables and dependents, it tests each
+// candidate variable with its own membership question, using O(n²)
+// questions in total. It exists so the experiments can reproduce the
+// paper's comparison between the serial and the O(n lg n) strategies.
+func Qhorn1Naive(u boolean.Universe, o oracle.Oracle) (query.Query, Qhorn1Stats) {
+	l := &qhorn1Learner{u: u, o: o, serial: true}
+	return l.learn()
+}
+
+// serialFindOne scans candidates one at a time, asking one question
+// per variable.
+func serialFindOne(vars []int, eliminate func([]int) bool) (int, bool) {
+	for _, v := range vars {
+		if !eliminate([]int{v}) {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// serialFindAll tests every candidate individually.
+func serialFindAll(vars []int, eliminate func([]int) bool) []int {
+	var out []int
+	for _, v := range vars {
+		if !eliminate([]int{v}) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

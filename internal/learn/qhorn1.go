@@ -1,0 +1,295 @@
+package learn
+
+import (
+	"fmt"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+)
+
+// Qhorn1Stats reports the per-phase question counts of the qhorn-1
+// learner, the quantities bounded by §3.1: O(n) head questions,
+// O(n lg n) universal-dependence questions (Lemma 3.2) and O(n lg n)
+// existential questions (Lemma 3.3).
+type Qhorn1Stats struct {
+	HeadQuestions        int
+	BodyQuestions        int
+	ExistentialQuestions int
+}
+
+// Total returns the total number of membership questions asked.
+func (s Qhorn1Stats) Total() int {
+	return s.HeadQuestions + s.BodyQuestions + s.ExistentialQuestions
+}
+
+// Qhorn1 learns a qhorn-1 query over u exactly, using O(n lg n)
+// membership questions against an oracle backed by a target query in
+// the class (Theorem 3.1). The returned query is semantically
+// equivalent to the target. If the oracle is not consistent with any
+// qhorn-1 query, the result is unspecified (exact learning has no
+// error signal; use verify.Verify to check a result).
+func Qhorn1(u boolean.Universe, o oracle.Oracle) (query.Query, Qhorn1Stats) {
+	l := &qhorn1Learner{u: u, o: o}
+	return l.learn()
+}
+
+type qhorn1Learner struct {
+	u     boolean.Universe
+	o     oracle.Oracle
+	stats Qhorn1Stats
+	phase *int // current phase counter
+	// serial switches the variable searches from binary search to
+	// the one-question-per-variable baseline of §3.1.2 (Qhorn1Naive).
+	serial bool
+	// explain, when set, annotates the next question with its phase
+	// and purpose (see Qhorn1Traced).
+	explain func(phase, purpose string)
+}
+
+// note annotates the next question for tracing; a nil explain is
+// silent.
+func (l *qhorn1Learner) note(phase, purpose string) {
+	if l.explain != nil {
+		l.explain(phase, purpose)
+	}
+}
+
+// varNames renders a variable list as "x1,x3".
+func varNames(vars []int) string {
+	s := ""
+	for i, v := range vars {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("x%d", v+1)
+	}
+	return s
+}
+
+// find dispatches to binary or serial search for one target variable.
+func (l *qhorn1Learner) find(vars []int, eliminate func([]int) bool) (int, bool) {
+	if l.serial {
+		return serialFindOne(vars, eliminate)
+	}
+	return findOne(vars, eliminate)
+}
+
+// findEvery dispatches to binary or serial search for all targets.
+func (l *qhorn1Learner) findEvery(vars []int, eliminate func([]int) bool) []int {
+	if l.serial {
+		return serialFindAll(vars, eliminate)
+	}
+	return findAll(vars, eliminate)
+}
+
+func (l *qhorn1Learner) ask(s boolean.Set) bool {
+	*l.phase++
+	return l.o.Ask(s)
+}
+
+func (l *qhorn1Learner) learn() (query.Query, Qhorn1Stats) {
+	n := l.u.N()
+	var exprs []query.Expr
+
+	// Phase 1 (§3.1.1): classify every variable as universal head or
+	// existential with one question each.
+	l.phase = &l.stats.HeadQuestions
+	var uniHeads, existential []int
+	for x := 0; x < n; x++ {
+		l.note("heads", fmt.Sprintf("is x%d a universal head variable?", x+1))
+		if l.ask(HeadTestQuestion(l.u, x)) {
+			existential = append(existential, x)
+		} else {
+			uniHeads = append(uniHeads, x)
+		}
+	}
+
+	// Phase 2 (§3.1.2, Algorithm 1): learn the body of each universal
+	// head by binary search, reusing known bodies.
+	l.phase = &l.stats.BodyQuestions
+	var bodies []boolean.Tuple // disjoint learned bodies
+	for _, h := range uniHeads {
+		b := l.findBodyFor(h, bodies, existential)
+		if b.IsEmpty() {
+			exprs = append(exprs, query.BodylessUniversal(h))
+			continue
+		}
+		exprs = append(exprs, query.UniversalHorn(b, h))
+		bodies = appendBody(bodies, b)
+	}
+
+	// Phase 3 (§3.1.3, Algorithm 4): learn existential Horn
+	// expressions among the remaining existential variables.
+	l.phase = &l.stats.ExistentialQuestions
+	var bodyUnion boolean.Tuple
+	for _, b := range bodies {
+		bodyUnion = bodyUnion.Union(b)
+	}
+	pending := make([]int, 0, len(existential))
+	for _, e := range existential {
+		if !bodyUnion.Has(e) {
+			pending = append(pending, e)
+		}
+	}
+	for len(pending) > 0 {
+		e := pending[0]
+		pending = pending[1:]
+		// Does e depend on a variable of a known body? Then e is an
+		// existential head of that body.
+		eT := boolean.FromVars(e)
+		knownVars := tupleVars(bodies)
+		if b, found := l.find(knownVars, func(d []int) bool {
+			l.note("existential", fmt.Sprintf("does x%d depend on one of the known body variables %s?", e+1, varNames(d)))
+			return l.ask(ExistentialIndependenceQuestion(l.u, eT, boolean.FromVars(d...)))
+		}); found {
+			for _, known := range bodies {
+				if known.Has(b) {
+					exprs = append(exprs, query.ExistentialHorn(known, e))
+					break
+				}
+			}
+			continue
+		}
+		// Find all variables D that e depends on among the pending
+		// existential variables.
+		dVars := l.findEvery(pending, func(d []int) bool {
+			l.note("existential", fmt.Sprintf("does x%d depend on any of %s?", e+1, varNames(d)))
+			return l.ask(ExistentialIndependenceQuestion(l.u, eT, boolean.FromVars(d...)))
+		})
+		d := boolean.FromVars(dVars...)
+		if d.IsEmpty() {
+			// e participates in no Horn expression with other
+			// variables: the singleton ∃e.
+			exprs = append(exprs, query.ExistentialHorn(0, e))
+			continue
+		}
+		// Decide the roles within D (Lemma 3.3 / Algorithm 5).
+		h1, twoHeads := l.getHead(dVars)
+		if !twoHeads {
+			// At most one head variable in D: we may take e as the
+			// head and all of D as its body; any other assignment is
+			// semantically identical (the conjunction is D ∪ {e}).
+			exprs = append(exprs, query.ExistentialHorn(d, e))
+			bodies = appendBody(bodies, d)
+			pending = removeVars(pending, d)
+			continue
+		}
+		// h1 is one head; separate the remaining heads from the body
+		// variables with one independence question each.
+		heads := boolean.FromVars(h1)
+		h1T := boolean.FromVars(h1)
+		for _, dv := range dVars {
+			if dv == h1 {
+				continue
+			}
+			l.note("existential", fmt.Sprintf("are x%d and x%d independent co-heads?", h1+1, dv+1))
+			if l.ask(ExistentialIndependenceQuestion(l.u, h1T, boolean.FromVars(dv))) {
+				heads = heads.With(dv)
+			}
+		}
+		bodyVars := d.Minus(heads).With(e)
+		for _, h := range heads.Vars() {
+			exprs = append(exprs, query.ExistentialHorn(bodyVars, h))
+		}
+		bodies = appendBody(bodies, bodyVars)
+		pending = removeVars(pending, d)
+	}
+
+	q := query.Query{U: l.u, Exprs: exprs}
+	return q, l.stats
+}
+
+// findBodyFor learns the body of universal head h (Algorithm 1):
+// first a binary search within the union of known bodies — one shared
+// variable identifies the whole body — then a full FindAll over the
+// existential variables.
+func (l *qhorn1Learner) findBodyFor(h int, bodies []boolean.Tuple, existential []int) boolean.Tuple {
+	eliminate := func(d []int) bool {
+		l.note("bodies", fmt.Sprintf("does the body of x%d include a variable of %s?", h+1, varNames(d)))
+		return !l.ask(UniversalDependenceQuestion(l.u, h, boolean.FromVars(d...)))
+	}
+	knownVars := tupleVars(bodies)
+	if b, found := l.find(knownVars, eliminate); found {
+		for _, known := range bodies {
+			if known.Has(b) {
+				return known
+			}
+		}
+	}
+	// h's body is disjoint from every known body: search the
+	// remaining existential variables.
+	var known boolean.Tuple
+	for _, b := range bodies {
+		known = known.Union(b)
+	}
+	rest := make([]int, 0, len(existential))
+	for _, e := range existential {
+		if !known.Has(e) {
+			rest = append(rest, e)
+		}
+	}
+	return boolean.FromVars(l.findEvery(rest, eliminate)...)
+}
+
+// getHead locates one existential head variable within the dependent
+// set D using independence-matrix questions (Lemma 3.3). It returns
+// ok=false when D contains at most one head variable, in which case
+// the matrix question on D is a non-answer. The implementation is an
+// invariant-based binary search equivalent to Algorithm 5: tester T
+// holds at most one head, candidate C satisfies #heads(T ∪ C) ≥ 2,
+// and each question halves C.
+func (l *qhorn1Learner) getHead(dVars []int) (int, bool) {
+	matrix := func(vars []int) bool {
+		l.note("existential", fmt.Sprintf("do at least two head variables lie in %s?", varNames(vars)))
+		return l.ask(MatrixQuestion(l.u, boolean.FromVars(vars...)))
+	}
+	if !matrix(dVars) {
+		return 0, false
+	}
+	var tester []int
+	cand := dVars
+	for len(cand) > 1 {
+		half := cand[:len(cand)/2]
+		rest := cand[len(cand)/2:]
+		if matrix(append(append([]int{}, tester...), half...)) {
+			cand = half
+		} else {
+			tester = append(tester, half...)
+			cand = rest
+		}
+	}
+	return cand[0], true
+}
+
+// appendBody adds a newly learned body to the list unless an equal
+// body is already present.
+func appendBody(bodies []boolean.Tuple, b boolean.Tuple) []boolean.Tuple {
+	for _, known := range bodies {
+		if known == b {
+			return bodies
+		}
+	}
+	return append(bodies, b)
+}
+
+// tupleVars flattens a list of disjoint variable sets into a sorted
+// variable slice.
+func tupleVars(bodies []boolean.Tuple) []int {
+	var union boolean.Tuple
+	for _, b := range bodies {
+		union = union.Union(b)
+	}
+	return union.Vars()
+}
+
+// removeVars drops the variables of d from the pending list.
+func removeVars(pending []int, d boolean.Tuple) []int {
+	out := pending[:0]
+	for _, v := range pending {
+		if !d.Has(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package learn
+
+import (
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+func TestHeadTestQuestion(t *testing.T) {
+	// §3.1.1: to test x1 over three variables, ask {111, 011}.
+	u := boolean.MustUniverse(3)
+	got := HeadTestQuestion(u, 0)
+	want := boolean.MustParseSet(u, "{111, 011}")
+	if !got.Equal(want) {
+		t.Errorf("HeadTestQuestion = %s, want %s", got.Format(u), want.Format(u))
+	}
+	// A universal head classifies it as non-answer; an existential
+	// variable as answer.
+	if query.MustParse(u, "∀x1 ∃x2 ∃x3").Eval(got) {
+		t.Error("universal head: question should be a non-answer")
+	}
+	if !query.MustParse(u, "∃x1 ∃x2 ∃x3").Eval(got) {
+		t.Error("existential variable: question should be an answer")
+	}
+	if !query.MustParse(u, "∃x2x3 → x1").Eval(got) {
+		t.Error("existential head: question should be an answer")
+	}
+}
+
+func TestUniversalDependenceQuestion(t *testing.T) {
+	// §3.1.2 example: four variables, testing whether x1 depends on
+	// {x2, x3} asks {1111, 0001}.
+	u := boolean.MustUniverse(4)
+	got := UniversalDependenceQuestion(u, 0, boolean.FromVars(1, 2))
+	want := boolean.MustParseSet(u, "{1111, 0001}")
+	if !got.Equal(want) {
+		t.Errorf("question = %s, want %s", got.Format(u), want.Format(u))
+	}
+	// ∀x4→x1: x1's body is outside {x2,x3}: non-answer (the second
+	// tuple has x4 true and x1 false).
+	if query.MustParse(u, "∀x4 → x1 ∃x2 ∃x3").Eval(got) {
+		t.Error("body outside V: should be non-answer")
+	}
+	// ∀x2→x1: body inside V: answer.
+	if !query.MustParse(u, "∀x2 → x1 ∃x3 ∃x4").Eval(got) {
+		t.Error("body inside V: should be answer")
+	}
+}
+
+func TestExistentialIndependenceQuestion(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	got := ExistentialIndependenceQuestion(u, boolean.FromVars(0), boolean.FromVars(2, 3))
+	want := boolean.MustParseSet(u, "{0111, 1100}")
+	if !got.Equal(want) {
+		t.Errorf("question = %s, want %s", got.Format(u), want.Format(u))
+	}
+	// x1 and x3 in the same Horn expression: non-answer.
+	if query.MustParse(u, "∃x3 → x1 ∃x2 ∃x4").Eval(got) {
+		t.Error("dependent variables: should be non-answer")
+	}
+	// Heads of the same body are independent: answer.
+	if !query.MustParse(u, "∃x2 → x1 ∃x2 → x3 ∃x4").Eval(got) {
+		t.Error("co-heads: should be answer")
+	}
+}
+
+func TestMatrixQuestion(t *testing.T) {
+	// Lemma 3.3 example: D = {x2,x3,x4} gives {1011, 1101, 1110}.
+	u := boolean.MustUniverse(4)
+	got := MatrixQuestion(u, boolean.FromVars(1, 2, 3))
+	want := boolean.MustParseSet(u, "{1011, 1101, 1110}")
+	if !got.Equal(want) {
+		t.Errorf("question = %s, want %s", got.Format(u), want.Format(u))
+	}
+	// Two heads x2, x4 with body {x1, x3}: answer.
+	if !query.MustParse(u, "∃x1x3 → x2 ∃x1x3 → x4").Eval(got) {
+		t.Error("two heads: should be answer")
+	}
+	// One head x4 with body {x1,x2,x3}: the needed tuple 1111 is
+	// absent: non-answer.
+	if query.MustParse(u, "∃x1x2x3 → x4").Eval(got) {
+		t.Error("one head: should be non-answer")
+	}
+}
+
+func TestFindOne(t *testing.T) {
+	targets := map[int]bool{3: true, 7: true}
+	vars := []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	questions := 0
+	eliminate := func(d []int) bool {
+		questions++
+		for _, v := range d {
+			if targets[v] {
+				return false
+			}
+		}
+		return true
+	}
+	got, ok := findOne(vars, eliminate)
+	if !ok || !targets[got] {
+		t.Fatalf("findOne = %d, %v", got, ok)
+	}
+	if questions > 6 { // 1 + ceil(lg 9) + slack
+		t.Errorf("findOne asked %d questions", questions)
+	}
+	if _, ok := findOne(vars, func([]int) bool { return true }); ok {
+		t.Error("findOne found a target in an empty target set")
+	}
+	if _, ok := findOne(nil, eliminate); ok {
+		t.Error("findOne on empty domain")
+	}
+}
+
+func TestFindAll(t *testing.T) {
+	targets := map[int]bool{0: true, 5: true, 9: true}
+	vars := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	questions := 0
+	eliminate := func(d []int) bool {
+		questions++
+		for _, v := range d {
+			if targets[v] {
+				return false
+			}
+		}
+		return true
+	}
+	got := findAll(vars, eliminate)
+	if len(got) != 3 {
+		t.Fatalf("findAll = %v", got)
+	}
+	for _, v := range got {
+		if !targets[v] {
+			t.Fatalf("non-target %d returned", v)
+		}
+	}
+	// O(|found| lg n) questions.
+	if questions > 3*5+5 {
+		t.Errorf("findAll asked %d questions", questions)
+	}
+	if got := findAll(vars, func([]int) bool { return true }); got != nil {
+		t.Errorf("findAll on empty target set = %v", got)
+	}
+}

@@ -1,0 +1,407 @@
+package learn
+
+import (
+	"fmt"
+	"sort"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+)
+
+// RPStats reports the per-phase question counts of the role-
+// preserving learner: O(n) head questions, O(n^(θ+1)) universal
+// body-search questions (Theorem 3.5), and O(k·n·lg n) existential
+// lattice questions (Theorem 3.8).
+type RPStats struct {
+	HeadQuestions        int
+	UniversalQuestions   int
+	ExistentialQuestions int
+}
+
+// Total returns the total number of membership questions asked.
+func (s RPStats) Total() int {
+	return s.HeadQuestions + s.UniversalQuestions + s.ExistentialQuestions
+}
+
+// RolePreserving learns a role-preserving qhorn query over u exactly
+// (§3.2), returning the query in normal form. Against an oracle
+// backed by a target query in the class, the result is semantically
+// equivalent to the target.
+func RolePreserving(u boolean.Universe, o oracle.Oracle) (query.Query, RPStats) {
+	l := &rpLearner{u: u, o: o}
+	return l.learn()
+}
+
+// Ablations disables individual optimizations of the role-preserving
+// learner so their contribution can be measured (experiment E16).
+// Both settings preserve exactness; they only cost questions.
+type Ablations struct {
+	// NoGuaranteeSeeds skips pre-seeding the discovered set with the
+	// guarantee-clause distinguishing tuples (the paper's "do not
+	// search the downset" optimization of §3.2.2); the lattice
+	// descent then rediscovers every guarantee clause from the top.
+	NoGuaranteeSeeds bool
+	// SerialPrune replaces the binary-search pruning of Algorithm 8
+	// with the remove-one-tuple-at-a-time strategy the paper
+	// describes first ("we asked O(n) questions to determine which
+	// tuples to safely prune; we can do better").
+	SerialPrune bool
+}
+
+// RolePreservingAblated is RolePreserving with selected optimizations
+// disabled.
+func RolePreservingAblated(u boolean.Universe, o oracle.Oracle, ab Ablations) (query.Query, RPStats) {
+	l := &rpLearner{u: u, o: o, ablations: ab}
+	return l.learn()
+}
+
+type rpLearner struct {
+	u         boolean.Universe
+	o         oracle.Oracle
+	stats     RPStats
+	phase     *int
+	ablations Ablations
+	// explain, when set, annotates the next question with its phase
+	// and purpose (see RolePreservingTraced).
+	explain func(phase, purpose string)
+}
+
+// note annotates the next question for tracing; a nil explain is
+// silent.
+func (l *rpLearner) note(phase, purpose string) {
+	if l.explain != nil {
+		l.explain(phase, purpose)
+	}
+}
+
+func (l *rpLearner) ask(s boolean.Set) bool {
+	*l.phase++
+	return l.o.Ask(s)
+}
+
+func (l *rpLearner) learn() (query.Query, RPStats) {
+	// Phase 1 (§3.2.1): determine the universal head variables, one
+	// question per variable, exactly as in §3.1.1.
+	l.phase = &l.stats.HeadQuestions
+	headSet := l.classifyHeads()
+
+	// Phase 2 (§3.2.1): for each head, search the Boolean lattice on
+	// the non-head variables (other heads pinned true, h pinned
+	// false) for the distinguishing tuples of h's dominant bodies.
+	l.phase = &l.stats.UniversalQuestions
+	var universals []query.Expr
+	for _, h := range headSet.Vars() {
+		for _, b := range l.findBodies(h, headSet) {
+			if b.IsEmpty() {
+				universals = append(universals, query.BodylessUniversal(h))
+			} else {
+				universals = append(universals, query.UniversalHorn(b, h))
+			}
+		}
+	}
+
+	// Phase 3 (§3.2.2): search the full Boolean lattice for the
+	// distinguishing tuples of the dominant existential conjunctions.
+	l.phase = &l.stats.ExistentialQuestions
+	conjs := l.findConjunctions(universals)
+
+	exprs := append([]query.Expr{}, universals...)
+	for _, c := range conjs {
+		if !c.IsEmpty() {
+			exprs = append(exprs, query.Conjunction(c))
+		}
+	}
+	return (query.Query{U: l.u, Exprs: exprs}).Normalize(), l.stats
+}
+
+// classifyHeads asks one head-test question per variable and returns
+// the set of universal head variables.
+func (l *rpLearner) classifyHeads() boolean.Tuple {
+	var headSet boolean.Tuple
+	for x := 0; x < l.u.N(); x++ {
+		l.note("heads", fmt.Sprintf("is x%d a universal head variable?", x+1))
+		if !l.ask(HeadTestQuestion(l.u, x)) {
+			headSet = headSet.With(x)
+		}
+	}
+	return headSet
+}
+
+// ClassifyHeads determines the universal head variables of the
+// oracle's hidden role-preserving query with exactly n questions
+// (§3.1.1/§3.2.1). Exposed for the revision algorithm, which repairs
+// a nearly-correct query phase by phase.
+func ClassifyHeads(u boolean.Universe, o oracle.Oracle) boolean.Tuple {
+	l := &rpLearner{u: u, o: o}
+	var c int
+	l.phase = &c
+	return l.classifyHeads()
+}
+
+// LearnBodies finds the dominant universal Horn bodies of head h in
+// the oracle's hidden query, given the full head set (§3.2.1). A
+// single empty body means ∀h. Exposed for the revision algorithm.
+func LearnBodies(u boolean.Universe, o oracle.Oracle, h int, headSet boolean.Tuple) []boolean.Tuple {
+	l := &rpLearner{u: u, o: o}
+	var c int
+	l.phase = &c
+	return l.findBodies(h, headSet)
+}
+
+// LearnConjunctions finds the distinguishing tuples of the dominant
+// existential conjunctions of the oracle's hidden query, given its
+// universal Horn expressions (§3.2.2). Exposed for the revision
+// algorithm.
+func LearnConjunctions(u boolean.Universe, o oracle.Oracle, universals []query.Expr) []boolean.Tuple {
+	l := &rpLearner{u: u, o: o}
+	var c int
+	l.phase = &c
+	return l.findConjunctions(universals)
+}
+
+// findBodies returns the dominant bodies of universal head h. The
+// search starts from the top of the restricted lattice (Fig. 5),
+// minimizes down to one body with Algorithm 6, then explores the
+// sub-lattices rooted at tuples that exclude one variable from each
+// known body, until no root uncovers a new body (Theorem 3.5).
+// A single empty body means h is bodyless (∀h).
+func (l *rpLearner) findBodies(h int, headSet boolean.Tuple) []boolean.Tuple {
+	all := l.u.All()
+	free := all.Minus(headSet)
+	pinned := headSet.Without(h) // other heads true, h false
+	top := free.Union(pinned)
+
+	// question(t) pairs the all-true tuple with lattice point t; it
+	// is a non-answer iff t contains a complete body for h.
+	hasBody := func(t boolean.Tuple) bool {
+		l.note("bodies", fmt.Sprintf("does a complete body for x%d lie within %s?", h+1, varNames(t.Intersect(free).Vars())))
+		return !l.ask(boolean.NewSet(all, t))
+	}
+
+	// Bodyless check at the lattice bottom: the bottom contains a
+	// body only if the body is empty.
+	if hasBody(pinned) {
+		return []boolean.Tuple{0}
+	}
+
+	var found []boolean.Tuple
+	visited := map[boolean.Tuple]bool{}
+	queue := []boolean.Tuple{top}
+	for len(queue) > 0 {
+		root := queue[0]
+		queue = queue[1:]
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		if !hasBody(root) {
+			continue
+		}
+		b := l.minimizeBody(root, free, hasBody)
+		if containsTuple(found, b) {
+			continue
+		}
+		found = append(found, b)
+		// Regenerate the search roots: one excluded variable from
+		// each known body (§3.2.1's |B1|×…×|Bm| roots).
+		queue = queue[:0]
+		for _, r := range bodyRoots(top, found) {
+			if !visited[r] {
+				queue = append(queue, r)
+			}
+		}
+	}
+	return found
+}
+
+// minimizeBody walks Algorithm 6: starting from a lattice point known
+// to contain a body, greedily set each free variable to false,
+// keeping the change whenever the question remains a non-answer. The
+// surviving true free variables form a dominant body.
+func (l *rpLearner) minimizeBody(start, free boolean.Tuple, hasBody func(boolean.Tuple) bool) boolean.Tuple {
+	cur := start
+	for _, v := range start.Intersect(free).Vars() {
+		if hasBody(cur.Without(v)) {
+			cur = cur.Without(v)
+		}
+	}
+	return cur.Intersect(free)
+}
+
+// bodyRoots enumerates the tuples obtained from top by setting false
+// exactly one variable from each body in found (the cartesian
+// product of the bodies), deduplicated.
+func bodyRoots(top boolean.Tuple, found []boolean.Tuple) []boolean.Tuple {
+	roots := map[boolean.Tuple]bool{}
+	var rec func(i int, excluded boolean.Tuple)
+	rec = func(i int, excluded boolean.Tuple) {
+		if i == len(found) {
+			roots[top.Minus(excluded)] = true
+			return
+		}
+		for _, v := range found[i].Vars() {
+			rec(i+1, excluded.With(v))
+		}
+	}
+	rec(0, 0)
+	out := make([]boolean.Tuple, 0, len(roots))
+	for r := range roots {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// findConjunctions runs the lattice descent of Algorithm 7 over the
+// full Boolean lattice, given the already-learned universal Horn
+// expressions. It returns the distinguishing tuples of the target's
+// dominant existential conjunctions (possibly including guarantee
+// clauses, which Normalize later folds in).
+func (l *rpLearner) findConjunctions(universals []query.Expr) []boolean.Tuple {
+	qU := query.Query{U: l.u, Exprs: universals}
+
+	// Seed the discovered set with the distinguishing tuples of the
+	// guarantee clauses: they are conjunctions of every consistent
+	// target, keep every question's universal guarantees satisfied,
+	// and implement the paper's optimization of not descending below
+	// them.
+	var discovered []boolean.Tuple
+	if !l.ablations.NoGuaranteeSeeds {
+		for _, e := range universals {
+			g := qU.Closure(e.Body.With(e.Head))
+			if !containsTuple(discovered, g) {
+				discovered = append(discovered, g)
+			}
+		}
+	}
+
+	dominatedByDiscovered := func(t boolean.Tuple) bool {
+		for _, d := range discovered {
+			if d.Contains(t) {
+				return true
+			}
+		}
+		return false
+	}
+
+	frontier := []boolean.Tuple{l.u.All()}
+	for len(frontier) > 0 {
+		var next []boolean.Tuple
+		for i := 0; i < len(frontier); i++ {
+			t := frontier[i]
+			if dominatedByDiscovered(t) {
+				// Everything at or below t is dominated by a known
+				// conjunction (rule R1): stop descending.
+				continue
+			}
+			// Children that do not violate a universal Horn
+			// expression (the lattice of §3.2.2 with violating
+			// tuples removed).
+			var children []boolean.Tuple
+			for _, v := range t.Vars() {
+				c := t.Without(v)
+				if !qU.Violates(c) {
+					children = append(children, c)
+				}
+			}
+			base := concatTuples(discovered, frontier[i+1:], next)
+			l.note("existential", fmt.Sprintf("can the conjunction over %s be weakened to its children?", varNames(t.Vars())))
+			if l.ask(boolean.NewSet(append(base, children...)...)) {
+				kept := l.pruneTuples(children, base)
+				next = append(next, kept...)
+			} else {
+				// Replacing t with its children flipped the response:
+				// t distinguishes a conjunction of the target.
+				discovered = append(discovered, t)
+			}
+		}
+		frontier = dedupeTuples(next)
+	}
+	return discovered
+}
+
+// pruneTuples implements Algorithm 8: it returns a small subset K of
+// cands such that the question base ∪ K is still an answer, asking
+// O(|K| lg |cands|) questions. Monotonicity holds because every tuple
+// involved is universal-violation free.
+func (l *rpLearner) pruneTuples(cands []boolean.Tuple, base []boolean.Tuple) []boolean.Tuple {
+	askWith := func(extra ...[]boolean.Tuple) bool {
+		l.note("existential", "which candidate tuples are needed to keep your query satisfied?")
+		return l.ask(boolean.NewSet(concatTuples(append([][]boolean.Tuple{base}, extra...)...)...))
+	}
+	if l.ablations.SerialPrune {
+		// The pre-optimization strategy of §3.2.2: try removing each
+		// tuple individually, keeping it when the question flips to a
+		// non-answer. One question per candidate.
+		kept := append([]boolean.Tuple{}, cands...)
+		for i := 0; i < len(kept); {
+			without := append(append([]boolean.Tuple{}, kept[:i]...), kept[i+1:]...)
+			if askWith(without) {
+				kept = without
+			} else {
+				i++
+			}
+		}
+		return kept
+	}
+	var kept []boolean.Tuple
+	for !askWith(kept) {
+		// The full candidate set restores the answer; binary-search
+		// one necessary tuple.
+		work := make([]boolean.Tuple, 0, len(cands))
+		for _, c := range cands {
+			if !containsTuple(kept, c) {
+				work = append(work, c)
+			}
+		}
+		if len(work) == 0 {
+			// Only possible with an oracle inconsistent with every
+			// query in the class (e.g. a noisy user): the answer
+			// cannot be restored, so keep everything and move on.
+			return cands
+		}
+		var extra []boolean.Tuple
+		for len(work) > 1 {
+			half := work[:len(work)/2]
+			rest := work[len(work)/2:]
+			if askWith(kept, extra, half) {
+				work = half
+			} else {
+				extra = append(extra, half...)
+				work = rest
+			}
+		}
+		kept = append(kept, work[0])
+	}
+	return kept
+}
+
+func containsTuple(ts []boolean.Tuple, t boolean.Tuple) bool {
+	for _, u := range ts {
+		if u == t {
+			return true
+		}
+	}
+	return false
+}
+
+func concatTuples(groups ...[]boolean.Tuple) []boolean.Tuple {
+	var out []boolean.Tuple
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+func dedupeTuples(ts []boolean.Tuple) []boolean.Tuple {
+	seen := map[boolean.Tuple]bool{}
+	out := ts[:0]
+	for _, t := range ts {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package learn
+
+// This file implements the binary-search subroutines of §3.1.2
+// (Algorithms 2 and 3). Both operate on a slice of candidate
+// variables and an elimination predicate backed by a membership
+// question: eliminate(D) must report, with one question, whether D
+// can be discarded because it contains no target variable.
+
+// findOne returns one target variable from vars, or ok=false if the
+// whole set is eliminated by a single question (Algorithm 2, "Find").
+// It asks O(lg |vars|) questions when a target exists.
+func findOne(vars []int, eliminate func([]int) bool) (int, bool) {
+	if len(vars) == 0 {
+		return 0, false
+	}
+	if eliminate(vars) {
+		return 0, false
+	}
+	return narrow(vars, eliminate), true
+}
+
+// narrow binary-searches a set known to contain at least one target
+// variable down to a single target variable.
+func narrow(vars []int, eliminate func([]int) bool) int {
+	for len(vars) > 1 {
+		half := vars[:len(vars)/2]
+		if eliminate(half) {
+			vars = vars[len(vars)/2:]
+		} else {
+			vars = half
+		}
+	}
+	return vars[0]
+}
+
+// findAll returns every target variable in vars (Algorithm 3,
+// "FindAll"). Subtrees without targets are eliminated with one
+// question each, so the total is O(|found|·lg|vars|) questions plus
+// one.
+func findAll(vars []int, eliminate func([]int) bool) []int {
+	if len(vars) == 0 {
+		return nil
+	}
+	if eliminate(vars) {
+		return nil
+	}
+	if len(vars) == 1 {
+		return []int{vars[0]}
+	}
+	mid := len(vars) / 2
+	out := findAll(vars[:mid], eliminate)
+	return append(out, findAll(vars[mid:], eliminate)...)
+}

@@ -1,0 +1,67 @@
+package learn
+
+import (
+	"qhorn/internal/boolean"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+)
+
+// Step describes one membership question at the moment it is asked:
+// which phase of the algorithm produced it, what it is for in plain
+// words, and how the user answered. Interactive interfaces show the
+// purpose next to the example so the user understands why she is
+// being asked — the "human-like interaction" the paper's introduction
+// motivates.
+type Step struct {
+	// Phase is the algorithm phase: "heads", "bodies", "existential".
+	Phase string
+	// Purpose explains the question, e.g. "is x3 a universal head
+	// variable?".
+	Purpose string
+	// Question is the membership question asked.
+	Question boolean.Set
+	// Answer is the user's response.
+	Answer bool
+}
+
+// Tracer observes learner questions as they are asked. A nil Tracer
+// is silent.
+type Tracer func(Step)
+
+// tracingOracle wraps an oracle so every question is reported to the
+// tracer with the purpose the learner set beforehand.
+type tracingOracle struct {
+	inner   oracle.Oracle
+	trace   Tracer
+	phase   string
+	purpose string
+}
+
+func (t *tracingOracle) Ask(s boolean.Set) bool {
+	a := t.inner.Ask(s)
+	if t.trace != nil {
+		t.trace(Step{Phase: t.phase, Purpose: t.purpose, Question: s, Answer: a})
+	}
+	return a
+}
+
+// explain sets the annotation for the next question(s).
+func (t *tracingOracle) explain(phase, purpose string) {
+	t.phase, t.purpose = phase, purpose
+}
+
+// Qhorn1Traced is Qhorn1 with a tracer receiving every question
+// annotated with its phase and purpose.
+func Qhorn1Traced(u boolean.Universe, o oracle.Oracle, trace Tracer) (query.Query, Qhorn1Stats) {
+	to := &tracingOracle{inner: o, trace: trace}
+	l := &qhorn1Learner{u: u, o: to, explain: to.explain}
+	return l.learn()
+}
+
+// RolePreservingTraced is RolePreserving with a tracer receiving
+// every question annotated with its phase and purpose.
+func RolePreservingTraced(u boolean.Universe, o oracle.Oracle, trace Tracer) (query.Query, RPStats) {
+	to := &tracingOracle{inner: o, trace: trace}
+	l := &rpLearner{u: u, o: to, explain: to.explain}
+	return l.learn()
+}

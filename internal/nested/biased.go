@@ -1,0 +1,69 @@
+package nested
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+// BiasedChocolates generates a chocolate store concentrated near a
+// target query's decision boundary: roughly half the boxes are built
+// from the query's dominant distinguishing tuples (answers, §4.1)
+// with a few mutations, the rest are random. Purely random stores
+// rarely contain answers to selective quantified queries (the
+// demo problem of the hundred boxes in §1); this generator gives
+// examples and interactive sessions a store where both labels occur.
+func BiasedChocolates(rng *rand.Rand, ps Propositions, target query.Query, numBoxes, maxPerBox int) (Dataset, error) {
+	if target.N() != len(ps.Props) {
+		return Dataset{}, fmt.Errorf("nested: query over %d variables, %d propositions", target.N(), len(ps.Props))
+	}
+	base := target.Normalize().DominantConjunctions()
+	d := Dataset{Schema: ps.Schema}
+	u := ps.Universe()
+	for b := 0; b < numBoxes; b++ {
+		o := Object{Name: fmt.Sprintf("box-%03d", b+1)}
+		var classes []boolean.Tuple
+		if b%2 == 0 && len(base) > 0 {
+			// Start from a canonical answer and mutate a little.
+			classes = append(classes, base...)
+			for e := 0; e < 1+rng.Intn(2); e++ {
+				switch rng.Intn(3) {
+				case 0:
+					if len(classes) > 1 {
+						i := rng.Intn(len(classes))
+						classes = append(classes[:i], classes[i+1:]...)
+					}
+				case 1:
+					i := rng.Intn(len(classes))
+					v := rng.Intn(u.N())
+					classes[i] ^= boolean.Tuple(1) << uint(v)
+				default:
+					classes = append(classes, boolean.Tuple(rng.Int63())&u.All())
+				}
+			}
+		} else {
+			n := 1 + rng.Intn(maxPerBox)
+			for i := 0; i < n; i++ {
+				classes = append(classes, boolean.Tuple(rng.Int63())&u.All())
+			}
+		}
+		for _, c := range classes {
+			t, err := ps.Concretize(c)
+			if err != nil {
+				return Dataset{}, err
+			}
+			o.Tuples = append(o.Tuples, t)
+		}
+		if len(o.Tuples) == 0 {
+			t, err := ps.Concretize(u.All())
+			if err != nil {
+				return Dataset{}, err
+			}
+			o.Tuples = append(o.Tuples, t)
+		}
+		d.Objects = append(d.Objects, o)
+	}
+	return d, nil
+}

@@ -1,0 +1,96 @@
+package nested
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ChocolateSchema is the nested relation of the paper's running
+// example: Box(name, Chocolate(isDark, hasFilling, isSugarFree,
+// hasNuts, origin)).
+func ChocolateSchema() Schema {
+	return Schema{
+		Object: "Box",
+		Tuple:  "Chocolate",
+		Attrs: []Attr{
+			{Name: "isDark", Kind: Bool},
+			{Name: "hasFilling", Kind: Bool},
+			{Name: "isSugarFree", Kind: Bool},
+			{Name: "hasNuts", Kind: Bool},
+			{Name: "origin", Kind: String},
+		},
+	}
+}
+
+// ChocolatePropositions returns the three propositions of Fig. 1:
+// p1: isDark, p2: hasFilling, p3: origin = Madagascar.
+func ChocolatePropositions() Propositions {
+	return Propositions{
+		Schema: ChocolateSchema(),
+		Props: []Proposition{
+			{Name: "isDark", Attr: "isDark", Op: IsTrue},
+			{Name: "hasFilling", Attr: "hasFilling", Op: IsTrue},
+			{Name: "fromMadagascar", Attr: "origin", Op: Eq, Val: S("Madagascar")},
+		},
+	}
+}
+
+// chocolate builds one tuple of the chocolate relation.
+func chocolate(dark, filling, sugarFree, nuts bool, origin string) Tuple {
+	return Tuple{B(dark), B(filling), B(sugarFree), B(nuts), S(origin)}
+}
+
+// Fig1Dataset returns the two boxes of Figure 1: "Global Ground" and
+// "Europe's Finest".
+func Fig1Dataset() Dataset {
+	return Dataset{
+		Schema: ChocolateSchema(),
+		Objects: []Object{
+			{
+				Name: "Global Ground",
+				Tuples: []Tuple{
+					chocolate(true, true, true, false, "Madagascar"),
+					chocolate(true, false, false, true, "Belgium"),
+					chocolate(true, true, true, true, "Germany"),
+				},
+			},
+			{
+				Name: "Europe's Finest",
+				Tuples: []Tuple{
+					chocolate(true, true, false, false, "Belgium"),
+					chocolate(false, true, false, true, "Belgium"),
+					chocolate(false, true, true, true, "Sweden"),
+				},
+			},
+		},
+	}
+}
+
+// chocolateOrigins are the origins used by the random generator.
+var chocolateOrigins = []string{
+	"Madagascar", "Belgium", "Germany", "Sweden", "Ecuador", "Ghana",
+	"Venezuela", "Peru",
+}
+
+// RandomChocolates generates a dataset of numBoxes boxes with up to
+// maxPerBox chocolates each — the hundred boxes the pedantic
+// logician brings out in the introduction. The generator is
+// deterministic for a given rng.
+func RandomChocolates(rng *rand.Rand, numBoxes, maxPerBox int) Dataset {
+	d := Dataset{Schema: ChocolateSchema()}
+	for b := 0; b < numBoxes; b++ {
+		o := Object{Name: fmt.Sprintf("box-%03d", b+1)}
+		n := 1 + rng.Intn(maxPerBox)
+		for i := 0; i < n; i++ {
+			o.Tuples = append(o.Tuples, chocolate(
+				rng.Intn(2) == 0,
+				rng.Intn(2) == 0,
+				rng.Intn(2) == 0,
+				rng.Intn(2) == 0,
+				chocolateOrigins[rng.Intn(len(chocolateOrigins))],
+			))
+		}
+		d.Objects = append(d.Objects, o)
+	}
+	return d
+}

@@ -1,0 +1,126 @@
+package nested
+
+import (
+	"strings"
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+// Small-surface tests completing coverage of the rendering and
+// encoding branches.
+
+func TestKindOpStrings(t *testing.T) {
+	if String.String() != "string" || Bool.String() != "bool" || Number.String() != "number" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown kind should show its value")
+	}
+	ops := map[Op]string{Eq: "=", Ne: "≠", Lt: "<", Gt: ">", IsTrue: "is true", IsFalse: "is false"}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("Op %v = %q, want %q", int(op), op.String(), want)
+		}
+	}
+	if !strings.Contains(Op(9).String(), "9") {
+		t.Error("unknown op should show its value")
+	}
+}
+
+func TestPropositionStringForms(t *testing.T) {
+	tests := []struct {
+		p    Proposition
+		want string
+	}{
+		{Proposition{Attr: "a", Op: IsTrue}, "a"},
+		{Proposition{Attr: "a", Op: IsFalse}, "¬a"},
+		{Proposition{Attr: "price", Op: Gt, Val: N(3)}, "price > 3"},
+		{Proposition{Attr: "s", Op: Ne, Val: S("x")}, "s ≠ x"},
+	}
+	for _, tc := range tests {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestHoldsUnknownAttributeAndOp(t *testing.T) {
+	s := ChocolateSchema()
+	tup := Fig1Dataset().Objects[0].Tuples[0]
+	if (Proposition{Attr: "missing", Op: IsTrue}).Holds(s, tup) {
+		t.Error("unknown attribute held")
+	}
+	if (Proposition{Attr: "isDark", Op: Op(9)}).Holds(s, tup) {
+		t.Error("unknown operator held")
+	}
+	// Lt/Gt on non-numbers are false.
+	if (Proposition{Attr: "origin", Op: Lt, Val: N(3)}).Holds(s, tup) {
+		t.Error("Lt on string held")
+	}
+}
+
+func TestDistinctValueAllKinds(t *testing.T) {
+	for _, v := range []Value{S("a"), B(true), B(false), N(7)} {
+		if distinctValue(v).Equal(v) {
+			t.Errorf("distinctValue(%s) equals input", v)
+		}
+		if distinctValue(v).Kind() != v.Kind() {
+			t.Errorf("distinctValue changed kind of %s", v)
+		}
+	}
+}
+
+func TestEncodeDatasetRejectsInvalid(t *testing.T) {
+	bad := Fig1Dataset()
+	bad.Objects[0].Tuples[0] = bad.Objects[0].Tuples[0][:1]
+	if _, err := EncodeDataset(bad); err == nil {
+		t.Error("invalid dataset encoded")
+	}
+}
+
+func TestMarshalUnknownKindOp(t *testing.T) {
+	if _, err := Kind(9).MarshalJSON(); err == nil {
+		t.Error("unknown kind marshaled")
+	}
+	if _, err := Op(9).MarshalJSON(); err == nil {
+		t.Error("unknown op marshaled")
+	}
+	if err := new(Kind).UnmarshalJSON([]byte(`123`)); err == nil {
+		t.Error("numeric kind accepted")
+	}
+	if err := new(Op).UnmarshalJSON([]byte(`123`)); err == nil {
+		t.Error("numeric op accepted")
+	}
+}
+
+func TestSQLUnsupportedOpAndBoolValue(t *testing.T) {
+	s := Schema{Object: "O", Tuple: "T", Attrs: []Attr{{Name: "a", Kind: Bool}}}
+	ps := Propositions{Schema: s, Props: []Proposition{{Attr: "a", Op: Op(9)}}}
+	q := query.MustParse(ps.Universe(), "∃x1")
+	if _, err := SQL(q, ps); err == nil {
+		t.Error("unsupported operator rendered")
+	}
+	// Bool constants render as TRUE/FALSE.
+	ps2 := Propositions{Schema: s, Props: []Proposition{{Attr: "a", Op: Eq, Val: B(true)}}}
+	sql, err := SQL(query.MustParse(ps2.Universe(), "∃x1"), ps2)
+	if err != nil || !strings.Contains(sql, "t.a = TRUE") {
+		t.Errorf("bool rendering: %v\n%s", err, sql)
+	}
+	ps3 := Propositions{Schema: s, Props: []Proposition{{Attr: "a", Op: Ne, Val: B(false)}}}
+	sql, err = SQL(query.MustParse(ps3.Universe(), "∃x1"), ps3)
+	if err != nil || !strings.Contains(sql, "t.a <> FALSE") {
+		t.Errorf("bool rendering: %v\n%s", err, sql)
+	}
+}
+
+func TestConcretizeUnknownAttribute(t *testing.T) {
+	ps := Propositions{
+		Schema: ChocolateSchema(),
+		Props:  []Proposition{{Name: "ghost", Attr: "missing", Op: IsTrue}},
+	}
+	if _, err := ps.Concretize(boolean.FromVars(0)); err == nil {
+		t.Error("unknown attribute concretized")
+	}
+}

@@ -1,0 +1,145 @@
+package nested
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON encodings let users bring their own nested datasets and
+// proposition sets to the CLIs. Values are encoded as native JSON
+// scalars (string, bool, number); kinds round-trip through the
+// schema.
+
+// MarshalJSON encodes the value as its natural JSON scalar.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.kind {
+	case String:
+		return json.Marshal(v.s)
+	case Bool:
+		return json.Marshal(v.b)
+	default:
+		return json.Marshal(v.f)
+	}
+}
+
+// UnmarshalJSON decodes a JSON scalar into a value of the matching
+// kind.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var raw interface{}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	switch x := raw.(type) {
+	case string:
+		*v = S(x)
+	case bool:
+		*v = B(x)
+	case float64:
+		*v = N(x)
+	default:
+		return fmt.Errorf("nested: value %s is not a string, bool or number", data)
+	}
+	return nil
+}
+
+// kindNames maps Kind to its JSON name.
+var kindNames = map[Kind]string{String: "string", Bool: "bool", Number: "number"}
+
+// MarshalJSON encodes the kind by name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	name, ok := kindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("nested: unknown kind %d", int(k))
+	}
+	return json.Marshal(name)
+}
+
+// UnmarshalJSON decodes a kind name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for kind, n := range kindNames {
+		if n == name {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("nested: unknown kind %q", name)
+}
+
+// opNames maps Op to its JSON name.
+var opNames = map[Op]string{
+	Eq: "eq", Ne: "ne", Lt: "lt", Gt: "gt", IsTrue: "isTrue", IsFalse: "isFalse",
+}
+
+// MarshalJSON encodes the operator by name.
+func (op Op) MarshalJSON() ([]byte, error) {
+	name, ok := opNames[op]
+	if !ok {
+		return nil, fmt.Errorf("nested: unknown operator %d", int(op))
+	}
+	return json.Marshal(name)
+}
+
+// UnmarshalJSON decodes an operator name.
+func (op *Op) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for o, n := range opNames {
+		if n == name {
+			*op = o
+			return nil
+		}
+	}
+	return fmt.Errorf("nested: unknown operator %q", name)
+}
+
+// EncodeDataset renders the dataset as indented JSON.
+func EncodeDataset(d Dataset) ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// DecodeDataset parses and validates a JSON dataset.
+func DecodeDataset(data []byte) (Dataset, error) {
+	var d Dataset
+	if err := json.Unmarshal(data, &d); err != nil {
+		return Dataset{}, err
+	}
+	// JSON numbers arrive as Number values; coerce to the schema's
+	// kinds where the encoding is ambiguous is not needed because
+	// scalars carry their kind, but validate to catch mismatches.
+	if err := d.Validate(); err != nil {
+		return Dataset{}, err
+	}
+	return d, nil
+}
+
+// EncodePropositions renders a proposition set as indented JSON.
+func EncodePropositions(ps Propositions) ([]byte, error) {
+	return json.MarshalIndent(ps, "", "  ")
+}
+
+// DecodePropositions parses a JSON proposition set and checks every
+// proposition references a schema attribute.
+func DecodePropositions(data []byte) (Propositions, error) {
+	var ps Propositions
+	if err := json.Unmarshal(data, &ps); err != nil {
+		return Propositions{}, err
+	}
+	if err := ps.Schema.Validate(); err != nil {
+		return Propositions{}, err
+	}
+	for _, p := range ps.Props {
+		if ps.Schema.AttrIndex(p.Attr) < 0 {
+			return Propositions{}, fmt.Errorf("nested: proposition %s references unknown attribute %q", p, p.Attr)
+		}
+	}
+	return ps, nil
+}

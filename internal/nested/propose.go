@@ -1,0 +1,114 @@
+package nested
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProposePropositions derives a non-interfering proposition set from
+// a dataset — the starting point of a DataPlay session when the user
+// has data but has not written her propositions yet (§1: "users first
+// specify the simple propositions"). For each attribute it proposes
+// at most one predicate, so no two proposals interfere (§2's
+// independence assumption holds by construction):
+//
+//   - Bool attributes: the attribute itself (IsTrue);
+//   - String attributes: equality with the most frequent value;
+//   - Number attributes: greater-than the median.
+//
+// Attributes that are constant across the dataset are skipped — a
+// proposition that never varies cannot influence any query. maxProps
+// caps the proposal count (≤ 64, the Boolean universe limit);
+// attributes are kept in schema order.
+func ProposePropositions(d Dataset, maxProps int) (Propositions, error) {
+	if err := d.Validate(); err != nil {
+		return Propositions{}, err
+	}
+	if maxProps <= 0 || maxProps > 64 {
+		maxProps = 64
+	}
+	ps := Propositions{Schema: d.Schema}
+	for ai, attr := range d.Schema.Attrs {
+		if len(ps.Props) == maxProps {
+			break
+		}
+		var values []Value
+		for _, o := range d.Objects {
+			for _, t := range o.Tuples {
+				values = append(values, t[ai])
+			}
+		}
+		if len(values) == 0 {
+			continue
+		}
+		constant := true
+		for _, v := range values[1:] {
+			if !v.Equal(values[0]) {
+				constant = false
+				break
+			}
+		}
+		if constant {
+			continue
+		}
+		switch attr.Kind {
+		case Bool:
+			ps.Props = append(ps.Props, Proposition{
+				Name: attr.Name, Attr: attr.Name, Op: IsTrue,
+			})
+		case String:
+			top := mostFrequent(values)
+			ps.Props = append(ps.Props, Proposition{
+				Name: fmt.Sprintf("%s=%s", attr.Name, top.Str()),
+				Attr: attr.Name, Op: Eq, Val: top,
+			})
+		case Number:
+			med := median(values)
+			ps.Props = append(ps.Props, Proposition{
+				Name: fmt.Sprintf("%s>%s", attr.Name, med),
+				Attr: attr.Name, Op: Gt, Val: med,
+			})
+		}
+	}
+	if inter := ps.Interferences(); len(inter) > 0 {
+		// Unreachable by construction (one proposition per attribute),
+		// but guard the invariant.
+		return Propositions{}, fmt.Errorf("nested: proposed propositions interfere")
+	}
+	return ps, nil
+}
+
+// mostFrequent returns the most common value (ties break toward the
+// lexicographically smaller string for determinism).
+func mostFrequent(values []Value) Value {
+	counts := map[string]int{}
+	byKey := map[string]Value{}
+	for _, v := range values {
+		k := v.String()
+		counts[k]++
+		byKey[k] = v
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	best := keys[0]
+	for _, k := range keys[1:] {
+		if counts[k] > counts[best] {
+			best = k
+		}
+	}
+	return byKey[best]
+}
+
+// median returns the middle numeric value (lower of the two middles
+// for even counts).
+func median(values []Value) Value {
+	nums := make([]float64, 0, len(values))
+	for _, v := range values {
+		nums = append(nums, v.Num())
+	}
+	sort.Float64s(nums)
+	return N(nums[(len(nums)-1)/2])
+}

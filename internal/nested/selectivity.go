@@ -1,0 +1,109 @@
+package nested
+
+import (
+	"sort"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+// ClassCount reports how often one Boolean class (a distinct
+// true/false combination of the propositions) occurs in a dataset.
+type ClassCount struct {
+	// Class is the Boolean tuple of the class.
+	Class boolean.Tuple
+	// Tuples is the number of embedded tuples in the class.
+	Tuples int
+	// Objects is the number of objects containing at least one tuple
+	// of the class.
+	Objects int
+}
+
+// Profile is the Boolean-class histogram of a dataset under a
+// proposition set. It drives the §5 strategy of answering membership
+// questions with real instances: a question is fully coverable only
+// if every Boolean class it mentions occurs in the data.
+type Profile struct {
+	// Classes holds the non-empty classes, most frequent first.
+	Classes []ClassCount
+	// TotalTuples and TotalObjects size the dataset.
+	TotalTuples  int
+	TotalObjects int
+
+	index map[boolean.Tuple]ClassCount
+}
+
+// Selectivity profiles the dataset: one histogram bucket per Boolean
+// class that occurs.
+func Selectivity(ps Propositions, d Dataset) Profile {
+	perClassTuples := map[boolean.Tuple]int{}
+	perClassObjects := map[boolean.Tuple]int{}
+	p := Profile{index: map[boolean.Tuple]ClassCount{}}
+	for _, o := range d.Objects {
+		p.TotalObjects++
+		seen := map[boolean.Tuple]bool{}
+		for _, t := range o.Tuples {
+			p.TotalTuples++
+			bt := ps.Abstract(t)
+			perClassTuples[bt]++
+			if !seen[bt] {
+				seen[bt] = true
+				perClassObjects[bt]++
+			}
+		}
+	}
+	for class, n := range perClassTuples {
+		cc := ClassCount{Class: class, Tuples: n, Objects: perClassObjects[class]}
+		p.Classes = append(p.Classes, cc)
+		p.index[class] = cc
+	}
+	sort.Slice(p.Classes, func(i, j int) bool {
+		if p.Classes[i].Tuples != p.Classes[j].Tuples {
+			return p.Classes[i].Tuples > p.Classes[j].Tuples
+		}
+		return p.Classes[i].Class < p.Classes[j].Class
+	})
+	return p
+}
+
+// Count returns the histogram bucket for a class (zero if absent).
+func (p Profile) Count(class boolean.Tuple) ClassCount {
+	return p.index[class]
+}
+
+// Covers reports whether every tuple of the Boolean question occurs
+// as a real class in the profiled data, i.e. whether
+// SelectFromDataset can answer it without synthesizing hybrids.
+func (p Profile) Covers(q boolean.Set) bool {
+	for _, t := range q.Tuples() {
+		if p.index[t].Tuples == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MissingClasses returns the Boolean classes of the question absent
+// from the data — the tuples SelectFromDataset would synthesize.
+func (p Profile) MissingClasses(q boolean.Set) []boolean.Tuple {
+	var out []boolean.Tuple
+	for _, t := range q.Tuples() {
+		if p.index[t].Tuples == 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// EstimateSelectivity returns the fraction of profiled objects a
+// query would select, by re-evaluating it over the dataset.
+func EstimateSelectivity(q query.Query, ps Propositions, d Dataset) (float64, error) {
+	matches, err := Execute(q, ps, d)
+	if err != nil {
+		return 0, err
+	}
+	if len(d.Objects) == 0 {
+		return 0, nil
+	}
+	return float64(len(matches)) / float64(len(d.Objects)), nil
+}

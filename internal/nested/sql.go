@@ -1,0 +1,122 @@
+package nested
+
+import (
+	"fmt"
+	"strings"
+
+	"qhorn/internal/query"
+)
+
+// SQL renders a qhorn query as an executable SQL SELECT over a
+// conventional two-table encoding of the nested relation: a parent
+// table (one row per object) and a child table (one row per embedded
+// tuple) joined by parent id. This is the "precise quantified query"
+// the paper's users could not write by hand (§1): each universal Horn
+// expression becomes a NOT EXISTS for its violation plus an EXISTS
+// for its guarantee clause; each existential expression becomes an
+// EXISTS.
+//
+// Table and column names derive from the schema: for the chocolate
+// schema the parent table is box(id, name) and the child table is
+// chocolate(box_id, isDark, ...).
+func SQL(q query.Query, ps Propositions) (string, error) {
+	if q.N() != len(ps.Props) {
+		return "", fmt.Errorf("nested: query over %d variables, %d propositions", q.N(), len(ps.Props))
+	}
+	parent := strings.ToLower(ps.Schema.Object)
+	child := strings.ToLower(ps.Schema.Tuple)
+	fk := parent + "_id"
+
+	cond := func(i int, negate bool) (string, error) {
+		c, err := propSQL(ps.Props[i])
+		if err != nil {
+			return "", err
+		}
+		if negate {
+			return "NOT (" + c + ")", nil
+		}
+		return c, nil
+	}
+	exists := func(conds []string) string {
+		where := strings.Join(append([]string{fmt.Sprintf("t.%s = o.id", fk)}, conds...), " AND ")
+		return fmt.Sprintf("EXISTS (SELECT 1 FROM %s t WHERE %s)", child, where)
+	}
+
+	var clauses []string
+	for _, e := range q.Exprs {
+		switch {
+		case e.Quant == query.Forall:
+			// No tuple satisfies the body while falsifying the head…
+			var conds []string
+			for _, v := range e.Body.Vars() {
+				c, err := cond(v, false)
+				if err != nil {
+					return "", err
+				}
+				conds = append(conds, c)
+			}
+			hc, err := cond(e.Head, true)
+			if err != nil {
+				return "", err
+			}
+			clauses = append(clauses, "NOT "+exists(append(conds, hc)))
+			// …and the guarantee clause: some tuple satisfies both.
+			gc, err := cond(e.Head, false)
+			if err != nil {
+				return "", err
+			}
+			clauses = append(clauses, exists(append(conds[:len(conds):len(conds)], gc)))
+		default:
+			var conds []string
+			for _, v := range e.Vars().Vars() {
+				c, err := cond(v, false)
+				if err != nil {
+					return "", err
+				}
+				conds = append(conds, c)
+			}
+			clauses = append(clauses, exists(conds))
+		}
+	}
+	where := "TRUE"
+	if len(clauses) > 0 {
+		where = strings.Join(clauses, "\n  AND ")
+	}
+	return fmt.Sprintf("SELECT o.id, o.name\nFROM %s o\nWHERE %s;", parent, where), nil
+}
+
+// propSQL renders one proposition as a SQL condition over the child
+// alias t.
+func propSQL(p Proposition) (string, error) {
+	col := "t." + p.Attr
+	switch p.Op {
+	case IsTrue:
+		return col, nil
+	case IsFalse:
+		return "NOT " + col, nil
+	case Eq:
+		return col + " = " + sqlValue(p.Val), nil
+	case Ne:
+		return col + " <> " + sqlValue(p.Val), nil
+	case Lt:
+		return col + " < " + sqlValue(p.Val), nil
+	case Gt:
+		return col + " > " + sqlValue(p.Val), nil
+	default:
+		return "", fmt.Errorf("nested: proposition %s has no SQL rendering", p)
+	}
+}
+
+func sqlValue(v Value) string {
+	switch v.Kind() {
+	case String:
+		return "'" + strings.ReplaceAll(v.Str(), "'", "''") + "'"
+	case Bool:
+		if v.Bool() {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,185 @@
+package nested
+
+import (
+	"strings"
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+func TestSQLIntroQuery(t *testing.T) {
+	ps := ChocolatePropositions()
+	u := ps.Universe()
+	q := query.MustParse(u, "∀x1 ∃x2x3")
+	sql, err := SQL(q, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"SELECT o.id, o.name",
+		"FROM box o",
+		"NOT EXISTS (SELECT 1 FROM chocolate t WHERE t.box_id = o.id AND NOT (t.isDark))",
+		"EXISTS (SELECT 1 FROM chocolate t WHERE t.box_id = o.id AND t.isDark)",
+		"t.hasFilling AND t.origin = 'Madagascar'",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestSQLHornExpression(t *testing.T) {
+	ps := ChocolatePropositions()
+	u := ps.Universe()
+	q := query.MustParse(u, "∀x2 → x1")
+	sql, err := SQL(q, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Violation clause: body true, head false.
+	if !strings.Contains(sql, "t.hasFilling AND NOT (t.isDark)") {
+		t.Errorf("violation clause missing:\n%s", sql)
+	}
+	// Guarantee clause: body and head true.
+	if !strings.Contains(sql, "t.hasFilling AND t.isDark") {
+		t.Errorf("guarantee clause missing:\n%s", sql)
+	}
+}
+
+func TestSQLOperatorsAndEscaping(t *testing.T) {
+	s := Schema{Object: "Order", Tuple: "Item", Attrs: []Attr{
+		{Name: "price", Kind: Number},
+		{Name: "label", Kind: String},
+		{Name: "fragile", Kind: Bool},
+	}}
+	ps := Propositions{Schema: s, Props: []Proposition{
+		{Name: "cheap", Attr: "price", Op: Lt, Val: N(10)},
+		{Name: "notOddLabel", Attr: "label", Op: Ne, Val: S("it's odd")},
+		{Name: "sturdy", Attr: "fragile", Op: IsFalse},
+	}}
+	q := query.MustParse(ps.Universe(), "∃x1x2x3")
+	sql, err := SQL(q, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"t.price < 10",
+		"t.label <> 'it''s odd'",
+		"NOT t.fragile",
+		"FROM order o",
+		"t.order_id = o.id",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestSQLEmptyQuery(t *testing.T) {
+	ps := ChocolatePropositions()
+	sql, err := SQL(query.Query{U: ps.Universe()}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "WHERE TRUE") {
+		t.Errorf("empty query SQL:\n%s", sql)
+	}
+}
+
+func TestSQLArityMismatch(t *testing.T) {
+	ps := ChocolatePropositions()
+	bad := query.Query{U: boolean.MustUniverse(5)}
+	if _, err := SQL(bad, ps); err == nil {
+		t.Fatal("mismatched universe accepted")
+	}
+}
+
+func TestDatasetJSONRoundTrip(t *testing.T) {
+	d := Fig1Dataset()
+	data, err := EncodeDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Objects) != len(d.Objects) {
+		t.Fatalf("objects = %d", len(back.Objects))
+	}
+	ps := ChocolatePropositions()
+	for i := range d.Objects {
+		if !ps.AbstractObject(back.Objects[i]).Equal(ps.AbstractObject(d.Objects[i])) {
+			t.Fatalf("object %d changed through JSON", i)
+		}
+	}
+}
+
+func TestPropositionsJSONRoundTrip(t *testing.T) {
+	ps := ChocolatePropositions()
+	data, err := EncodePropositions(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePropositions(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Props) != len(ps.Props) {
+		t.Fatalf("props = %d", len(back.Props))
+	}
+	for i := range ps.Props {
+		if back.Props[i] != ps.Props[i] {
+			t.Fatalf("prop %d: %+v vs %+v", i, back.Props[i], ps.Props[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeDataset([]byte(`{`)); err == nil {
+		t.Error("malformed dataset JSON accepted")
+	}
+	// Kind mismatch: origin declared bool but value is a string.
+	badData := `{"Schema":{"Object":"B","Tuple":"C","Attrs":[{"Name":"a","Kind":"bool"}]},
+	  "Objects":[{"Name":"x","Tuples":[["oops"]]}]}`
+	if _, err := DecodeDataset([]byte(badData)); err == nil {
+		t.Error("kind-mismatched dataset accepted")
+	}
+	if _, err := DecodePropositions([]byte(`{`)); err == nil {
+		t.Error("malformed propositions JSON accepted")
+	}
+	badProp := `{"Schema":{"Object":"B","Tuple":"C","Attrs":[{"Name":"a","Kind":"bool"}]},
+	  "Props":[{"Name":"p","Attr":"missing","Op":"isTrue"}]}`
+	if _, err := DecodePropositions([]byte(badProp)); err == nil {
+		t.Error("unknown-attribute proposition accepted")
+	}
+	var k Kind
+	if err := k.UnmarshalJSON([]byte(`"nope"`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	var op Op
+	if err := op.UnmarshalJSON([]byte(`"nope"`)); err == nil {
+		t.Error("unknown op accepted")
+	}
+	var v Value
+	if err := v.UnmarshalJSON([]byte(`[1,2]`)); err == nil {
+		t.Error("array value accepted")
+	}
+}
+
+func TestValueJSONScalars(t *testing.T) {
+	for _, v := range []Value{S("x"), B(true), N(2.5)} {
+		data, err := v.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Value
+		if err := back.UnmarshalJSON(data); err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(v) {
+			t.Errorf("round trip %s -> %s", v, back)
+		}
+	}
+}

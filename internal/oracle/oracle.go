@@ -1,0 +1,193 @@
+// Package oracle implements the membership-question oracles of the
+// qhorn learning model (§2.1.2). A membership question is an object —
+// a set of Boolean tuples — that the user classifies as an answer or
+// a non-answer to her intended query.
+//
+// The package provides the user simulations every experiment needs:
+// an oracle backed by a hidden target query, instrumentation wrappers
+// that count questions and tuples (the complexity measures of every
+// theorem in the paper), a transcript recorder, a response-flipping
+// noisy oracle (§5, "Noisy Users"), an interactive oracle that asks a
+// human over an io.Reader/Writer pair, and the adversarial oracles
+// that realize the paper's lower-bound constructions (Theorem 2.1,
+// Lemma 3.4, Theorem 3.6).
+package oracle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+// Oracle answers membership questions: Ask reports whether the object
+// s is an answer (true) or a non-answer (false) to the user's
+// intended query.
+type Oracle interface {
+	Ask(s boolean.Set) bool
+}
+
+// Func adapts a function to the Oracle interface.
+type Func func(boolean.Set) bool
+
+// Ask implements Oracle.
+func (f Func) Ask(s boolean.Set) bool { return f(s) }
+
+// Target returns an oracle that answers according to the given target
+// query — the simulated user of every learning experiment. The
+// substitution is exact: the paper's question counts are worst-case
+// over users consistent with some query in the class.
+func Target(q query.Query) Oracle {
+	return Func(q.Eval)
+}
+
+// Counter wraps an oracle and records the complexity measures the
+// paper reports: the number of questions asked, the total and maximum
+// number of tuples per question. The zero value is not usable; wrap
+// with Count.
+type Counter struct {
+	inner     Oracle
+	Questions int
+	Tuples    int
+	MaxTuples int
+}
+
+// Count wraps inner with a fresh Counter.
+func Count(inner Oracle) *Counter { return &Counter{inner: inner} }
+
+// Ask implements Oracle, forwarding to the wrapped oracle.
+func (c *Counter) Ask(s boolean.Set) bool {
+	c.Questions++
+	c.Tuples += s.Size()
+	if s.Size() > c.MaxTuples {
+		c.MaxTuples = s.Size()
+	}
+	return c.inner.Ask(s)
+}
+
+// Reset clears the counters.
+func (c *Counter) Reset() {
+	c.Questions, c.Tuples, c.MaxTuples = 0, 0, 0
+}
+
+// Entry is one recorded membership question and its response.
+type Entry struct {
+	Question boolean.Set
+	Answer   bool
+}
+
+// Transcript wraps an oracle and records every question and response,
+// in order. A transcript is the interaction history that §5 proposes
+// showing users so they can revise mistaken responses.
+type Transcript struct {
+	inner   Oracle
+	Entries []Entry
+}
+
+// Record wraps inner with a fresh Transcript.
+func Record(inner Oracle) *Transcript { return &Transcript{inner: inner} }
+
+// Ask implements Oracle.
+func (t *Transcript) Ask(s boolean.Set) bool {
+	a := t.inner.Ask(s)
+	t.Entries = append(t.Entries, Entry{Question: s, Answer: a})
+	return a
+}
+
+// Noisy wraps an oracle and flips each response independently with
+// probability p, simulating the noisy users discussed in §5. The rng
+// must not be nil.
+func Noisy(inner Oracle, p float64, rng *rand.Rand) Oracle {
+	return Func(func(s boolean.Set) bool {
+		a := inner.Ask(s)
+		if rng.Float64() < p {
+			return !a
+		}
+		return a
+	})
+}
+
+// Budget wraps an oracle with a hard cap on the number of questions —
+// the interactive patience of a real user. Exceeding the budget
+// panics with ErrBudget via BudgetExceeded, which callers recover as
+// a signal; tests use it to enforce the paper's question bounds
+// mechanically.
+type Budget struct {
+	inner Oracle
+	Limit int
+	Used  int
+}
+
+// ErrBudget is the panic value raised when a Budget is exhausted.
+type ErrBudget struct {
+	Limit int
+}
+
+// Error implements error.
+func (e ErrBudget) Error() string {
+	return fmt.Sprintf("oracle: question budget of %d exhausted", e.Limit)
+}
+
+// WithBudget wraps inner with a question cap.
+func WithBudget(inner Oracle, limit int) *Budget {
+	return &Budget{inner: inner, Limit: limit}
+}
+
+// Ask implements Oracle; it panics with ErrBudget when the cap is
+// exceeded.
+func (b *Budget) Ask(s boolean.Set) bool {
+	if b.Used >= b.Limit {
+		panic(ErrBudget{Limit: b.Limit})
+	}
+	b.Used++
+	return b.inner.Ask(s)
+}
+
+// Remaining returns the questions left in the budget.
+func (b *Budget) Remaining() int { return b.Limit - b.Used }
+
+// Memo wraps an oracle and caches responses by canonical question
+// key, so repeated questions are answered without consulting the
+// inner oracle. Wrap the Counter inside Memo to count only distinct
+// questions, or outside to count all.
+func Memo(inner Oracle) Oracle {
+	cache := map[string]bool{}
+	return Func(func(s boolean.Set) bool {
+		k := s.Key()
+		if a, ok := cache[k]; ok {
+			return a
+		}
+		a := inner.Ask(s)
+		cache[k] = a
+		return a
+	})
+}
+
+// Interactive returns an oracle that renders each membership question
+// to w in the paper's tuple notation and reads y/n responses from r.
+// Malformed input is re-prompted; EOF defaults to non-answer.
+func Interactive(u boolean.Universe, r io.Reader, w io.Writer) Oracle {
+	br := bufio.NewReader(r)
+	return Func(func(s boolean.Set) bool {
+		for {
+			fmt.Fprintf(w, "Is this object an answer to your query? %s [y/n] ", s.Format(u))
+			line, err := br.ReadString('\n')
+			line = strings.ToLower(strings.TrimSpace(line))
+			switch line {
+			case "y", "yes", "answer", "a":
+				return true
+			case "n", "no", "non-answer", "non":
+				return false
+			}
+			if err != nil {
+				fmt.Fprintln(w, "\n(end of input: recording non-answer)")
+				return false
+			}
+			fmt.Fprintln(w, "Please answer y or n.")
+		}
+	})
+}

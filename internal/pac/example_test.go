@@ -1,0 +1,29 @@
+package pac_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/oracle"
+	"qhorn/internal/pac"
+	"qhorn/internal/query"
+)
+
+func ExampleLearn() {
+	u := boolean.MustUniverse(5)
+	target := query.MustParse(u, "∀x1 → x2 ∃x3x4")
+
+	// Draw 400 labeled examples near the target's decision boundary
+	// and build the most-specific consistent hypothesis.
+	rng := rand.New(rand.NewSource(1))
+	train := pac.NewBoundarySampler(target, rng, 2)
+	h, _ := pac.Learn(u, oracle.Target(target), train, 400, pac.Params{})
+
+	test := pac.NewBoundarySampler(target, rand.New(rand.NewSource(2)), 2)
+	fmt.Printf("error: %.3f\n", pac.Error(h, target, test, 2000))
+	fmt.Println("exact:", h.Equivalent(target))
+	// Output:
+	// error: 0.000
+	// exact: true
+}

@@ -1,0 +1,334 @@
+// Package pac implements the Probably-Approximately-Correct learning
+// direction that §6 of the qhorn paper sketches as future work: "we
+// use randomly-generated membership questions to learn a query with a
+// certain probability of error" (Valiant's model [20]).
+//
+// Unlike the exact learners of §3, the PAC learner never chooses its
+// questions: it draws labeled examples from a distribution over
+// objects and outputs the most-specific role-preserving hypothesis
+// consistent with the positive examples —
+//
+//   - the minimal unfalsified universal Horn rules ∀B → h, where a
+//     rule is consistent with a positive object S iff no tuple of S
+//     contains B without h AND some tuple of S contains B ∪ {h} (the
+//     guarantee clause, which evaluation enforces);
+//   - the maximal conjunctions satisfied by every positive object,
+//     computed by the classic intersect-and-maximalize generalization.
+//
+// Because the hypothesis is most-specific, it never misclassifies a
+// training positive and errs one-sidedly on unseen objects; error
+// under the training distribution decreases with the sample size, the
+// behaviour experiment E14 measures. Frontier caps keep the learner
+// polynomial; when a cap trims rules the hypothesis only becomes more
+// general, never inconsistent with the training positives.
+package pac
+
+import (
+	"math/rand"
+	"sort"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+)
+
+// Params bounds the hypothesis search.
+type Params struct {
+	// MaxBodySize caps the variables per universal Horn body
+	// (default 3).
+	MaxBodySize int
+	// MaxBodiesPerHead caps the frontier of minimal bodies kept per
+	// head (default 8).
+	MaxBodiesPerHead int
+	// MaxConjs caps the number of candidate conjunctions carried
+	// through generalization (default 64).
+	MaxConjs int
+}
+
+func (p Params) normalize() Params {
+	if p.MaxBodySize <= 0 {
+		p.MaxBodySize = 3
+	}
+	if p.MaxBodiesPerHead <= 0 {
+		p.MaxBodiesPerHead = 8
+	}
+	if p.MaxConjs <= 0 {
+		p.MaxConjs = 64
+	}
+	return p
+}
+
+// Example is one labeled draw from the distribution.
+type Example struct {
+	Object   boolean.Set
+	Positive bool
+}
+
+// Stats reports a PAC learning run.
+type Stats struct {
+	Samples   int
+	Positives int
+	// TrainingErrors counts training examples the hypothesis
+	// misclassifies: always 0 on positives; non-zero on negatives
+	// only when the caps trimmed needed rules.
+	TrainingErrors int
+}
+
+// Sampler draws objects from the example distribution.
+type Sampler interface {
+	Sample() boolean.Set
+}
+
+// Learn draws m labeled examples (the sampler provides objects, the
+// oracle labels them) and returns the most-specific hypothesis
+// consistent with the positive examples.
+func Learn(u boolean.Universe, o oracle.Oracle, s Sampler, m int, p Params) (query.Query, Stats) {
+	examples := make([]Example, 0, m)
+	for i := 0; i < m; i++ {
+		obj := s.Sample()
+		examples = append(examples, Example{Object: obj, Positive: o.Ask(obj)})
+	}
+	return LearnFromExamples(u, examples, p)
+}
+
+// LearnFromExamples builds the most-specific hypothesis from an
+// explicit labeled sample.
+func LearnFromExamples(u boolean.Universe, examples []Example, p Params) (query.Query, Stats) {
+	p = p.normalize()
+	st := Stats{Samples: len(examples)}
+	var positives []boolean.Set
+	for _, e := range examples {
+		if e.Positive {
+			positives = append(positives, e.Object)
+			st.Positives++
+		}
+	}
+	if len(positives) == 0 {
+		// No positive evidence: the most-specific hypothesis rejects
+		// everything. ∃x1…xn is the strictest expressible query.
+		q := query.Query{U: u}
+		if u.N() > 0 {
+			q.Exprs = []query.Expr{query.Conjunction(u.All())}
+		}
+		st.TrainingErrors = countErrors(q, examples)
+		return q, st
+	}
+
+	var exprs []query.Expr
+	for h := 0; h < u.N(); h++ {
+		for _, b := range minimalBodies(u, h, positives, p) {
+			if b.IsEmpty() {
+				exprs = append(exprs, query.BodylessUniversal(h))
+			} else {
+				exprs = append(exprs, query.UniversalHorn(b, h))
+			}
+		}
+	}
+	for _, c := range commonConjunctions(positives, p) {
+		if !c.IsEmpty() {
+			exprs = append(exprs, query.Conjunction(c))
+		}
+	}
+	q := (query.Query{U: u, Exprs: exprs}).Normalize()
+	st.TrainingErrors = countErrors(q, examples)
+	return q, st
+}
+
+// minimalBodies searches breadth-first for the minimal bodies B such
+// that the rule ∀B → h (with its guarantee clause) is consistent with
+// every positive example.
+func minimalBodies(u boolean.Universe, h int, positives []boolean.Set, p Params) []boolean.Tuple {
+	type item struct{ body boolean.Tuple }
+	var result []boolean.Tuple
+	visited := map[boolean.Tuple]bool{}
+	queue := []item{{0}}
+	for len(queue) > 0 && len(result) < p.MaxBodiesPerHead {
+		b := queue[0].body
+		queue = queue[1:]
+		if visited[b] {
+			continue
+		}
+		visited[b] = true
+		// Dominated by an already-found minimal body?
+		dominated := false
+		for _, r := range result {
+			if b.Contains(r) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		// Guarantee: every positive has a tuple ⊇ B ∪ {h}. Supersets
+		// of B only make this harder: prune the branch.
+		need := b.With(h)
+		ok := true
+		for _, s := range positives {
+			if !s.AnyContains(need) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Violation: a positive tuple contains B without h. Then B is
+		// not a body; specialize by adding one variable the violating
+		// tuple lacks.
+		var violating boolean.Tuple
+		violated := false
+		for _, s := range positives {
+			for _, t := range s.Tuples() {
+				if t.Contains(b) && !t.Has(h) {
+					violating, violated = t, true
+					break
+				}
+			}
+			if violated {
+				break
+			}
+		}
+		if !violated {
+			result = append(result, b)
+			continue
+		}
+		if b.Count() >= p.MaxBodySize {
+			continue
+		}
+		for _, v := range u.Complement(violating).Without(h).Vars() {
+			next := b.With(v)
+			if !visited[next] {
+				queue = append(queue, item{next})
+			}
+		}
+	}
+	return result
+}
+
+// commonConjunctions generalizes the positive examples to the maximal
+// conjunctions every one of them satisfies.
+func commonConjunctions(positives []boolean.Set, p Params) []boolean.Tuple {
+	cands := append([]boolean.Tuple{}, positives[0].Tuples()...)
+	cands = maximalize(cands, p.MaxConjs)
+	for _, s := range positives[1:] {
+		var next []boolean.Tuple
+		for _, c := range cands {
+			for _, t := range s.Tuples() {
+				next = append(next, c.Intersect(t))
+			}
+		}
+		cands = maximalize(next, p.MaxConjs)
+	}
+	return cands
+}
+
+// maximalize keeps the distinct ⊆-maximal tuples, trimming to the cap
+// by popcount (largest first) if needed.
+func maximalize(ts []boolean.Tuple, limit int) []boolean.Tuple {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Count() > ts[j].Count() })
+	var out []boolean.Tuple
+	for _, t := range ts {
+		keep := true
+		for _, kept := range out {
+			if kept.Contains(t) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, t)
+			if len(out) == limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func countErrors(q query.Query, examples []Example) int {
+	errs := 0
+	for _, e := range examples {
+		if q.Eval(e.Object) != e.Positive {
+			errs++
+		}
+	}
+	return errs
+}
+
+// Error estimates the disagreement rate between the hypothesis and
+// the target over m fresh draws from the sampler.
+func Error(hypothesis, target query.Query, s Sampler, m int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	wrong := 0
+	for i := 0; i < m; i++ {
+		obj := s.Sample()
+		if hypothesis.Eval(obj) != target.Eval(obj) {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(m)
+}
+
+// BoundarySampler draws objects concentrated near a reference query's
+// decision boundary: it starts from the reference's dominant
+// distinguishing tuples (a canonical positive object) and applies a
+// few random mutations — dropping or adding tuples and flipping
+// variables — so both labels occur with substantial probability. PAC
+// learning is distribution-specific; error is always measured under
+// the same sampler used for training.
+type BoundarySampler struct {
+	U         boolean.Universe
+	Reference query.Query
+	Rng       *rand.Rand
+	// Mutations is the number of random edits per draw (default 2).
+	Mutations int
+
+	base []boolean.Tuple
+}
+
+// NewBoundarySampler builds a sampler around the reference query.
+func NewBoundarySampler(ref query.Query, rng *rand.Rand, mutations int) *BoundarySampler {
+	if mutations <= 0 {
+		mutations = 2
+	}
+	return &BoundarySampler{
+		U:         ref.U,
+		Reference: ref,
+		Rng:       rng,
+		Mutations: mutations,
+		base:      ref.Normalize().DominantConjunctions(),
+	}
+}
+
+// Sample implements Sampler.
+func (b *BoundarySampler) Sample() boolean.Set {
+	n := b.U.N()
+	tuples := append([]boolean.Tuple{}, b.base...)
+	if len(tuples) == 0 {
+		tuples = append(tuples, b.U.All())
+	}
+	edits := 1 + b.Rng.Intn(b.Mutations)
+	for e := 0; e < edits; e++ {
+		switch b.Rng.Intn(3) {
+		case 0: // flip a random variable in a random tuple
+			if len(tuples) > 0 && n > 0 {
+				i := b.Rng.Intn(len(tuples))
+				v := b.Rng.Intn(n)
+				tuples[i] ^= boolean.Tuple(1) << uint(v)
+			}
+		case 1: // drop a random tuple
+			if len(tuples) > 1 {
+				i := b.Rng.Intn(len(tuples))
+				tuples = append(tuples[:i], tuples[i+1:]...)
+			}
+		default: // add a random tuple
+			if n > 0 {
+				tuples = append(tuples, boolean.Tuple(b.Rng.Int63())&b.U.All())
+			}
+		}
+	}
+	return boolean.NewSet(tuples...)
+}

@@ -1,0 +1,206 @@
+package pac
+
+import (
+	"math/rand"
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+)
+
+func TestLearnFromExamplesConsistentOnPositives(t *testing.T) {
+	// The hypothesis must accept every training positive, whatever
+	// the sample.
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(5)
+		u := boolean.MustUniverse(n)
+		target := query.GenRolePreserving(rng, n, query.RPOptions{
+			Heads: 1, BodiesPerHead: 1, MaxBodySize: 2, Conjs: 2, MaxConjSize: 3,
+		})
+		sampler := NewBoundarySampler(target, rng, 2)
+		var examples []Example
+		for i := 0; i < 30; i++ {
+			obj := sampler.Sample()
+			examples = append(examples, Example{Object: obj, Positive: target.Eval(obj)})
+		}
+		h, st := LearnFromExamples(u, examples, Params{})
+		for _, e := range examples {
+			if e.Positive && !h.Eval(e.Object) {
+				t.Fatalf("hypothesis %s rejects training positive %s (target %s)",
+					h, e.Object.Format(u), target)
+			}
+		}
+		if st.Samples != len(examples) {
+			t.Fatalf("stats samples = %d", st.Samples)
+		}
+	}
+}
+
+func TestLearnNoPositives(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	examples := []Example{
+		{Object: boolean.MustParseSet(u, "{100}"), Positive: false},
+		{Object: boolean.MustParseSet(u, "{010}"), Positive: false},
+	}
+	h, st := LearnFromExamples(u, examples, Params{})
+	if st.Positives != 0 {
+		t.Fatal("positives miscounted")
+	}
+	for _, e := range examples {
+		if h.Eval(e.Object) {
+			t.Fatalf("most-specific hypothesis accepted %s", e.Object.Format(u))
+		}
+	}
+}
+
+func TestLearnConvergesToTarget(t *testing.T) {
+	// With enough boundary samples the hypothesis agrees with the
+	// target almost everywhere under the same distribution.
+	rng := rand.New(rand.NewSource(82))
+	u := boolean.MustUniverse(5)
+	target := query.MustParse(u, "∀x1 → x2 ∃x3x4")
+	train := NewBoundarySampler(target, rng, 2)
+	o := oracle.Target(target)
+
+	h, st := Learn(u, o, train, 400, Params{})
+	if st.Positives == 0 {
+		t.Fatal("boundary sampler produced no positives")
+	}
+	test := NewBoundarySampler(target, rand.New(rand.NewSource(99)), 2)
+	if err := Error(h, target, test, 2000); err > 0.1 {
+		t.Errorf("error after 400 samples = %.3f (hypothesis %s)", err, h)
+	}
+}
+
+func TestErrorDecreasesWithSampleSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	u := boolean.MustUniverse(6)
+	target := query.MustParse(u, "∀x1x2 → x5 ∃x3x4")
+	o := oracle.Target(target)
+	errAt := func(m int) float64 {
+		total := 0.0
+		const reps = 5
+		for r := 0; r < reps; r++ {
+			train := NewBoundarySampler(target, rng, 2)
+			h, _ := Learn(u, o, train, m, Params{})
+			test := NewBoundarySampler(target, rand.New(rand.NewSource(int64(100+r))), 2)
+			total += Error(h, target, test, 1000)
+		}
+		return total / reps
+	}
+	small, large := errAt(10), errAt(300)
+	if large > small {
+		t.Errorf("error grew with sample size: %.3f (m=10) -> %.3f (m=300)", small, large)
+	}
+	if large > 0.15 {
+		t.Errorf("error at m=300 still %.3f", large)
+	}
+}
+
+func TestMinimalBodiesFindsTargetBody(t *testing.T) {
+	// Positives drawn from ∀x1x2 → x3 must yield the body {x1,x2}
+	// for head x3 (or something it dominates).
+	u := boolean.MustUniverse(4)
+	positives := []boolean.Set{
+		boolean.MustParseSet(u, "{1110, 1000}"),
+		boolean.MustParseSet(u, "{1110, 0100, 0010}"),
+		boolean.MustParseSet(u, "{1111}"),
+	}
+	bodies := minimalBodies(u, 2, positives, Params{}.normalize())
+	found := false
+	for _, b := range bodies {
+		if b == boolean.FromVars(0, 1) {
+			found = true
+		}
+		// No returned body may be violated or lack its guarantee.
+		for _, s := range positives {
+			if !s.AnyContains(b.With(2)) {
+				t.Fatalf("body %s lacks guarantee in %s", b, s.Format(u))
+			}
+			for _, tp := range s.Tuples() {
+				if tp.Contains(b) && !tp.Has(2) {
+					t.Fatalf("body %s violated by %s", b, u.Format(tp))
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("body x1x2 not found; got %v", bodies)
+	}
+}
+
+func TestCommonConjunctions(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	positives := []boolean.Set{
+		boolean.MustParseSet(u, "{1110, 0001}"),
+		boolean.MustParseSet(u, "{1100, 0011}"),
+	}
+	conjs := commonConjunctions(positives, Params{}.normalize())
+	// Every positive satisfies each returned conjunction.
+	for _, c := range conjs {
+		for _, s := range positives {
+			if !s.AnyContains(c) {
+				t.Fatalf("conjunction %s unsatisfied by %s", c, s.Format(u))
+			}
+		}
+	}
+	// x1x2 is common (1110∩1100 = 1100).
+	found := false
+	for _, c := range conjs {
+		if c.Contains(boolean.FromVars(0, 1)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("common conjunction x1x2 missing: %v", conjs)
+	}
+}
+
+func TestMaximalize(t *testing.T) {
+	ts := []boolean.Tuple{
+		boolean.FromVars(0, 1, 2),
+		boolean.FromVars(0, 1), // dominated
+		boolean.FromVars(3),
+		boolean.FromVars(0, 1, 2), // duplicate
+	}
+	out := maximalize(ts, 10)
+	if len(out) != 2 {
+		t.Fatalf("maximalize = %v", out)
+	}
+	capped := maximalize(ts, 1)
+	if len(capped) != 1 || capped[0] != boolean.FromVars(0, 1, 2) {
+		t.Fatalf("capped maximalize = %v", capped)
+	}
+}
+
+func TestBoundarySamplerProducesBothLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	u := boolean.MustUniverse(5)
+	target := query.MustParse(u, "∀x1 → x2 ∃x3x4")
+	s := NewBoundarySampler(target, rng, 2)
+	pos, neg := 0, 0
+	for i := 0; i < 500; i++ {
+		if target.Eval(s.Sample()) {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos < 50 || neg < 50 {
+		t.Errorf("unbalanced sampler: %d positive, %d negative", pos, neg)
+	}
+	_ = u
+}
+
+func TestParamsNormalize(t *testing.T) {
+	p := Params{}.normalize()
+	if p.MaxBodySize != 3 || p.MaxBodiesPerHead != 8 || p.MaxConjs != 64 {
+		t.Errorf("defaults = %+v", p)
+	}
+	p = Params{MaxBodySize: 2, MaxBodiesPerHead: 4, MaxConjs: 16}.normalize()
+	if p.MaxBodySize != 2 || p.MaxBodiesPerHead != 4 || p.MaxConjs != 16 {
+		t.Errorf("explicit params clobbered: %+v", p)
+	}
+}

@@ -1,0 +1,113 @@
+package query
+
+import (
+	"fmt"
+
+	"qhorn/internal/boolean"
+)
+
+// ClassReport explains which qhorn subclasses a query belongs to and,
+// when it does not, which restriction fails — the "verify that the
+// user's query is indeed in qhorn-1 or role-preserving qhorn" check
+// §6 calls for. Every violation message names the offending
+// expressions so a query interface can point at them.
+type ClassReport struct {
+	// Qhorn1 and RolePreserving report class membership (§2.1.3,
+	// §2.1.4).
+	Qhorn1         bool
+	RolePreserving bool
+	// Qhorn1Violations lists the qhorn-1 restrictions the query
+	// breaks, empty when Qhorn1 is true.
+	Qhorn1Violations []string
+	// RoleViolations lists the role-preservation violations, empty
+	// when RolePreserving is true.
+	RoleViolations []string
+}
+
+// Classify checks the query against both learnable subclasses and
+// reports every violated restriction.
+func (q Query) Classify() ClassReport {
+	r := ClassReport{}
+	r.RoleViolations = q.roleViolations()
+	r.RolePreserving = len(r.RoleViolations) == 0
+	r.Qhorn1Violations = q.qhorn1Violations()
+	r.Qhorn1 = len(r.Qhorn1Violations) == 0
+	return r
+}
+
+// roleViolations names every variable that appears both as a head and
+// as a body variable across universal Horn expressions (§2.1.4).
+func (q Query) roleViolations() []string {
+	var heads, bodies boolean.Tuple
+	for _, e := range q.Exprs {
+		if e.Quant != Forall {
+			continue
+		}
+		heads = heads.With(e.Head)
+		bodies = bodies.Union(e.Body)
+	}
+	var out []string
+	for _, v := range heads.Intersect(bodies).Vars() {
+		var asHead, asBody Expr
+		for _, e := range q.Exprs {
+			if e.Quant != Forall {
+				continue
+			}
+			if e.Head == v {
+				asHead = e
+			}
+			if e.Body.Has(v) {
+				asBody = e
+			}
+		}
+		out = append(out, fmt.Sprintf(
+			"x%d is the head of %s but a body variable of %s: roles must be preserved across universal Horn expressions",
+			v+1, asHead, asBody))
+	}
+	return out
+}
+
+// qhorn1Violations checks the four qhorn-1 restrictions of §2.1.3.
+func (q Query) qhorn1Violations() []string {
+	var out []string
+	var heads, bodyUnion boolean.Tuple
+	type bodied struct {
+		body boolean.Tuple
+		expr Expr
+	}
+	var bodies []bodied
+	for _, e := range q.Exprs {
+		if e.Head == NoHead {
+			out = append(out, fmt.Sprintf(
+				"%s is a headless conjunction: qhorn-1 expressions are Horn rules (rewrite as ∃body → head)", e))
+			continue
+		}
+		if heads.Has(e.Head) {
+			out = append(out, fmt.Sprintf(
+				"head x%d appears in more than one expression: a head variable has only one body", e.Head+1))
+		}
+		heads = heads.With(e.Head)
+		bodies = append(bodies, bodied{e.Body, e})
+		bodyUnion = bodyUnion.Union(e.Body)
+	}
+	for _, v := range heads.Intersect(bodyUnion).Vars() {
+		out = append(out, fmt.Sprintf(
+			"x%d is both a head and a body variable: qhorn-1 forbids variable repetition", v+1))
+	}
+	for i := range bodies {
+		for j := i + 1; j < len(bodies); j++ {
+			bi, bj := bodies[i].body, bodies[j].body
+			if bi.Intersects(bj) && bi != bj {
+				out = append(out, fmt.Sprintf(
+					"bodies of %s and %s overlap without being equal: bodies must be identical or disjoint",
+					bodies[i].expr, bodies[j].expr))
+			}
+		}
+	}
+	if uncovered := q.U.All().Minus(heads.Union(bodyUnion)); !uncovered.IsEmpty() {
+		out = append(out, fmt.Sprintf(
+			"variables %s appear in no expression: qhorn-1 queries quantify every proposition (add ∀x or ∃x)",
+			uncovered))
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qhorn/internal/boolean"
+)
+
+func TestClassifyAgreesWithPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	for i := 0; i < 200; i++ {
+		n := 2 + rng.Intn(8)
+		var q Query
+		if i%2 == 0 {
+			q = GenQhorn1(rng, n)
+		} else {
+			q = GenRolePreserving(rng, n, RPOptions{
+				Heads:         rng.Intn(n / 2),
+				BodiesPerHead: 1 + rng.Intn(2),
+				MaxBodySize:   1 + rng.Intn(3),
+				Conjs:         rng.Intn(3),
+				MaxConjSize:   1 + rng.Intn(n),
+			})
+		}
+		r := q.Classify()
+		if r.Qhorn1 != q.IsQhorn1() {
+			t.Fatalf("Classify.Qhorn1 = %v, IsQhorn1 = %v for %s\nviolations: %v",
+				r.Qhorn1, q.IsQhorn1(), q, r.Qhorn1Violations)
+		}
+		if r.RolePreserving != q.IsRolePreserving() {
+			t.Fatalf("Classify.RolePreserving = %v, IsRolePreserving = %v for %s",
+				r.RolePreserving, q.IsRolePreserving(), q)
+		}
+		if r.Qhorn1 && len(r.Qhorn1Violations) > 0 {
+			t.Fatal("member with violations")
+		}
+		if !r.Qhorn1 && len(r.Qhorn1Violations) == 0 {
+			t.Fatal("non-member without violations")
+		}
+	}
+}
+
+func TestClassifyDiagnostics(t *testing.T) {
+	u := boolean.MustUniverse(6)
+	tests := []struct {
+		query string
+		wants []string
+	}{
+		{
+			// §2.1.4's non-role-preserving example.
+			"∀x1x4 → x5 ∀x2x3x5 → x6",
+			[]string{"x5 is the head of", "roles must be preserved"},
+		},
+		{
+			"∃x1x2x3 ∀x4 ∀x5 ∃x6",
+			[]string{"headless conjunction", "rewrite as"},
+		},
+		{
+			"∀x1 → x4 ∃x2 → x4 ∃x3 ∃x5 ∃x6",
+			[]string{"head x4 appears in more than one expression"},
+		},
+		{
+			"∀x1x2 → x4 ∃x2x3 → x5 ∃x6",
+			[]string{"overlap without being equal"},
+		},
+		{
+			"∀x1x2 → x4 ∃x5",
+			[]string{"appear in no expression"},
+		},
+	}
+	for _, tc := range tests {
+		r := MustParse(u, tc.query).Classify()
+		all := strings.Join(append(r.Qhorn1Violations, r.RoleViolations...), " | ")
+		for _, want := range tc.wants {
+			if !strings.Contains(all, want) {
+				t.Errorf("Classify(%q): missing %q in %q", tc.query, want, all)
+			}
+		}
+	}
+}
+
+func TestClassifyFig2Example(t *testing.T) {
+	// Fig 2's qhorn-1 query is a member of both classes.
+	u := boolean.MustUniverse(6)
+	r := MustParse(u, "∀x1x2 → x4 ∃x1x2 → x5 ∃x3 → x6").Classify()
+	if !r.Qhorn1 || !r.RolePreserving {
+		t.Fatalf("Fig 2 query misclassified: %+v", r)
+	}
+}

@@ -1,0 +1,82 @@
+package query
+
+import "qhorn/internal/boolean"
+
+// Eval reports whether the object s is an answer to the query (§2,
+// Def. 2.4). The semantics follow the paper exactly:
+//
+//   - ∀ B → h holds iff every tuple containing B also contains h,
+//     AND (guarantee clause, §2.1 property 2) some tuple contains
+//     B ∪ {h}.
+//   - ∃ B → h and ∃ C hold iff some tuple contains B ∪ {h}
+//     (respectively C); the existential Horn form is implied by its
+//     guarantee clause.
+//
+// The empty query accepts every object. Because of guarantee clauses,
+// the empty object is a non-answer to any non-empty query — the
+// paper's empty chocolate box.
+func (q Query) Eval(s boolean.Set) bool {
+	for _, e := range q.Exprs {
+		if !q.evalExpr(e, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (q Query) evalExpr(e Expr, s boolean.Set) bool {
+	switch e.Quant {
+	case Forall:
+		for _, t := range s.Tuples() {
+			if t.Contains(e.Body) && !t.Has(e.Head) {
+				return false
+			}
+		}
+		// Guarantee clause: ∃ Body ∪ {Head}.
+		return s.AnyContains(e.Body.With(e.Head))
+	case Exists:
+		return s.AnyContains(e.Vars())
+	default:
+		panic("query: invalid quantifier")
+	}
+}
+
+// Violates reports whether tuple t violates some universal Horn
+// expression of the query: all body variables true but the head
+// false. The lattice learners and the verifier remove such tuples from
+// membership questions (§3.2.2, Fig. 6 footnote).
+func (q Query) Violates(t boolean.Tuple) bool {
+	for _, e := range q.Exprs {
+		if e.Quant == Forall && t.Contains(e.Body) && !t.Has(e.Head) {
+			return true
+		}
+	}
+	return false
+}
+
+// RepairUp returns t with head variables raised to true until no
+// universal Horn expression of the query is violated. This implements
+// the construction note of Fig. 6: "we set a head variable to true if
+// the existential expression contains a body for the head variable"
+// (equivalence rule R3). The result is the least tuple ⊇ t that does
+// not violate any universal expression.
+func (q Query) RepairUp(t boolean.Tuple) boolean.Tuple {
+	for changed := true; changed; {
+		changed = false
+		for _, e := range q.Exprs {
+			if e.Quant == Forall && t.Contains(e.Body) && !t.Has(e.Head) {
+				t = t.With(e.Head)
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+// Closure returns the R3-closure of a conjunction: the set of
+// variables obtained by repeatedly adding every universal head whose
+// body is contained in the conjunction. Normalized existential
+// conjunctions are closed (§3.2.2, query (2) of the paper).
+func (q Query) Closure(conj boolean.Tuple) boolean.Tuple {
+	return q.RepairUp(conj)
+}

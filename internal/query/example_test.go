@@ -1,0 +1,68 @@
+package query_test
+
+import (
+	"fmt"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+func ExampleParse() {
+	u := boolean.MustUniverse(6)
+	q, err := query.Parse(u, "∀x1x2 → x3 ∀x4 ∃x5 ∃x1x2x5")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q)
+	fmt.Println("size k:", q.Size())
+	fmt.Println("causal density θ:", q.CausalDensity())
+	// Output:
+	// ∀x1x2 → x3 ∀x4 ∃x1x2x5 ∃x5
+	// size k: 4
+	// causal density θ: 1
+}
+
+func ExampleQuery_Eval() {
+	// Query (1) of the paper: every chocolate is dark, and some
+	// chocolate is filled and from Madagascar.
+	u := boolean.MustUniverse(3)
+	q := query.MustParse(u, "∀x1 ∃x2x3")
+	answer := boolean.MustParseSet(u, "{111, 110}")
+	nonAnswer := boolean.MustParseSet(u, "{111, 010}")
+	fmt.Println(q.Eval(answer))
+	fmt.Println(q.Eval(nonAnswer))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleQuery_Normalize() {
+	// Rules R1–R3 in action: dominated expressions collapse, implied
+	// heads are folded into conjunctions, dominated universal bodies
+	// leave only their guarantee clause behind.
+	u := boolean.MustUniverse(4)
+	q := query.MustParse(u, "∀x1x2 → x3 ∀x1 → x3 ∃x1x2 ∃x1")
+	fmt.Println(q.Normalize())
+	// Output:
+	// ∀x1 → x3 ∃x1x2x3
+}
+
+func ExampleQuery_Equivalent() {
+	u := boolean.MustUniverse(3)
+	a := query.MustParse(u, "∀x1 → x2 ∃x1x3")
+	b := query.MustParse(u, "∀x1 → x2 ∃x1x2x3") // R3: x2 is implied
+	fmt.Println(a.Equivalent(b))
+	// Output:
+	// true
+}
+
+func ExampleQuery_Classify() {
+	u := boolean.MustUniverse(6)
+	q := query.MustParse(u, "∀x1x4 → x5 ∀x2x3x5 → x6")
+	r := q.Classify()
+	fmt.Println("role-preserving:", r.RolePreserving)
+	fmt.Println(r.RoleViolations[0])
+	// Output:
+	// role-preserving: false
+	// x5 is the head of ∀x1x4 → x5 but a body variable of ∀x2x3x5 → x6: roles must be preserved across universal Horn expressions
+}

@@ -1,0 +1,45 @@
+package query
+
+import (
+	"testing"
+
+	"qhorn/internal/boolean"
+)
+
+// FuzzParse checks the shorthand parser never panics and that every
+// accepted query validates and round-trips through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"∀x1x2 → x3 ∀x4 ∃x5",
+		"Ax1x2 -> x3 Ex4",
+		"forall x1 exists x2",
+		"∃x1x2x3",
+		"∀x1 → x1",
+		"∃x0",
+		"x1 → x2",
+		"∀∃",
+		"∀x1x4 → x5 ∀x3x4 → x5 ∀x1x2 → x6 ∃x1x2x3",
+		"A E -> x x9999999999",
+		"∃x1 ∧ ∃x2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	u := boolean.MustUniverse(6)
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(u, s)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("accepted query fails validation: %v", err)
+		}
+		back, err := Parse(u, q.String())
+		if err != nil {
+			t.Fatalf("printed query %q does not re-parse: %v", q.String(), err)
+		}
+		if !back.Equal(q) {
+			t.Fatalf("round trip changed query: %q -> %q", q.String(), back.String())
+		}
+	})
+}

@@ -1,0 +1,347 @@
+package query
+
+import (
+	"math/rand"
+
+	"qhorn/internal/boolean"
+)
+
+// GenQhorn1 generates a uniformly structured random qhorn-1 query on
+// n variables: a random partition of the variables into parts; each
+// singleton part becomes a bodyless universal or existential head, and
+// each larger part is split into a body and one or more heads, each
+// head quantified universally or existentially at random (§2.1.3).
+// The result always satisfies IsQhorn1.
+func GenQhorn1(rng *rand.Rand, n int) Query {
+	u := boolean.MustUniverse(n)
+	vars := rng.Perm(n)
+	var exprs []Expr
+	for len(vars) > 0 {
+		// Random part size, biased small the way user queries are.
+		max := len(vars)
+		size := 1 + rng.Intn(max)
+		if size > 4 && rng.Intn(2) == 0 {
+			size = 1 + rng.Intn(4)
+		}
+		part := vars[:size]
+		vars = vars[size:]
+		if size == 1 {
+			if rng.Intn(2) == 0 {
+				exprs = append(exprs, BodylessUniversal(part[0]))
+			} else {
+				exprs = append(exprs, ExistentialHorn(0, part[0]))
+			}
+			continue
+		}
+		bodySize := 1 + rng.Intn(size-1)
+		body := boolean.FromVars(part[:bodySize]...)
+		for _, h := range part[bodySize:] {
+			if rng.Intn(2) == 0 {
+				exprs = append(exprs, UniversalHorn(body, h))
+			} else {
+				exprs = append(exprs, ExistentialHorn(body, h))
+			}
+		}
+	}
+	return MustNew(u, exprs...)
+}
+
+// GenQhorn1Sized is GenQhorn1 with every part of the variable
+// partition capped at maxPart variables, yielding queries of size
+// k = Θ(n). This is the workload where the §3.1.2 serial baseline
+// pays its full O(n²) cost while the binary-search learner stays at
+// O(n lg n).
+func GenQhorn1Sized(rng *rand.Rand, n, maxPart int) Query {
+	u := boolean.MustUniverse(n)
+	if maxPart < 1 {
+		maxPart = 1
+	}
+	vars := rng.Perm(n)
+	var exprs []Expr
+	for len(vars) > 0 {
+		max := maxPart
+		if max > len(vars) {
+			max = len(vars)
+		}
+		size := 1 + rng.Intn(max)
+		part := vars[:size]
+		vars = vars[size:]
+		if size == 1 {
+			if rng.Intn(2) == 0 {
+				exprs = append(exprs, BodylessUniversal(part[0]))
+			} else {
+				exprs = append(exprs, ExistentialHorn(0, part[0]))
+			}
+			continue
+		}
+		bodySize := 1 + rng.Intn(size-1)
+		body := boolean.FromVars(part[:bodySize]...)
+		for _, h := range part[bodySize:] {
+			if rng.Intn(2) == 0 {
+				exprs = append(exprs, UniversalHorn(body, h))
+			} else {
+				exprs = append(exprs, ExistentialHorn(body, h))
+			}
+		}
+	}
+	return MustNew(u, exprs...)
+}
+
+// RPOptions bounds the shape of a random role-preserving query.
+type RPOptions struct {
+	// Heads is the number of universal head variables.
+	Heads int
+	// BodiesPerHead is the number of incomparable bodies generated
+	// for each head: the causal density θ of the head.
+	BodiesPerHead int
+	// MinBodySize floors the variables per body (default 1).
+	MinBodySize int
+	// MaxBodySize caps the variables per body (at least 1).
+	MaxBodySize int
+	// Conjs is the number of existential conjunctions.
+	Conjs int
+	// MaxConjSize caps the variables per conjunction (at least 1).
+	MaxConjSize int
+}
+
+// GenRolePreserving generates a random role-preserving qhorn query on
+// n variables (§2.1.4): universal Horn expressions whose heads never
+// reappear as body variables, plus existential conjunctions over
+// arbitrary variables. Bodies for the same head are made pairwise
+// incomparable so the generated causal density matches
+// o.BodiesPerHead when the variable budget allows.
+func GenRolePreserving(rng *rand.Rand, n int, o RPOptions) Query {
+	u := boolean.MustUniverse(n)
+	if o.Heads > n/2 {
+		o.Heads = n / 2
+	}
+	if o.MaxBodySize < 1 {
+		o.MaxBodySize = 1
+	}
+	if o.MinBodySize < 1 {
+		o.MinBodySize = 1
+	}
+	if o.MinBodySize > o.MaxBodySize {
+		o.MinBodySize = o.MaxBodySize
+	}
+	if o.MaxConjSize < 1 {
+		o.MaxConjSize = 1
+	}
+	perm := rng.Perm(n)
+	heads := perm[:o.Heads]
+	nonHeads := perm[o.Heads:]
+	var exprs []Expr
+	for _, h := range heads {
+		var bodies []boolean.Tuple
+		for attempt := 0; len(bodies) < o.BodiesPerHead && attempt < 20*o.BodiesPerHead+20; attempt++ {
+			b := randSubset(rng, nonHeads, o.MinBodySize, o.MaxBodySize)
+			incomparable := true
+			for _, prev := range bodies {
+				if prev.Comparable(b) {
+					incomparable = false
+					break
+				}
+			}
+			if incomparable {
+				bodies = append(bodies, b)
+			}
+		}
+		if len(bodies) == 0 {
+			exprs = append(exprs, BodylessUniversal(h))
+			continue
+		}
+		for _, b := range bodies {
+			exprs = append(exprs, UniversalHorn(b, h))
+		}
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	for i := 0; i < o.Conjs; i++ {
+		exprs = append(exprs, Conjunction(randSubset(rng, all, 1, o.MaxConjSize)))
+	}
+	return MustNew(u, exprs...)
+}
+
+// GenConjunctions generates a query of k random existential
+// conjunctions on n variables with no universal expressions, the
+// workload of the existential-learning experiments (Theorem 3.8).
+// Conjunctions are filtered to a dominant (pairwise incomparable) set
+// so the generated query size matches k when possible.
+func GenConjunctions(rng *rand.Rand, n, k, maxSize int) Query {
+	u := boolean.MustUniverse(n)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	var conjs []boolean.Tuple
+	for attempt := 0; len(conjs) < k && attempt < 50*k+50; attempt++ {
+		c := randSubset(rng, all, 1, maxSize)
+		ok := true
+		for _, prev := range conjs {
+			if prev.Comparable(c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			conjs = append(conjs, c)
+		}
+	}
+	exprs := make([]Expr, len(conjs))
+	for i, c := range conjs {
+		exprs[i] = Conjunction(c)
+	}
+	return MustNew(u, exprs...)
+}
+
+// Mutate applies `edits` random expression-level edits to a
+// role-preserving query — dropping an expression, adding a random
+// conjunction, or perturbing a conjunction by one variable — keeping
+// the result role-preserving. It generates the "close but wrong"
+// queries of the revision experiments (§6) and of user-error
+// simulations; each edit moves the distinguishing-tuple distance by
+// a small amount.
+func Mutate(rng *rand.Rand, q Query, edits int) Query {
+	exprs := append([]Expr{}, q.Normalize().Exprs...)
+	heads := q.UniversalHeads()
+	nonHeads := q.U.Complement(heads).Vars()
+	for e := 0; e < edits && len(exprs) > 0; e++ {
+		switch rng.Intn(3) {
+		case 0: // drop a random expression
+			i := rng.Intn(len(exprs))
+			exprs = append(exprs[:i], exprs[i+1:]...)
+		case 1: // add a random conjunction
+			if len(nonHeads) > 0 {
+				size := 1 + rng.Intn(minIntGen(3, len(nonHeads)))
+				var c boolean.Tuple
+				for _, i := range rng.Perm(len(nonHeads))[:size] {
+					c = c.With(nonHeads[i])
+				}
+				exprs = append(exprs, Conjunction(c))
+			}
+		default: // perturb a conjunction by one variable
+			idx := -1
+			for _, i := range rng.Perm(len(exprs)) {
+				if exprs[i].IsConjunction() {
+					idx = i
+					break
+				}
+			}
+			if idx >= 0 && len(nonHeads) > 0 {
+				v := nonHeads[rng.Intn(len(nonHeads))]
+				c := exprs[idx].Body
+				if c.Has(v) && c.Count() > 1 {
+					c = c.Without(v)
+				} else {
+					c = c.With(v)
+				}
+				exprs[idx] = Conjunction(c)
+			}
+		}
+	}
+	return Query{U: q.U, Exprs: exprs}
+}
+
+func minIntGen(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// AllQueries enumerates every syntactically distinct role-preserving
+// qhorn query on the universe, up to normalization: each element is
+// already in normal form, and no two elements are semantically
+// equivalent. It is exponential and intended for the two-variable
+// Fig 7/8 experiments and exhaustive small-n tests (n ≤ 3).
+func AllQueries(u boolean.Universe) []Query {
+	n := u.N()
+	if n > 3 {
+		panic("query: AllQueries is exhaustive and limited to n <= 3")
+	}
+	// Enumerate by choosing the set of universal head variables, for
+	// each head a non-empty set of bodies over the remaining
+	// variables (∅ body = bodyless ∀h), and a set of existential
+	// conjunctions; then deduplicate by normal form.
+	var out []Query
+	seen := map[string]bool{}
+	conjChoices := submasks(u.All())[1:] // non-empty conjunctions
+	for hm := 0; hm < 1<<uint(n); hm++ {
+		heads := boolean.Tuple(hm)
+		nonHeads := u.All().Minus(heads)
+		bodyChoices := submasks(nonHeads)
+		headList := heads.Vars()
+		var assign func(i int, acc []Expr)
+		assign = func(i int, acc []Expr) {
+			if i == len(headList) {
+				for cm := 0; cm < 1<<uint(len(conjChoices)); cm++ {
+					exprs := append([]Expr{}, acc...)
+					for b := range conjChoices {
+						if cm&(1<<uint(b)) != 0 {
+							exprs = append(exprs, Conjunction(conjChoices[b]))
+						}
+					}
+					nf := (Query{U: u, Exprs: exprs}).Normalize()
+					if key := nf.String(); !seen[key] {
+						seen[key] = true
+						out = append(out, nf)
+					}
+				}
+				return
+			}
+			h := headList[i]
+			for bm := 1; bm < 1<<uint(len(bodyChoices)); bm++ {
+				exprs := append([]Expr{}, acc...)
+				for b := range bodyChoices {
+					if bm&(1<<uint(b)) != 0 {
+						exprs = append(exprs, UniversalHorn(bodyChoices[b], h))
+					}
+				}
+				assign(i+1, exprs)
+			}
+		}
+		assign(0, nil)
+	}
+	return out
+}
+
+// submasks returns every subset of the set bits of m, in ascending
+// order, starting with the empty tuple.
+func submasks(m boolean.Tuple) []boolean.Tuple {
+	var out []boolean.Tuple
+	s := boolean.Tuple(0)
+	for {
+		out = append(out, s)
+		if s == m {
+			break
+		}
+		s = (s - m) & m // next submask: (s - m) & m enumerates submasks ascending
+	}
+	return out
+}
+
+// randSubset returns a random subset of vars with between min and max
+// elements (clamped to len(vars)).
+func randSubset(rng *rand.Rand, vars []int, min, max int) boolean.Tuple {
+	if max > len(vars) {
+		max = len(vars)
+	}
+	if min > max {
+		min = max
+	}
+	size := min
+	if max > min {
+		size = min + rng.Intn(max-min+1)
+	}
+	idx := rng.Perm(len(vars))[:size]
+	var t boolean.Tuple
+	for _, i := range idx {
+		t = t.With(vars[i])
+	}
+	return t
+}

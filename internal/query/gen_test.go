@@ -1,0 +1,209 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"qhorn/internal/boolean"
+)
+
+func TestGenQhorn1(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(20)
+		q := GenQhorn1(rng, n)
+		if !q.IsQhorn1() {
+			t.Fatalf("GenQhorn1(n=%d) produced non-qhorn-1 query %s", n, q)
+		}
+		if q.CausalDensity() > 1 {
+			t.Fatalf("qhorn-1 query has θ > 1: %s", q)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGenQhorn1Sized(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		n := 4 + rng.Intn(28)
+		q := GenQhorn1Sized(rng, n, 4)
+		if !q.IsQhorn1() {
+			t.Fatalf("GenQhorn1Sized produced non-qhorn-1 query %s", q)
+		}
+		// Parts capped at 4 variables force k ≥ n/4 expressions.
+		if q.Size() < n/4 {
+			t.Fatalf("n=%d: only %d expressions", n, q.Size())
+		}
+		for _, e := range q.Exprs {
+			if e.Vars().Count() > 4 {
+				t.Fatalf("expression %s spans more than 4 variables", e)
+			}
+		}
+	}
+}
+
+func TestGenRolePreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		n := 4 + rng.Intn(16)
+		o := RPOptions{
+			Heads:         rng.Intn(n / 2),
+			BodiesPerHead: 1 + rng.Intn(3),
+			MaxBodySize:   1 + rng.Intn(4),
+			Conjs:         rng.Intn(5),
+			MaxConjSize:   1 + rng.Intn(n),
+		}
+		q := GenRolePreserving(rng, n, o)
+		if !q.IsRolePreserving() {
+			t.Fatalf("GenRolePreserving produced non-role-preserving query %s", q)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGenRolePreservingTheta(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// With a generous variable budget the requested causal density is
+	// achieved.
+	for i := 0; i < 50; i++ {
+		q := GenRolePreserving(rng, 24, RPOptions{Heads: 2, BodiesPerHead: 3, MaxBodySize: 3, Conjs: 2, MaxConjSize: 5})
+		if got := q.CausalDensity(); got != 3 {
+			t.Fatalf("θ = %d, want 3 for %s", got, q)
+		}
+	}
+}
+
+func TestGenConjunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		n := 6 + rng.Intn(14)
+		k := 1 + rng.Intn(6)
+		q := GenConjunctions(rng, n, k, n/2)
+		if len(q.Exprs) == 0 {
+			t.Fatal("no conjunctions generated")
+		}
+		for _, e := range q.Exprs {
+			if !e.IsConjunction() {
+				t.Fatalf("non-conjunction expr %s", e)
+			}
+		}
+		// Generated conjunctions are pairwise incomparable, so the
+		// query is already in normal form with size preserved.
+		if got := len(q.Normalize().DominantConjunctions()); got != len(q.Exprs) {
+			t.Fatalf("conjunctions not dominant: %d of %d", got, len(q.Exprs))
+		}
+	}
+}
+
+func TestAllQueriesTwoVars(t *testing.T) {
+	u := boolean.MustUniverse(2)
+	queries := AllQueries(u)
+	// Every pair must be semantically inequivalent.
+	objects := boolean.AllObjects(u)
+	for i := range queries {
+		for j := i + 1; j < len(queries); j++ {
+			same := true
+			for _, obj := range objects {
+				if queries[i].Eval(obj) != queries[j].Eval(obj) {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("duplicate semantics: %s vs %s", queries[i], queries[j])
+			}
+		}
+	}
+	// The class on two variables contains the paper's Fig 7 queries.
+	want := []string{
+		"∃x1x2", "∃x1 ∃x2", "∃x1",
+		"∀x1 → x2", "∀x2 → x1",
+		"∀x1", "∀x1 ∃x2", "∀x1 ∀x2",
+	}
+	for _, w := range want {
+		q := MustParse(u, w)
+		found := false
+		for _, cand := range queries {
+			if cand.Equivalent(q) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("query %q missing from AllQueries", w)
+		}
+	}
+	t.Logf("distinct role-preserving queries on 2 variables: %d", len(queries))
+}
+
+func TestAllQueriesPanicsOnLargeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AllQueries(n=4) did not panic")
+		}
+	}()
+	AllQueries(boolean.MustUniverse(4))
+}
+
+func TestSubmasks(t *testing.T) {
+	m := boolean.FromVars(0, 2)
+	got := submasks(m)
+	want := []boolean.Tuple{0, 1, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("submasks = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("submasks = %v, want %v", got, want)
+		}
+	}
+	if got := submasks(0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("submasks(0) = %v", got)
+	}
+}
+
+func TestRandSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vars := []int{1, 3, 5, 7}
+	for i := 0; i < 100; i++ {
+		s := randSubset(rng, vars, 1, 3)
+		c := s.Count()
+		if c < 1 || c > 3 {
+			t.Fatalf("size %d out of range", c)
+		}
+		for _, v := range s.Vars() {
+			if v != 1 && v != 3 && v != 5 && v != 7 {
+				t.Fatalf("unexpected variable %d", v)
+			}
+		}
+	}
+	// min/max clamping
+	if s := randSubset(rng, vars, 2, 10); s.Count() < 2 || s.Count() > 4 {
+		t.Fatalf("clamped size wrong: %d", s.Count())
+	}
+}
+
+func TestMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		n := 6 + rng.Intn(8)
+		q := GenRolePreserving(rng, n, RPOptions{
+			Heads: 2, BodiesPerHead: 1, MaxBodySize: 3, Conjs: 3, MaxConjSize: 4,
+		})
+		// Zero edits preserve semantics.
+		if !Mutate(rng, q, 0).Equivalent(q) {
+			t.Fatal("0-edit mutation changed semantics")
+		}
+		m := Mutate(rng, q, 2)
+		if !m.IsRolePreserving() {
+			t.Fatalf("mutation left the class: %s", m)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

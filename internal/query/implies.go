@@ -1,0 +1,59 @@
+package query
+
+// Implies reports whether every object accepted by q is accepted by
+// other — query containment, decided structurally on the normal
+// forms (no object enumeration):
+//
+//   - every dominant universal Horn expression of other must be
+//     dominated by one of q's (same head, body ⊆ other's body, rule
+//     R2), and
+//   - every dominant conjunction of other — closed under q's
+//     universal expressions, which hold in all of q's answers (rule
+//     R3) — must be contained in one of q's dominant conjunctions
+//     (rule R1).
+//
+// Both queries must be role-preserving (as everywhere else, by
+// Proposition 4.1's normal-form reasoning). Equivalent(a, b) ⟺
+// Implies(a, b) ∧ Implies(b, a); tests check Implies against
+// exhaustive evaluation on small universes.
+func (q Query) Implies(other Query) bool {
+	if q.U.N() != other.U.N() {
+		return false
+	}
+	qa, qb := q.Normalize(), other.Normalize()
+
+	// Universal expressions: each of b's must be entailed by a
+	// stronger (smaller-body, same-head) expression of a.
+	aUniv := qa.DominantUniversals()
+	for _, eb := range qb.DominantUniversals() {
+		entailed := false
+		for _, ea := range aUniv {
+			if ea.Head == eb.Head && eb.Body.Contains(ea.Body) {
+				entailed = true
+				break
+			}
+		}
+		if !entailed {
+			return false
+		}
+	}
+
+	// Conjunctions: each of b's, closed under a's universal rules
+	// (true in every a-answer), must be witnessed by one of a's
+	// conjunctions.
+	aConjs := qa.DominantConjunctions()
+	for _, cb := range qb.DominantConjunctions() {
+		need := qa.Closure(cb)
+		witnessed := false
+		for _, ca := range aConjs {
+			if ca.Contains(need) {
+				witnessed = true
+				break
+			}
+		}
+		if !witnessed {
+			return false
+		}
+	}
+	return true
+}

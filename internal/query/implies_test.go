@@ -1,0 +1,104 @@
+package query
+
+import (
+	"testing"
+
+	"qhorn/internal/boolean"
+)
+
+func TestImpliesBasics(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"∃x1x2", "∃x1", true},          // stronger witness
+		{"∃x1", "∃x1x2", false},         // weaker witness
+		{"∀x1 → x2 ∃x3", "∃x3", true},   // dropping a constraint
+		{"∃x3", "∀x1 → x2 ∃x3", false},  // adding one
+		{"∀x1 → x2 ∃x1", "∃x1x2", true}, // R3: x2 implied in every answer
+		// R2 subtlety: ∀x1→x2 entails ∀x1x3→x2's universal constraint
+		// but NOT its guarantee clause ∃x1x2x3 — no implication either
+		// way (the object {110, 001} separates them).
+		{"∀x1 → x2 ∃x3", "∀x1x3 → x2 ∃x3", false},
+		{"∀x1x3 → x2 ∃x3", "∀x1 → x2 ∃x3", false},
+		// With the guarantee supplied explicitly, the implication holds.
+		{"∀x1 → x2 ∃x1x3", "∀x1x3 → x2 ∃x3", true},
+		{"∃x1 ∃x2", "∃x1", true},
+		{"∃x1x2", "∃x1 ∃x2", true},
+		{"∃x1 ∃x2", "∃x1x2", false}, // separate witnesses don't merge
+	}
+	for _, tc := range tests {
+		a, b := MustParse(u, tc.a), MustParse(u, tc.b)
+		if got := a.Implies(b); got != tc.want {
+			t.Errorf("Implies(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+	// Mismatched universes never imply.
+	if MustParse(boolean.MustUniverse(2), "∃x1").Implies(MustParse(u, "∃x1")) {
+		t.Error("cross-universe implication")
+	}
+}
+
+// TestImpliesMatchesExhaustiveEval: structural containment coincides
+// with object-level containment for every pair of role-preserving
+// queries on 2 and 3 variables.
+func TestImpliesMatchesExhaustiveEval(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		if n == 3 && testing.Short() {
+			continue
+		}
+		u := boolean.MustUniverse(n)
+		queries := AllQueries(u)
+		objects := boolean.AllObjects(u)
+		for _, a := range queries {
+			for _, b := range queries {
+				want := true
+				for _, obj := range objects {
+					if a.Eval(obj) && !b.Eval(obj) {
+						want = false
+						break
+					}
+				}
+				if got := a.Implies(b); got != want {
+					t.Fatalf("Implies(%s, %s) = %v, exhaustive = %v", a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestImpliesEquivalenceConsistency(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	queries := AllQueries(u)
+	for _, a := range queries {
+		for _, b := range queries {
+			both := a.Implies(b) && b.Implies(a)
+			if both != a.Equivalent(b) {
+				t.Fatalf("mutual implication disagrees with equivalence: %s vs %s", a, b)
+			}
+		}
+	}
+}
+
+func TestImpliesPartialOrder(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	queries := AllQueries(u)
+	// Reflexive.
+	for _, q := range queries {
+		if !q.Implies(q) {
+			t.Fatalf("not reflexive: %s", q)
+		}
+	}
+	// Transitive (sampled triples).
+	for i := 0; i < len(queries); i += 7 {
+		for j := 0; j < len(queries); j += 5 {
+			for k := 0; k < len(queries); k += 3 {
+				a, b, c := queries[i], queries[j], queries[k]
+				if a.Implies(b) && b.Implies(c) && !a.Implies(c) {
+					t.Fatalf("not transitive: %s ⊨ %s ⊨ %s", a, b, c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package query
+
+import (
+	"sort"
+
+	"qhorn/internal/boolean"
+)
+
+// DominantUniversals returns the non-dominated universal Horn
+// expressions of the query, deduplicated, in deterministic order
+// (head, then body). By equivalence rule R2, a universal Horn
+// expression with body B and head h dominates any universal expression
+// with the same head and body B' ⊇ B; dominated expressions are
+// dropped (their guarantee clauses survive in DominantConjunctions).
+func (q Query) DominantUniversals() []Expr {
+	byHead := map[int][]boolean.Tuple{}
+	for _, e := range q.Exprs {
+		if e.Quant != Forall {
+			continue
+		}
+		byHead[e.Head] = append(byHead[e.Head], e.Body)
+	}
+	var out []Expr
+	for head, bodies := range byHead {
+		for _, b := range minimalTuples(bodies) {
+			out = append(out, UniversalHorn(b, head))
+		}
+		_ = head
+	}
+	sortExprs(out)
+	return out
+}
+
+// DominantConjunctions returns the distinguishing tuples of all
+// dominant existential expressions of the query (§4.1.1): every
+// existential expression and every guarantee clause — including those
+// of dominated universal expressions, which rule R2 preserves — is
+// closed under rule R3 (implied heads added) and then filtered to the
+// maximal conjunctions under rule R1 (a conjunction dominates
+// conjunctions over subsets of its variables).
+func (q Query) DominantConjunctions() []boolean.Tuple {
+	var conjs []boolean.Tuple
+	for _, e := range q.Exprs {
+		switch e.Quant {
+		case Exists:
+			conjs = append(conjs, q.Closure(e.Vars()))
+		case Forall:
+			// Guarantee clause ∃ Body ∪ {Head}.
+			conjs = append(conjs, q.Closure(e.Body.With(e.Head)))
+		}
+	}
+	out := maximalTuples(conjs)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Normalize returns the canonical semantic normal form of the query:
+// its dominant universal Horn expressions plus one existential
+// conjunction per dominant distinguishing tuple. For role-preserving
+// qhorn queries, two queries are semantically equivalent iff their
+// normal forms are syntactically equal (Proposition 4.1).
+func (q Query) Normalize() Query {
+	exprs := q.DominantUniversals()
+	for _, c := range q.DominantConjunctions() {
+		exprs = append(exprs, Conjunction(c))
+	}
+	return Query{U: q.U, Exprs: exprs}
+}
+
+// Equivalent reports whether two role-preserving qhorn queries are
+// semantically equivalent, by Proposition 4.1: they have identical
+// sets of dominant universal and existential distinguishing tuples.
+// Tests cross-check this decision against exhaustive evaluation over
+// all objects for small universes.
+func (q Query) Equivalent(other Query) bool {
+	if q.U.N() != other.U.N() {
+		return false
+	}
+	return q.Normalize().Equal(other.Normalize())
+}
+
+// UniversalDistinguishingTuple returns the distinguishing tuple of a
+// universal Horn expression ∀ B → h (Definition 3.4, §4.1.2): the
+// body variables true, the head false, all other head variables of
+// the query true, and the remaining variables false.
+func (q Query) UniversalDistinguishingTuple(e Expr) boolean.Tuple {
+	heads := q.UniversalHeads()
+	return e.Body.Union(heads).Without(e.Head)
+}
+
+// ExistentialDistinguishingTuple returns the distinguishing tuple of
+// an existential conjunction over vars (Definition 3.5, §4.1.1): the
+// conjunction's variables true — raised by rule R3 so no universal
+// Horn expression is violated — and all other variables false.
+func (q Query) ExistentialDistinguishingTuple(vars boolean.Tuple) boolean.Tuple {
+	return q.Closure(vars)
+}
+
+// IsRolePreserving reports whether the query is in the
+// role-preserving qhorn class (§2.1.4): across universal Horn
+// expressions, no variable appears both as a head and as a body
+// variable. Existential expressions are unconstrained (they are read
+// as conjunctions).
+func (q Query) IsRolePreserving() bool {
+	var heads, bodies boolean.Tuple
+	for _, e := range q.Exprs {
+		if e.Quant != Forall {
+			continue
+		}
+		heads = heads.With(e.Head)
+		bodies = bodies.Union(e.Body)
+	}
+	return !heads.Intersects(bodies)
+}
+
+// IsQhorn1 reports whether the query is in the qhorn-1 class
+// (§2.1.3). Every expression must be in Horn form (head present), and:
+//
+//  1. bodies are pairwise disjoint or identical,
+//  2. head variables are pairwise distinct,
+//  3. no head variable appears in any body,
+//  4. every variable of the universe appears in exactly one role —
+//     qhorn-1 forbids variable repetition, and the class is built from
+//     partitions of all n variables (§2.1.3), so the learner's output
+//     always covers the universe.
+func (q Query) IsQhorn1() bool {
+	var heads, bodyUnion boolean.Tuple
+	var bodies []boolean.Tuple
+	for _, e := range q.Exprs {
+		if e.Head == NoHead {
+			return false
+		}
+		if heads.Has(e.Head) {
+			return false // repeated head
+		}
+		heads = heads.With(e.Head)
+		bodies = append(bodies, e.Body)
+		bodyUnion = bodyUnion.Union(e.Body)
+	}
+	if heads.Intersects(bodyUnion) {
+		return false
+	}
+	for i := range bodies {
+		for j := i + 1; j < len(bodies); j++ {
+			if bodies[i].Intersects(bodies[j]) && bodies[i] != bodies[j] {
+				return false
+			}
+		}
+	}
+	return heads.Union(bodyUnion) == q.U.All()
+}
+
+// minimalTuples keeps the tuples that contain no other tuple of the
+// input (minimal under ⊆), deduplicated.
+func minimalTuples(ts []boolean.Tuple) []boolean.Tuple {
+	var out []boolean.Tuple
+	for i, t := range ts {
+		keep := true
+		for j, u := range ts {
+			if i == j {
+				continue
+			}
+			if t.Contains(u) && u != t {
+				keep = false // t dominated by strict subset u
+				break
+			}
+			if u == t && j < i {
+				keep = false // duplicate
+				break
+			}
+		}
+		if keep {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// maximalTuples keeps the tuples contained in no other tuple of the
+// input (maximal under ⊆), deduplicated.
+func maximalTuples(ts []boolean.Tuple) []boolean.Tuple {
+	var out []boolean.Tuple
+	for i, t := range ts {
+		keep := true
+		for j, u := range ts {
+			if i == j {
+				continue
+			}
+			if u.Contains(t) && u != t {
+				keep = false
+				break
+			}
+			if u == t && j < i {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func sortExprs(es []Expr) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.Quant != b.Quant {
+			return a.Quant == Forall
+		}
+		if a.Head != b.Head {
+			return a.Head < b.Head
+		}
+		return a.Body < b.Body
+	})
+}

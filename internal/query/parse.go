@@ -1,0 +1,173 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"qhorn/internal/boolean"
+)
+
+// Parse reads a query in the paper's shorthand notation over the
+// given universe. The notation is a space-separated sequence of
+// quantified expressions:
+//
+//	∀x1x2 → x3  ∀x4  ∃x5  ∃x1x2x5
+//
+// ASCII equivalents are accepted: 'A' or "forall" for ∀, 'E' or
+// "exists" for ∃, and "->" for →. The '∧' conjunction symbol between
+// expressions is optional and ignored. An existential expression with
+// an arrow is parsed as an existential Horn expression; without an
+// arrow it is a conjunction (a single-variable existential such as
+// ∃x5 is parsed as the conjunction {x5}).
+func Parse(u boolean.Universe, s string) (Query, error) {
+	if strings.TrimSpace(s) == "⊤" {
+		// The empty query accepts every object; String prints it as ⊤.
+		return Query{U: u}, nil
+	}
+	toks, err := tokenize(s)
+	if err != nil {
+		return Query{}, err
+	}
+	var exprs []Expr
+	i := 0
+	for i < len(toks) {
+		t := toks[i]
+		if t.kind != tokQuant {
+			return Query{}, fmt.Errorf("query: expected quantifier at %q", t.text)
+		}
+		quant := t.quant
+		i++
+		var body boolean.Tuple
+		nvars := 0
+		for i < len(toks) && toks[i].kind == tokVar {
+			v := toks[i].varIndex
+			if v >= u.N() {
+				return Query{}, fmt.Errorf("query: variable x%d outside universe of %d variables", v+1, u.N())
+			}
+			body = body.With(v)
+			nvars++
+			i++
+		}
+		if nvars == 0 {
+			return Query{}, fmt.Errorf("query: quantifier %s with no variables", quant)
+		}
+		head := NoHead
+		if i < len(toks) && toks[i].kind == tokArrow {
+			i++
+			if i >= len(toks) || toks[i].kind != tokVar {
+				return Query{}, fmt.Errorf("query: expected head variable after →")
+			}
+			head = toks[i].varIndex
+			if head >= u.N() {
+				return Query{}, fmt.Errorf("query: head x%d outside universe of %d variables", head+1, u.N())
+			}
+			i++
+		}
+		switch {
+		case quant == Forall && head == NoHead:
+			// ∀x1x2 is shorthand for the conjunction of bodyless
+			// universal expressions ∀x1 ∀x2 (§2.1).
+			for _, v := range body.Vars() {
+				exprs = append(exprs, BodylessUniversal(v))
+			}
+		case quant == Forall:
+			exprs = append(exprs, UniversalHorn(body, head))
+		case head == NoHead && body.Count() == 1:
+			// ∃x is the degenerate bodyless existential Horn
+			// expression (§2.1), keeping single-variable quantifiers
+			// inside qhorn-1's Horn form.
+			exprs = append(exprs, ExistentialHorn(0, body.Lowest()))
+		case head == NoHead:
+			exprs = append(exprs, Conjunction(body))
+		default:
+			exprs = append(exprs, ExistentialHorn(body, head))
+		}
+	}
+	return New(u, exprs...)
+}
+
+// MustParse is Parse for fixtures and examples; it panics on error.
+func MustParse(u boolean.Universe, s string) Query {
+	q, err := Parse(u, s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind int
+
+const (
+	tokQuant tokKind = iota
+	tokVar
+	tokArrow
+)
+
+type token struct {
+	kind     tokKind
+	quant    Quantifier
+	varIndex int
+	text     string
+}
+
+func tokenize(s string) ([]token, error) {
+	var toks []token
+	rs := []rune(s)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r) || r == '∧' || r == '&':
+			i++
+		case r == '∀':
+			toks = append(toks, token{kind: tokQuant, quant: Forall, text: "∀"})
+			i++
+		case r == '∃':
+			toks = append(toks, token{kind: tokQuant, quant: Exists, text: "∃"})
+			i++
+		case r == 'A':
+			toks = append(toks, token{kind: tokQuant, quant: Forall, text: "A"})
+			i++
+		case r == 'E':
+			toks = append(toks, token{kind: tokQuant, quant: Exists, text: "E"})
+			i++
+		case r == '→':
+			toks = append(toks, token{kind: tokArrow, text: "→"})
+			i++
+		case r == '-':
+			if i+1 < len(rs) && rs[i+1] == '>' {
+				toks = append(toks, token{kind: tokArrow, text: "->"})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: unexpected '-' at position %d", i)
+			}
+		case r == 'x' || r == 'X':
+			j := i + 1
+			for j < len(rs) && unicode.IsDigit(rs[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("query: variable at position %d has no index", i)
+			}
+			idx := 0
+			for _, d := range rs[i+1 : j] {
+				idx = idx*10 + int(d-'0')
+			}
+			if idx < 1 {
+				return nil, fmt.Errorf("query: variables are numbered from x1, got x%d", idx)
+			}
+			toks = append(toks, token{kind: tokVar, varIndex: idx - 1, text: string(rs[i:j])})
+			i = j
+		case strings.HasPrefix(strings.ToLower(string(rs[i:])), "forall"):
+			toks = append(toks, token{kind: tokQuant, quant: Forall, text: "forall"})
+			i += len("forall")
+		case strings.HasPrefix(strings.ToLower(string(rs[i:])), "exists"):
+			toks = append(toks, token{kind: tokQuant, quant: Exists, text: "exists"})
+			i += len("exists")
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at position %d", r, i)
+		}
+	}
+	return toks, nil
+}

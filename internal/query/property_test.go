@@ -1,0 +1,245 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"qhorn/internal/boolean"
+)
+
+// genValue draws a random role-preserving query for testing/quick.
+type rpQuery struct{ Q Query }
+
+// Generate implements quick.Generator.
+func (rpQuery) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := 2 + rng.Intn(6)
+	q := GenRolePreserving(rng, n, RPOptions{
+		Heads:         rng.Intn(n / 2),
+		BodiesPerHead: 1 + rng.Intn(2),
+		MaxBodySize:   1 + rng.Intn(3),
+		Conjs:         rng.Intn(4),
+		MaxConjSize:   1 + rng.Intn(n),
+	})
+	return reflect.ValueOf(rpQuery{q})
+}
+
+// randomObject draws a random object over q's universe.
+func randomObject(rng *rand.Rand, u boolean.Universe) boolean.Set {
+	m := rng.Intn(5)
+	tuples := make([]boolean.Tuple, m)
+	for i := range tuples {
+		tuples[i] = boolean.Tuple(rng.Int63()) & u.All()
+	}
+	return boolean.NewSet(tuples...)
+}
+
+var quickCfg = &quick.Config{MaxCount: 200}
+
+func TestQuickNormalizePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	f := func(w rpQuery) bool {
+		nf := w.Q.Normalize()
+		for i := 0; i < 20; i++ {
+			obj := randomObject(rng, w.Q.U)
+			if w.Q.Eval(obj) != nf.Eval(obj) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(w rpQuery) bool {
+		nf := w.Q.Normalize()
+		return nf.Equal(nf.Normalize())
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickClosureIdempotentAndExtensive(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	f := func(w rpQuery) bool {
+		c := boolean.Tuple(rng.Int63()) & w.Q.U.All()
+		cl := w.Q.Closure(c)
+		return cl.Contains(c) && w.Q.Closure(cl) == cl
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickClosureMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	f := func(w rpQuery) bool {
+		a := boolean.Tuple(rng.Int63()) & w.Q.U.All()
+		b := a & boolean.Tuple(rng.Int63()) // b ⊆ a
+		return w.Q.Closure(a).Contains(w.Q.Closure(b))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDominantConjunctionsAntichain(t *testing.T) {
+	f := func(w rpQuery) bool {
+		conjs := w.Q.DominantConjunctions()
+		for i := range conjs {
+			for j := range conjs {
+				if i != j && conjs[i].Contains(conjs[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDominantUniversalsAntichainPerHead(t *testing.T) {
+	f := func(w rpQuery) bool {
+		dom := w.Q.DominantUniversals()
+		for i := range dom {
+			for j := range dom {
+				if i != j && dom[i].Head == dom[j].Head && dom[i].Body.Contains(dom[j].Body) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParsePrintRoundTrip(t *testing.T) {
+	f := func(w rpQuery) bool {
+		if len(w.Q.Exprs) == 0 {
+			return true // "⊤" is display-only
+		}
+		back, err := Parse(w.Q.U, w.Q.String())
+		return err == nil && back.Equivalent(w.Q)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEquivalentReflexiveSymmetric(t *testing.T) {
+	f := func(a, b rpQuery) bool {
+		if a.Q.U.N() != b.Q.U.N() {
+			return true
+		}
+		if !a.Q.Equivalent(a.Q) {
+			return false
+		}
+		return a.Q.Equivalent(b.Q) == b.Q.Equivalent(a.Q)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEvalMonotoneOnNonViolatingTuples: adding a tuple that
+// violates no universal expression never turns an answer into a
+// non-answer — the monotonicity the lattice learner's pruning relies
+// on.
+func TestQuickEvalMonotoneOnNonViolatingTuples(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	f := func(w rpQuery) bool {
+		obj := randomObject(rng, w.Q.U)
+		if !w.Q.Eval(obj) {
+			return true
+		}
+		extra := w.Q.RepairUp(boolean.Tuple(rng.Int63()) & w.Q.U.All())
+		return w.Q.Eval(obj.With(extra))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGuaranteeTupleIsAnswer: the object consisting of all
+// dominant distinguishing tuples is always an answer (the A1 fact).
+func TestQuickGuaranteeTupleIsAnswer(t *testing.T) {
+	f := func(w rpQuery) bool {
+		obj := boolean.NewSet(w.Q.DominantConjunctions()...)
+		return w.Q.Eval(obj)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRepairUpFixesViolations: RepairUp's result never violates
+// a universal expression.
+func TestQuickRepairUpFixesViolations(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	f := func(w rpQuery) bool {
+		tp := boolean.Tuple(rng.Int63()) & w.Q.U.All()
+		return !w.Q.Violates(w.Q.RepairUp(tp))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinimalMaximalTuples(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	f := func() bool {
+		m := rng.Intn(8)
+		ts := make([]boolean.Tuple, m)
+		for i := range ts {
+			ts[i] = boolean.Tuple(rng.Intn(256))
+		}
+		mins := minimalTuples(ts)
+		maxs := maximalTuples(ts)
+		// Every input is dominated by some minimal (⊇) and some
+		// maximal (⊆) survivor.
+		for _, t := range ts {
+			okMin, okMax := false, false
+			for _, mn := range mins {
+				if t.Contains(mn) {
+					okMin = true
+				}
+			}
+			for _, mx := range maxs {
+				if mx.Contains(t) {
+					okMax = true
+				}
+			}
+			if !okMin || !okMax {
+				return false
+			}
+		}
+		// Survivors are antichains.
+		for i := range mins {
+			for j := range mins {
+				if i != j && mins[i].Contains(mins[j]) {
+					return false
+				}
+			}
+		}
+		for i := range maxs {
+			for j := range maxs {
+				if i != j && maxs[i].Contains(maxs[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,420 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"qhorn/internal/boolean"
+)
+
+var u6 = boolean.MustUniverse(6)
+
+// paperQuery is the running example of §3.2 and §4.2:
+// ∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6.
+func paperQuery() Query {
+	return MustParse(u6, "∀x1x4 → x5 ∀x3x4 → x5 ∀x1x2 → x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6")
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	tests := []string{
+		"∀x1x2 → x3 ∀x4 ∃x5",
+		"∃x1x2x3",
+		"∀x1 ∃x2",
+		"∀x1x4 → x5 ∀x3x4 → x5 ∀x1x2 → x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6",
+	}
+	for _, s := range tests {
+		q := MustParse(u6, s)
+		q2 := MustParse(u6, q.String())
+		if !q.Equal(q2) {
+			t.Errorf("round trip of %q: %q -> %q", s, q.String(), q2.String())
+		}
+	}
+}
+
+func TestParseASCII(t *testing.T) {
+	a := MustParse(u6, "Ax1x2 -> x3 Ax4 Ex5")
+	b := MustParse(u6, "∀x1x2 → x3 ∀x4 ∃x5")
+	if !a.Equal(b) {
+		t.Errorf("ASCII parse differs: %s vs %s", a, b)
+	}
+	c := MustParse(u6, "forall x1x2 -> x3 forall x4 exists x5")
+	if !c.Equal(b) {
+		t.Errorf("word parse differs: %s vs %s", c, b)
+	}
+}
+
+func TestParseUniversalConjunctionSugar(t *testing.T) {
+	// ∀x1x2 means ∀x1 ∀x2 (§2.1: universal conjunction of bodyless
+	// expressions).
+	a := MustParse(u6, "∀x1x2")
+	b := MustParse(u6, "∀x1 ∀x2")
+	if !a.Equal(b) {
+		t.Errorf("∀x1x2 parsed as %s, want %s", a, b)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"x1",          // no quantifier
+		"∀",           // no variables
+		"∃x1 →",       // missing head
+		"∀x1 → y2",    // bad token
+		"∃x7",         // outside universe
+		"∀x1 → x7",    // head outside universe
+		"∀x1 - x2",    // bad arrow
+		"∃x",          // no index
+		"∃x0",         // variables start at x1
+		"∀x1 → x1",    // head in body
+		"zzz",         // garbage
+		"∃x1 ∀x2 → ∃", // quantifier as head
+	} {
+		if _, err := Parse(u6, bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestEvalPaperIntroQuery(t *testing.T) {
+	// Query (1) of §2 over propositions p1,p2,p3:
+	// ∀(x1) ∧ ∃(x2 ∧ x3), evaluated on the Fig. 1 boxes.
+	u := boolean.MustUniverse(3)
+	q := MustParse(u, "∀x1 ∃x2x3")
+	globalGround := boolean.MustParseSet(u, "{111, 100, 111}") // Fig 1 S1: 111, 000->? see below
+	_ = globalGround
+	s1 := boolean.MustParseSet(u, "{111, 000, 110}")
+	s2 := boolean.MustParseSet(u, "{100, 110}")
+	if q.Eval(s1) {
+		t.Error("S1 has a non-dark chocolate (000): should be non-answer")
+	}
+	if q.Eval(s2) {
+		t.Error("S2 has no filled Madagascar chocolate: should be non-answer")
+	}
+	s3 := boolean.MustParseSet(u, "{111, 110}")
+	if !q.Eval(s3) {
+		t.Error("all dark, one filled Madagascar: should be answer")
+	}
+}
+
+func TestEvalGuaranteeClause(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	q := MustParse(u, "∀x1 → x2")
+	// Universal constraint satisfied vacuously but guarantee clause
+	// ∃x1x2 unsatisfied: the all-false box is a non-answer (§2.1
+	// property 2: the empty / irrelevant box).
+	if q.Eval(boolean.MustParseSet(u, "{000}")) {
+		t.Error("guarantee clause not enforced")
+	}
+	if q.Eval(boolean.NewSet()) {
+		t.Error("empty object should be a non-answer")
+	}
+	if !q.Eval(boolean.MustParseSet(u, "{110}")) {
+		t.Error("{110} satisfies ∀x1→x2 and its guarantee")
+	}
+	if q.Eval(boolean.MustParseSet(u, "{110, 100}")) {
+		t.Error("{100} violates x1→x2")
+	}
+	// Empty query accepts everything, including the empty object.
+	empty := Query{U: u}
+	if !empty.Eval(boolean.NewSet()) {
+		t.Error("empty query rejected empty object")
+	}
+}
+
+func TestEvalExistentialHornEqualsConjunction(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	horn := MustParse(u, "∃x1x2 → x3")
+	conj := MustParse(u, "∃x1x2x3")
+	for _, obj := range boolean.AllObjects(u) {
+		if horn.Eval(obj) != conj.Eval(obj) {
+			t.Fatalf("∃x1x2→x3 and ∃x1x2x3 differ on %s", obj.Format(u))
+		}
+	}
+}
+
+func TestViolatesAndRepairUp(t *testing.T) {
+	q := paperQuery()
+	if !q.Violates(u6.MustParse("111110")) {
+		t.Error("111110 should violate ∀x1x2→x6")
+	}
+	if q.Violates(u6.MustParse("111111")) {
+		t.Error("all-true violates nothing")
+	}
+	if q.Violates(u6.MustParse("011110")) {
+		t.Error("011110 triggers no body")
+	}
+	// Repair of the conjunction ∃x1x2x3 adds x6 (rule R3): the
+	// normalized query (2) of §3.2.2.
+	if got := q.RepairUp(u6.MustParse("111000")); got != u6.MustParse("111001") {
+		t.Errorf("RepairUp(111000) = %s", u6.Format(got))
+	}
+	// Cascading repair: x3x4 forces x5.
+	if got := q.RepairUp(u6.MustParse("001100")); got != u6.MustParse("001110") {
+		t.Errorf("RepairUp(001100) = %s", u6.Format(got))
+	}
+}
+
+func TestDominantUniversalsR2(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	// R2 example: ∀x1x2x3→h ∀x1x2→h ∀x1→h ≡ ∀x1→h (+ guarantee of the
+	// largest body).
+	q := MustParse(u, "∀x1x2x3 → x4 ∀x1x2 → x4 ∀x1 → x4")
+	dom := q.DominantUniversals()
+	if len(dom) != 1 {
+		t.Fatalf("dominant universals = %v", dom)
+	}
+	if dom[0].Body != boolean.FromVars(0) || dom[0].Head != 3 {
+		t.Fatalf("dominant = %s", dom[0])
+	}
+	// The dominated guarantee ∃x1x2x3x4 must survive as a dominant
+	// conjunction.
+	conjs := q.DominantConjunctions()
+	if len(conjs) != 1 || conjs[0] != u.All() {
+		t.Fatalf("dominant conjunctions = %v", conjs)
+	}
+}
+
+func TestDominantConjunctionsR1(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	// R1 example: ∃x1x2x3 ∃x1x2 ∃x2x3 ≡ ∃x1x2x3.
+	q := MustParse(u, "∃x1x2x3 ∃x1x2 ∃x2x3")
+	conjs := q.DominantConjunctions()
+	if len(conjs) != 1 || conjs[0] != u.All() {
+		t.Fatalf("dominant conjunctions = %v", conjs)
+	}
+}
+
+func TestNormalizePaperExample(t *testing.T) {
+	// §3.2.2: the paper's query (2) has dominant conjunctions
+	// ∃x1x4x5 ∃x1x2x3x6 ∃x2x3x4x5 ∃x1x2x5x6 ∃x2x3x5x6.
+	q := paperQuery()
+	conjs := q.DominantConjunctions()
+	want := map[string]bool{
+		"100110": true, // ∃x1x4x5 (guarantee of ∀x1x4→x5)
+		"111001": true, // ∃x1x2x3x6
+		"011110": true, // ∃x2x3x4x5
+		"110011": true, // ∃x1x2x5x6
+		"011011": true, // ∃x2x3x5x6
+	}
+	if len(conjs) != len(want) {
+		t.Fatalf("got %d dominant conjunctions, want %d", len(conjs), len(want))
+	}
+	for _, c := range conjs {
+		if !want[u6.Format(c)] {
+			t.Errorf("unexpected dominant conjunction %s", u6.Format(c))
+		}
+	}
+	// Note the guarantee of ∀x3x4→x5 (∃x3x4x5 → closure 001110) is
+	// dominated by ∃x2x3x4x5, and the guarantee of ∀x1x2→x6 (111001
+	// after closure... ∃x1x2x6 → 110001) is dominated by ∃x1x2x5x6.
+	dom := q.DominantUniversals()
+	if len(dom) != 3 {
+		t.Fatalf("dominant universals = %v", dom)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"∃x1x2x3 ∃x1x2", "∃x1x2x3", true},
+		{"∀x1 → x2 ∃x1x3", "∀x1 → x2 ∃x1x2x3", true}, // R3
+		{"∀x1 → x2", "∀x1 → x3", false},
+		{"∃x1 ∃x2", "∃x1x2", false},
+		{"∀x1 ∃x2", "∀x1 ∃x1x2", true},
+		{"∀x1x2 → x3 ∀x1 → x3", "∀x1 → x3 ∃x1x2x3", true}, // R2
+	}
+	for _, tc := range tests {
+		a, b := MustParse(u, tc.a), MustParse(u, tc.b)
+		if got := a.Equivalent(b); got != tc.want {
+			t.Errorf("Equivalent(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestEquivalentMatchesExhaustiveEval cross-checks Proposition 4.1:
+// normal-form equality coincides with agreement on every object, for
+// every pair of role-preserving queries on 2 variables and a sample on
+// 3 variables.
+func TestEquivalentMatchesExhaustiveEval(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		u := boolean.MustUniverse(n)
+		queries := AllQueries(u)
+		if n == 3 && testing.Short() {
+			continue
+		}
+		objects := boolean.AllObjects(u)
+		limit := len(queries)
+		if n == 3 && limit > 60 {
+			limit = 60 // sample: full cross product is large
+		}
+		for i := 0; i < limit; i++ {
+			for j := i; j < limit; j++ {
+				qa, qb := queries[i], queries[j]
+				same := true
+				for _, obj := range objects {
+					if qa.Eval(obj) != qb.Eval(obj) {
+						same = false
+						break
+					}
+				}
+				if got := qa.Equivalent(qb); got != same {
+					t.Fatalf("Equivalent(%s, %s) = %v, exhaustive = %v", qa, qb, got, same)
+				}
+			}
+		}
+	}
+}
+
+func TestNormalizePreservesSemantics(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		u := boolean.MustUniverse(n)
+		objects := boolean.AllObjects(u)
+		for _, q := range AllQueries(u) {
+			nf := q.Normalize()
+			for _, obj := range objects {
+				if q.Eval(obj) != nf.Eval(obj) {
+					t.Fatalf("Normalize changed semantics of %s on %s", q, obj.Format(u))
+				}
+			}
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	for _, q := range AllQueries(u) {
+		nf := q.Normalize()
+		if !nf.Equal(nf.Normalize()) {
+			t.Fatalf("Normalize not idempotent on %s", q)
+		}
+	}
+}
+
+func TestSizeAndCausalDensity(t *testing.T) {
+	q := paperQuery()
+	if got := q.Size(); got != 7 {
+		t.Errorf("Size = %d, want 7", got)
+	}
+	// x5 has two non-dominated universal expressions.
+	if got := q.CausalDensity(); got != 2 {
+		t.Errorf("CausalDensity = %d, want 2", got)
+	}
+	u := boolean.MustUniverse(4)
+	if got := MustParse(u, "∃x1x2").CausalDensity(); got != 0 {
+		t.Errorf("conjunction-only θ = %d, want 0", got)
+	}
+	if got := MustParse(u, "∀x1x2x3 → x4 ∀x1 → x4").CausalDensity(); got != 1 {
+		t.Errorf("dominated expression counted: θ = %d, want 1", got)
+	}
+}
+
+func TestIsRolePreserving(t *testing.T) {
+	// §2.1.4 examples.
+	yes := MustParse(u6, "∀x1x4 → x5 ∀x3x4 → x5 ∀x2x4 → x6 ∃x1x2x3 ∃x1x2x5x6")
+	if !yes.IsRolePreserving() {
+		t.Error("paper's role-preserving example rejected")
+	}
+	no := MustParse(u6, "∀x1x4 → x5 ∀x2x3x5 → x6")
+	if no.IsRolePreserving() {
+		t.Error("x5 is both head and body: should be rejected")
+	}
+}
+
+func TestIsQhorn1(t *testing.T) {
+	u7 := boolean.MustUniverse(7)
+	// §2.1.3 partition example: ∀x1 ∀x2 ∃x3→x4 ∃x5x6→x7.
+	yes := MustParse(u7, "∀x1 ∀x2 ∃x3 → x4 ∃x5x6 → x7")
+	if !yes.IsQhorn1() {
+		t.Error("partition query rejected")
+	}
+	// Shared body with two heads is allowed (Fig 2).
+	shared := MustParse(u6, "∀x1x2 → x4 ∃x1x2 → x5 ∃x3 → x6")
+	if !shared.IsQhorn1() {
+		t.Error("shared-body query rejected")
+	}
+	for _, bad := range []string{
+		"∀x1x2 → x4 ∃x2x3 → x5 ∃x6",     // overlapping unequal bodies
+		"∀x1 → x4 ∃x4x2 → x5 ∃x3 ∃x6",   // head reused in body
+		"∃x1x2x3 ∀x4 ∀x5 ∃x6",           // headless conjunction
+		"∀x1 → x4 ∃x2 → x4 ∃x3 ∃x5 ∃x6", // repeated head
+		"∀x1x2 → x4 ∃x5",                // x3, x6 uncovered
+	} {
+		if MustParse(u6, bad).IsQhorn1() {
+			t.Errorf("IsQhorn1(%q) = true", bad)
+		}
+	}
+}
+
+func TestDistinguishingTuples(t *testing.T) {
+	q := paperQuery()
+	// §4.1.2: ∀x1x4→x5 ⇒ 100101, ∀x3x4→x5 ⇒ 001101, ∀x1x2→x6 ⇒ 110010.
+	tests := []struct {
+		expr string
+		want string
+	}{
+		{"∀x1x4 → x5", "100101"},
+		{"∀x3x4 → x5", "001101"},
+		{"∀x1x2 → x6", "110010"},
+	}
+	for _, tc := range tests {
+		e := MustParse(u6, tc.expr).Exprs[0]
+		if got := u6.Format(q.UniversalDistinguishingTuple(e)); got != tc.want {
+			t.Errorf("UniversalDistinguishingTuple(%s) = %s, want %s", tc.expr, got, tc.want)
+		}
+	}
+	// §4.2 A1: ∃x1x2x3 ⇒ 111001 (x6 raised to avoid ∀x1x2→x6).
+	if got := u6.Format(q.ExistentialDistinguishingTuple(u6.MustParse("111000"))); got != "111001" {
+		t.Errorf("ExistentialDistinguishingTuple(∃x1x2x3) = %s", got)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	tests := []struct {
+		expr Expr
+		want string
+	}{
+		{UniversalHorn(boolean.FromVars(0, 1), 3), "∀x1x2 → x4"},
+		{BodylessUniversal(2), "∀x3"},
+		{ExistentialHorn(boolean.FromVars(2), 5), "∃x3 → x6"},
+		{ExistentialHorn(0, 4), "∃x5"},
+		{Conjunction(boolean.FromVars(0, 4)), "∃x1x5"},
+	}
+	for _, tc := range tests {
+		if got := tc.expr.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+	if got := (Query{}).String(); got != "⊤" {
+		t.Errorf("empty query String = %q", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	bad := []Expr{
+		{Quant: Forall, Head: NoHead},                       // universal without head
+		{Quant: Exists, Head: NoHead},                       // empty conjunction
+		{Quant: Forall, Head: 5},                            // head outside universe
+		{Quant: Forall, Body: boolean.FromVars(0), Head: 0}, // head in body
+		{Quant: Exists, Body: boolean.FromVars(4), Head: 1}, // body outside universe
+	}
+	for _, e := range bad {
+		if _, err := New(u, e); err == nil {
+			t.Errorf("New accepted invalid expr %+v", e)
+		}
+	}
+	if _, err := New(u, Conjunction(boolean.FromVars(0))); err != nil {
+		t.Errorf("valid expr rejected: %v", err)
+	}
+}
+
+func TestQuantifierString(t *testing.T) {
+	if Forall.String() != "∀" || Exists.String() != "∃" {
+		t.Error("quantifier symbols wrong")
+	}
+	if !strings.Contains(Quantifier(9).String(), "9") {
+		t.Error("unknown quantifier should show its value")
+	}
+}

@@ -1,0 +1,40 @@
+package revise_test
+
+import (
+	"fmt"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+	"qhorn/internal/revise"
+)
+
+func ExampleRevise() {
+	u := boolean.MustUniverse(6)
+	// The user wrote a query one conjunction away from her intent.
+	given := query.MustParse(u, "∀x1x4 → x5 ∃x2x3")
+	intended := query.MustParse(u, "∀x1x4 → x5 ∃x2x3 ∃x2x6")
+
+	res, err := revise.Revise(given, oracle.Target(intended))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("exact:", res.Revised.Equivalent(intended))
+	fmt.Println("escalated:", res.Escalated)
+	fmt.Println(revise.Explain(given, res.Revised))
+	// Output:
+	// exact: true
+	// escalated: false
+	// + ∃x2x6
+}
+
+func ExampleDistance() {
+	u := boolean.MustUniverse(6)
+	a := query.MustParse(u, "∀x1x4 → x5 ∃x2x3")
+	b := query.MustParse(u, "∀x1x4 → x5 ∃x2x3x4")
+	fmt.Println(revise.Distance(a, a))
+	fmt.Println(revise.Distance(a, b))
+	// Output:
+	// 0
+	// 2
+}

@@ -1,0 +1,143 @@
+// Package session implements the interaction-history mechanism the
+// paper proposes for noisy users (§5): the system keeps a transcript
+// of every membership question and the user's response; the user can
+// review the history, flip a mistaken response, and the learning
+// algorithm restarts "from the point of error" — replaying the
+// corrected transcript and consulting the user only for questions the
+// corrected run has not seen before.
+//
+// A Session wraps any oracle. Learners run against the session; after
+// a run, Entries exposes the history, Amend flips a recorded
+// response, and the next run replays amended history before asking
+// the live oracle anything new.
+package session
+
+import (
+	"fmt"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/oracle"
+)
+
+// Entry is one question of the interaction history with the response
+// on record.
+type Entry struct {
+	// Question is the membership question asked.
+	Question boolean.Set
+	// Answer is the response currently on record.
+	Answer bool
+	// Amended marks responses the user corrected after the fact.
+	Amended bool
+}
+
+// Session is an oracle with a reviewable, amendable history. The zero
+// value is unusable; create one with New.
+type Session struct {
+	user  oracle.Oracle
+	order []string          // question keys in first-asked order
+	byKey map[string]*Entry // history, keyed by canonical question
+	// LiveQuestions counts questions forwarded to the user during the
+	// current run (replayed questions are free).
+	LiveQuestions int
+}
+
+// New returns a session over the user's oracle.
+func New(user oracle.Oracle) *Session {
+	return &Session{user: user, byKey: map[string]*Entry{}}
+}
+
+// Ask implements oracle.Oracle: repeated questions — including every
+// question replayed after an amendment — are answered from the
+// history; new questions go to the user and are recorded.
+func (s *Session) Ask(q boolean.Set) bool {
+	key := q.Key()
+	if e, ok := s.byKey[key]; ok {
+		return e.Answer
+	}
+	a := s.user.Ask(q)
+	s.LiveQuestions++
+	s.byKey[key] = &Entry{Question: q, Answer: a}
+	s.order = append(s.order, key)
+	return a
+}
+
+// Entries returns the history in first-asked order.
+func (s *Session) Entries() []Entry {
+	out := make([]Entry, 0, len(s.order))
+	for _, k := range s.order {
+		out = append(out, *s.byKey[k])
+	}
+	return out
+}
+
+// Len returns the number of distinct questions on record.
+func (s *Session) Len() int { return len(s.order) }
+
+// Amend flips the recorded response of history entry i (0-based,
+// first-asked order). The next learning run replays the corrected
+// history. It returns an error if i is out of range.
+func (s *Session) Amend(i int) error {
+	if i < 0 || i >= len(s.order) {
+		return fmt.Errorf("session: no history entry %d (have %d)", i, len(s.order))
+	}
+	e := s.byKey[s.order[i]]
+	e.Answer = !e.Answer
+	e.Amended = true
+	return nil
+}
+
+// AmendQuestion flips the recorded response for the given question.
+func (s *Session) AmendQuestion(q boolean.Set) error {
+	e, ok := s.byKey[q.Key()]
+	if !ok {
+		return fmt.Errorf("session: question %v not in history", q.Tuples())
+	}
+	e.Answer = !e.Answer
+	e.Amended = true
+	return nil
+}
+
+// ResetRun clears the live-question counter before a re-run; the
+// history itself is kept so the corrected responses replay for free.
+func (s *Session) ResetRun() { s.LiveQuestions = 0 }
+
+// Forget drops every history entry from i onward, forcing the next
+// run to re-ask them. Use when the user distrusts everything after
+// the point of error rather than a single response.
+func (s *Session) Forget(i int) error {
+	if i < 0 || i > len(s.order) {
+		return fmt.Errorf("session: no history entry %d (have %d)", i, len(s.order))
+	}
+	for _, k := range s.order[i:] {
+		delete(s.byKey, k)
+	}
+	s.order = s.order[:i]
+	return nil
+}
+
+// InconsistentWith returns the history indices whose recorded answers
+// disagree with the given query — the "review your answers" list a
+// query interface shows when verification fails. Flipping exactly
+// these entries makes the history consistent with q.
+func (s *Session) InconsistentWith(ask func(boolean.Set) bool) []int {
+	var out []int
+	for i, k := range s.order {
+		e := s.byKey[k]
+		if ask(e.Question) != e.Answer {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AmendAll flips every listed history entry; the next run replays the
+// corrections.
+func (s *Session) AmendAll(indices []int) error {
+	for _, i := range indices {
+		if err := s.Amend(i); err != nil {
+			return err
+		}
+	}
+	s.ResetRun()
+	return nil
+}

@@ -1,0 +1,128 @@
+package verify
+
+import (
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+// Focused tests for each question-family constructor of Fig 6.
+
+func TestA2SkippedForBodylessHeads(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	vs := mustBuild(t, query.MustParse(u, "∀x1 ∃x2x3"))
+	if got := questionsOf(t, vs, A2); len(got) != 0 {
+		t.Errorf("A2 emitted for a bodyless head: %v", got)
+	}
+	// N2 still probes it: {1^n, tg} with tg = 0 for ∀x1 (no other
+	// heads, non-body variables false).
+	n2 := questionsOf(t, vs, N2)
+	if len(n2) != 1 {
+		t.Fatalf("N2 count = %d", len(n2))
+	}
+	want := boolean.MustParseSet(u, "{111, 000}")
+	if !n2[0].Set.Equal(want) {
+		t.Errorf("N2 = %s, want %s", n2[0].Set.Format(u), want.Format(u))
+	}
+}
+
+func TestA3ProductOfBodies(t *testing.T) {
+	// Two bodies of the same head inside one conjunction: the roots
+	// are the 2×2 product of excluded variables.
+	u := boolean.MustUniverse(6)
+	q := query.MustParse(u, "∀x1x2 → x6 ∀x3x4 → x6 ∃x1x2x3x4x5")
+	vs := mustBuild(t, q)
+	var a3 *Question
+	for i := range vs.Questions {
+		if vs.Questions[i].Kind == A3 && vs.Questions[i].Head == 5 {
+			a3 = &vs.Questions[i]
+		}
+	}
+	if a3 == nil {
+		t.Fatal("A3 for head x6 missing")
+	}
+	// 1 all-true tuple + up to 4 roots (dedup may merge none here).
+	if a3.Set.Size() != 5 {
+		t.Fatalf("A3 has %d tuples, want 1 + 2×2 roots", a3.Set.Size())
+	}
+	// Every root excludes one variable from each body and keeps h
+	// false.
+	for _, tp := range a3.Set.Tuples() {
+		if tp == u.All() {
+			continue
+		}
+		if tp.Has(5) {
+			t.Fatalf("root %s has the head true", u.Format(tp))
+		}
+		if tp.Contains(boolean.FromVars(0, 1)) || tp.Contains(boolean.FromVars(2, 3)) {
+			t.Fatalf("root %s contains a complete body", u.Format(tp))
+		}
+	}
+}
+
+func TestN1SkipsChildrenViolatingUniversals(t *testing.T) {
+	// §4.2: the child dropping an implied head is excluded, not
+	// repaired.
+	u := boolean.MustUniverse(4)
+	q := query.MustParse(u, "∀x1 → x4 ∃x1x2x3")
+	vs := mustBuild(t, q)
+	n1 := questionsOf(t, vs, N1)
+	if len(n1) != 1 {
+		t.Fatalf("N1 count = %d", len(n1))
+	}
+	// Distinguishing tuple is 1111 (closure adds x4); children drop
+	// x1, x2 or x3 — dropping x4 would violate ∀x1→x4.
+	for _, tp := range n1[0].Set.Tuples() {
+		if q.Violates(tp) {
+			t.Fatalf("N1 contains violating tuple %s", u.Format(tp))
+		}
+	}
+	if n1[0].Set.Has(u.MustParse("1110")) {
+		t.Fatal("violating child 1110 not excluded")
+	}
+}
+
+func TestA4OnlyNonHeads(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	vs := mustBuild(t, query.MustParse(u, "∀x1 ∀x2 ∃x3x4"))
+	a4 := questionsOf(t, vs, A4)
+	if len(a4) != 1 {
+		t.Fatalf("A4 count = %d", len(a4))
+	}
+	// 1^n plus one tuple per non-head (x3, x4).
+	want := boolean.NewSet(u.All(), u.All().Without(2), u.All().Without(3))
+	if !a4[0].Set.Equal(want) {
+		t.Errorf("A4 = %s, want %s", a4[0].Set.Format(u), want.Format(u))
+	}
+	// All-heads query: no A4 at all.
+	vsAll := mustBuild(t, query.MustParse(u, "∀x1 ∀x2 ∀x3 ∀x4"))
+	if got := questionsOf(t, vsAll, A4); len(got) != 0 {
+		t.Errorf("A4 emitted with no non-head variables")
+	}
+}
+
+func TestGuaranteeTuplesExcludedFromN1(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	// The only conjunction is the guarantee of the universal: no N1.
+	vs := mustBuild(t, query.MustParse(u, "∀x1x2 → x3 ∃x4"))
+	for _, q := range questionsOf(t, vs, N1) {
+		if q.Conj == vs.Query.Closure(boolean.FromVars(0, 1, 2)) {
+			t.Fatal("guarantee tuple got an N1 question")
+		}
+	}
+}
+
+func TestVerificationSetDeterministic(t *testing.T) {
+	q := paperQuery()
+	a := mustBuild(t, q)
+	b := mustBuild(t, q)
+	if len(a.Questions) != len(b.Questions) {
+		t.Fatal("nondeterministic question count")
+	}
+	for i := range a.Questions {
+		if !a.Questions[i].Set.Equal(b.Questions[i].Set) || a.Questions[i].Kind != b.Questions[i].Kind {
+			t.Fatalf("question %d differs between builds", i)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package verify
+
+import (
+	"fmt"
+	"math/bits"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+// This file implements teaching sets — the minimal classified-example
+// sequences of Goldman and Kearns that §5 of the paper cites as the
+// analogue of verification sets ("A teaching sequence is the smallest
+// sequence of classified examples a teacher must reveal to a learner
+// to help it uniquely identify a target concept"). For small
+// universes the exact minimum can be computed by exhaustive search,
+// which experiment E18 uses to measure how close the paper's O(k)
+// verification sets come to the information-theoretic optimum.
+
+// TeachingExample is one classified object of a teaching set.
+type TeachingExample struct {
+	Object boolean.Set
+	// Answer is the target query's classification.
+	Answer bool
+}
+
+// MinimalTeachingSet returns a smallest set of classified objects
+// from the pool that distinguishes target from every inequivalent
+// query in the class: any learner that sees these examples can rule
+// out every other candidate. The search is exact (breadth-first over
+// subset sizes) and exponential in the pool; it returns an error for
+// pools beyond 24 objects or when the pool cannot distinguish the
+// target at all.
+func MinimalTeachingSet(target query.Query, class []query.Query, pool []boolean.Set) ([]TeachingExample, error) {
+	if len(pool) > 24 {
+		return nil, fmt.Errorf("verify: teaching-set search over %d objects is exhaustive; cap is 24", len(pool))
+	}
+	// rivals[i] = bitmask of pool questions that separate rival i
+	// from the target.
+	var rivals []uint32
+	for _, q := range class {
+		if q.Equivalent(target) {
+			continue
+		}
+		var mask uint32
+		for i, obj := range pool {
+			if q.Eval(obj) != target.Eval(obj) {
+				mask |= 1 << uint(i)
+			}
+		}
+		if mask == 0 {
+			return nil, fmt.Errorf("verify: pool cannot distinguish %s from %s", target, q)
+		}
+		rivals = append(rivals, mask)
+	}
+	if len(rivals) == 0 {
+		return nil, nil
+	}
+	// Exact minimum set cover over ≤24 elements by increasing size.
+	best, ok := minCover(rivals, len(pool))
+	if !ok {
+		return nil, fmt.Errorf("verify: no covering subset found")
+	}
+	var out []TeachingExample
+	for i := 0; i < len(pool); i++ {
+		if best&(1<<uint(i)) != 0 {
+			out = append(out, TeachingExample{Object: pool[i], Answer: target.Eval(pool[i])})
+		}
+	}
+	return out, nil
+}
+
+// minCover finds a minimum-size subset (as a bitmask over n elements)
+// hitting every rival mask. Branch-and-bound on the rival with the
+// fewest options keeps tiny instances instant.
+func minCover(rivals []uint32, n int) (uint32, bool) {
+	bestMask := uint32(0)
+	bestSize := n + 1
+	var rec func(chosen uint32, size int, remaining []uint32)
+	rec = func(chosen uint32, size int, remaining []uint32) {
+		if size >= bestSize {
+			return
+		}
+		// Find an uncovered rival with the fewest separating
+		// questions.
+		idx := -1
+		minOpts := 33
+		for i, m := range remaining {
+			if m&chosen != 0 {
+				continue // already covered
+			}
+			if opts := bits.OnesCount32(m); opts < minOpts {
+				minOpts = opts
+				idx = i
+			}
+		}
+		if idx == -1 {
+			bestMask, bestSize = chosen, size
+			return
+		}
+		m := remaining[idx]
+		for m != 0 {
+			bit := m & (-m)
+			m &^= bit
+			rec(chosen|bit, size+1, remaining)
+		}
+	}
+	rec(0, 0, rivals)
+	return bestMask, bestSize <= n
+}
+
+// TeachingLowerBound returns |MinimalTeachingSet| for the target over
+// the full object space of a tiny universe (n ≤ 2), together with the
+// verification-set size, for the E18 comparison.
+func TeachingLowerBound(target query.Query, class []query.Query) (teaching, verification int, err error) {
+	u := target.U
+	if u.N() > 2 {
+		return 0, 0, fmt.Errorf("verify: exact teaching sets limited to 2 variables (object space 2^(2^n))")
+	}
+	pool := boolean.AllObjects(u)
+	ts, err := MinimalTeachingSet(target, class, pool)
+	if err != nil {
+		return 0, 0, err
+	}
+	vs, err := Build(target)
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(ts), len(vs.Questions), nil
+}

@@ -1,0 +1,193 @@
+package verify
+
+import (
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+func TestMinimalTeachingSetDistinguishes(t *testing.T) {
+	u := boolean.MustUniverse(2)
+	class := query.AllQueries(u)
+	pool := boolean.AllObjects(u)
+	for _, target := range class {
+		ts, err := MinimalTeachingSet(target, class, pool)
+		if err != nil {
+			t.Fatalf("target %s: %v", target, err)
+		}
+		// Every inequivalent rival must disagree on some example.
+		for _, rival := range class {
+			if rival.Equivalent(target) {
+				continue
+			}
+			separated := false
+			for _, ex := range ts {
+				if rival.Eval(ex.Object) != ex.Answer {
+					separated = true
+					break
+				}
+			}
+			if !separated {
+				t.Fatalf("teaching set of %s does not rule out %s", target, rival)
+			}
+		}
+		// Examples carry the target's own classification.
+		for _, ex := range ts {
+			if target.Eval(ex.Object) != ex.Answer {
+				t.Fatalf("example mislabeled for %s", target)
+			}
+		}
+	}
+}
+
+func TestMinimalTeachingSetIsMinimal(t *testing.T) {
+	// Brute-check minimality for a few targets: no strictly smaller
+	// subset of the pool distinguishes.
+	u := boolean.MustUniverse(2)
+	class := query.AllQueries(u)
+	pool := boolean.AllObjects(u)
+	check := 0
+	for _, target := range class {
+		ts, err := MinimalTeachingSet(target, class, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ts) == 0 {
+			continue
+		}
+		// Any subset of size len(ts)-1 must fail for some rival.
+		size := len(ts) - 1
+		found := subsetDistinguishes(target, class, pool, size)
+		if found {
+			t.Fatalf("target %s: a %d-example set suffices but %d were returned", target, size, len(ts))
+		}
+		check++
+		if check == 6 {
+			break // the inner search is exponential; a sample suffices
+		}
+	}
+}
+
+// subsetDistinguishes reports whether some size-k subset of the pool
+// distinguishes the target from every rival.
+func subsetDistinguishes(target query.Query, class []query.Query, pool []boolean.Set, k int) bool {
+	idx := make([]int, k)
+	var rec func(start, d int) bool
+	covers := func(sel []int) bool {
+		for _, rival := range class {
+			if rival.Equivalent(target) {
+				continue
+			}
+			sep := false
+			for _, i := range sel {
+				if rival.Eval(pool[i]) != target.Eval(pool[i]) {
+					sep = true
+					break
+				}
+			}
+			if !sep {
+				return false
+			}
+		}
+		return true
+	}
+	rec = func(start, d int) bool {
+		if d == k {
+			return covers(idx)
+		}
+		for i := start; i < len(pool); i++ {
+			idx[d] = i
+			if rec(i+1, d+1) {
+				return true
+			}
+		}
+		return false
+	}
+	if k == 0 {
+		return covers(nil)
+	}
+	return rec(0, 0)
+}
+
+// TestVerificationSetsNearTeachingOptimum: on two variables the O(k)
+// verification sets stay within a small factor of the exact teaching
+// minimum.
+func TestVerificationSetsNearTeachingOptimum(t *testing.T) {
+	u := boolean.MustUniverse(2)
+	class := query.AllQueries(u)
+	worstRatio := 0.0
+	for _, target := range class {
+		teach, ver, err := TeachingLowerBound(target, class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if teach == 0 {
+			continue
+		}
+		if ver < teach {
+			t.Fatalf("target %s: verification %d below teaching minimum %d — impossible", target, ver, teach)
+		}
+		if r := float64(ver) / float64(teach); r > worstRatio {
+			worstRatio = r
+		}
+	}
+	t.Logf("worst verification/teaching ratio on 2 variables: %.2f", worstRatio)
+	if worstRatio > 4 {
+		t.Errorf("verification sets are %.1f× the teaching optimum", worstRatio)
+	}
+}
+
+func TestTeachingSetErrors(t *testing.T) {
+	u := boolean.MustUniverse(2)
+	target := query.MustParse(u, "∃x1")
+	class := query.AllQueries(u)
+	big := make([]boolean.Set, 25)
+	if _, err := MinimalTeachingSet(target, class, big); err == nil {
+		t.Error("oversized pool accepted")
+	}
+	// A pool that cannot separate ∃x1 from ∃x2.
+	pool := []boolean.Set{boolean.MustParseSet(u, "{11}")}
+	if _, err := MinimalTeachingSet(target, class, pool); err == nil {
+		t.Error("inseparable pool accepted")
+	}
+	// Singleton class: nothing to teach.
+	ts, err := MinimalTeachingSet(target, []query.Query{target}, pool)
+	if err != nil || ts != nil {
+		t.Errorf("singleton class: %v, %v", ts, err)
+	}
+	big3 := query.MustParse(boolean.MustUniverse(3), "∃x1")
+	if _, _, err := TeachingLowerBound(big3, nil); err == nil {
+		t.Error("3-variable TeachingLowerBound accepted")
+	}
+}
+
+// TestTeachingSetLearnerCanUseIt: feeding the teaching set to the
+// brute-force elimination principle identifies the target.
+func TestTeachingSetLearnerCanUseIt(t *testing.T) {
+	u := boolean.MustUniverse(2)
+	class := query.AllQueries(u)
+	pool := boolean.AllObjects(u)
+	for _, target := range class {
+		ts, err := MinimalTeachingSet(target, class, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remaining := 0
+		for _, q := range class {
+			consistent := true
+			for _, ex := range ts {
+				if q.Eval(ex.Object) != ex.Answer {
+					consistent = false
+					break
+				}
+			}
+			if consistent && !q.Equivalent(target) {
+				remaining++
+			}
+		}
+		if remaining != 0 {
+			t.Fatalf("target %s: %d rivals survive its teaching set", target, remaining)
+		}
+	}
+}

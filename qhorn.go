@@ -1,0 +1,284 @@
+// Package qhorn learns and verifies quantified Boolean database
+// queries from membership questions, implementing "Learning and
+// Verifying Quantified Boolean Queries by Example" (Abouzied,
+// Angluin, Papadimitriou, Hellerstein, Silberschatz — PODS 2013).
+//
+// A qhorn query is a conjunction of quantified Horn expressions over
+// the tuples nested inside a data object, written in the paper's
+// shorthand:
+//
+//	∀x1x2 → x3  ∀x4  ∃x5  ∃x1x2x5
+//
+// Each Boolean variable stands for one simple proposition the user
+// wrote about the embedded tuples (the nested sub-package maps
+// propositions and data to and from this Boolean domain). Instead of
+// making the user write the quantified query, the package asks her
+// membership questions — "is this object an answer?" — and
+// reconstructs the query exactly:
+//
+//	u := qhorn.MustUniverse(6)
+//	target := qhorn.MustParseQuery(u, "∀x1x4 → x5 ∃x2x3")
+//	learned, stats := qhorn.LearnRolePreserving(u, qhorn.TargetOracle(target))
+//	fmt.Println(learned, stats.Total()) // equivalent query, #questions
+//
+// Two exactly-learnable classes are provided, with the paper's
+// complexity guarantees:
+//
+//   - LearnQhorn1: qhorn-1 (no variable repetition), O(n lg n)
+//     questions (Theorem 3.1);
+//   - LearnRolePreserving: role-preserving qhorn (variables repeat
+//     but never switch head/body roles), O(n^(θ+1) + k·n·lg n)
+//     questions (Theorems 3.5 and 3.8).
+//
+// Verification answers the converse problem: given a query the user
+// wrote herself, BuildVerificationSet generates the O(k) membership
+// questions of §4 (families A1–A4, N1–N2, Fig 6) whose
+// classifications uniquely pin down the query's semantics; Verify
+// runs them against the user and reports any disagreement
+// (Theorem 4.2).
+package qhorn
+
+import (
+	"math/rand"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/learn"
+	"qhorn/internal/oracle"
+	"qhorn/internal/pac"
+	"qhorn/internal/query"
+	"qhorn/internal/revise"
+	"qhorn/internal/session"
+	"qhorn/internal/verify"
+)
+
+// Core Boolean-domain types (see internal/boolean).
+type (
+	// Universe is a fixed set of n Boolean variables, one per
+	// proposition.
+	Universe = boolean.Universe
+	// Tuple is a true/false assignment to the universe's variables.
+	Tuple = boolean.Tuple
+	// Set is a set of tuples: an object, and the payload of every
+	// membership question.
+	Set = boolean.Set
+)
+
+// Query-model types (see internal/query).
+type (
+	// Query is a qhorn query: a conjunction of quantified Horn
+	// expressions with implicit guarantee clauses.
+	Query = query.Query
+	// Expr is one quantified (Horn) expression.
+	Expr = query.Expr
+	// Quantifier distinguishes ∀ from ∃.
+	Quantifier = query.Quantifier
+)
+
+// Oracle answers membership questions; it is how the user (real or
+// simulated) plugs into the learners and the verifier.
+type Oracle = oracle.Oracle
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc = oracle.Func
+
+// Learning statistics (per-phase question counts).
+type (
+	// Qhorn1Stats breaks down the qhorn-1 learner's questions.
+	Qhorn1Stats = learn.Qhorn1Stats
+	// RPStats breaks down the role-preserving learner's questions.
+	RPStats = learn.RPStats
+)
+
+// Verification types (see internal/verify).
+type (
+	// VerificationSet is the O(k) question set of §4.
+	VerificationSet = verify.Set
+	// VerificationQuestion is one question with its expected
+	// classification.
+	VerificationQuestion = verify.Question
+	// VerificationResult reports agreement and disagreements.
+	VerificationResult = verify.Result
+)
+
+// Quantifiers and the headless-expression marker.
+const (
+	Forall = query.Forall
+	Exists = query.Exists
+	NoHead = query.NoHead
+)
+
+// NewUniverse returns a universe of n Boolean variables (n ≤ 64).
+func NewUniverse(n int) (Universe, error) { return boolean.NewUniverse(n) }
+
+// MustUniverse is NewUniverse for statically known sizes.
+func MustUniverse(n int) Universe { return boolean.MustUniverse(n) }
+
+// ParseQuery reads a query in the paper's shorthand notation
+// ("∀x1x2 → x3 ∃x4"; ASCII "Ax1x2 -> x3 Ex4" also accepted).
+func ParseQuery(u Universe, s string) (Query, error) { return query.Parse(u, s) }
+
+// MustParseQuery is ParseQuery for fixtures and examples.
+func MustParseQuery(u Universe, s string) Query { return query.MustParse(u, s) }
+
+// NewQuery builds a validated query from expressions; use the
+// constructors UniversalHorn, BodylessUniversal, ExistentialHorn and
+// Conjunction.
+func NewQuery(u Universe, exprs ...Expr) (Query, error) { return query.New(u, exprs...) }
+
+// UniversalHorn returns ∀ body → head.
+func UniversalHorn(body Tuple, head int) Expr { return query.UniversalHorn(body, head) }
+
+// BodylessUniversal returns ∀ head.
+func BodylessUniversal(head int) Expr { return query.BodylessUniversal(head) }
+
+// ExistentialHorn returns ∃ body → head.
+func ExistentialHorn(body Tuple, head int) Expr { return query.ExistentialHorn(body, head) }
+
+// Conjunction returns the existential conjunction ∃ vars.
+func Conjunction(vars Tuple) Expr { return query.Conjunction(vars) }
+
+// Vars builds a tuple from 0-based variable indices.
+func Vars(vars ...int) Tuple { return boolean.FromVars(vars...) }
+
+// LearnQhorn1 learns a qhorn-1 query exactly with O(n lg n)
+// membership questions (§3.1, Theorem 3.1).
+func LearnQhorn1(u Universe, o Oracle) (Query, Qhorn1Stats) { return learn.Qhorn1(u, o) }
+
+// LearnRolePreserving learns a role-preserving qhorn query exactly
+// with O(n^(θ+1) + k·n·lg n) membership questions (§3.2).
+func LearnRolePreserving(u Universe, o Oracle) (Query, RPStats) { return learn.RolePreserving(u, o) }
+
+// BuildVerificationSet constructs the O(k) verification questions of
+// §4 for a role-preserving query.
+func BuildVerificationSet(q Query) (VerificationSet, error) { return verify.Build(q) }
+
+// Verify asks the user every verification question of q and reports
+// whether she agrees with q's classifications (Theorem 4.2: any
+// semantic difference from her intended query surfaces here).
+func Verify(q Query, o Oracle) (VerificationResult, error) { return verify.Verify(q, o) }
+
+// TargetOracle simulates a user whose intended query is q.
+func TargetOracle(q Query) Oracle { return oracle.Target(q) }
+
+// NoisyOracle flips each of o's responses with probability p.
+func NoisyOracle(o Oracle, p float64, rng *rand.Rand) Oracle { return oracle.Noisy(o, p, rng) }
+
+// CountingOracle wraps o and counts questions and tuples.
+func CountingOracle(o Oracle) *oracle.Counter { return oracle.Count(o) }
+
+// RecordingOracle wraps o and records the full interaction
+// transcript.
+func RecordingOracle(o Oracle) *oracle.Transcript { return oracle.Record(o) }
+
+// GenQhorn1 generates a random qhorn-1 query on n variables.
+func GenQhorn1(rng *rand.Rand, n int) Query { return query.GenQhorn1(rng, n) }
+
+// GenRolePreserving generates a random role-preserving query.
+func GenRolePreserving(rng *rand.Rand, n int, o query.RPOptions) Query {
+	return query.GenRolePreserving(rng, n, o)
+}
+
+// RPOptions bounds the shape of GenRolePreserving queries.
+type RPOptions = query.RPOptions
+
+// Revision (§6 future work): correct a nearly-right query with few
+// questions.
+type (
+	// RevisionResult reports a Revise run.
+	RevisionResult = revise.Result
+)
+
+// Revise corrects the given role-preserving query to match the user's
+// intent: O(k) questions when it is already right, localized repairs
+// for small edits, never worse than learning from scratch.
+func Revise(given Query, o Oracle) (RevisionResult, error) { return revise.Revise(given, o) }
+
+// QueryDistance is the paper's closeness measure between two
+// role-preserving queries: the symmetric difference of their
+// distinguishing-tuple sets (§6).
+func QueryDistance(a, b Query) int { return revise.Distance(a, b) }
+
+// Session is an oracle with a reviewable, amendable interaction
+// history (§5): flip a mistaken response with Amend and re-run the
+// learner; answered questions replay for free.
+type Session = session.Session
+
+// NewSession wraps the user's oracle with an interaction history.
+func NewSession(user Oracle) *Session { return session.New(user) }
+
+// PAC learning (§6 future work): learn approximately from random
+// labeled examples instead of chosen membership questions.
+type (
+	// PACParams bounds the PAC hypothesis search.
+	PACParams = pac.Params
+	// PACStats reports a PAC learning run.
+	PACStats = pac.Stats
+	// Sampler draws objects from an example distribution.
+	Sampler = pac.Sampler
+	// PACExample is one labeled object.
+	PACExample = pac.Example
+)
+
+// LearnPAC draws m labeled examples and returns the most-specific
+// consistent hypothesis.
+func LearnPAC(u Universe, o Oracle, s Sampler, m int, p PACParams) (Query, PACStats) {
+	return pac.Learn(u, o, s, m, p)
+}
+
+// PACError estimates the hypothesis-target disagreement rate over m
+// fresh draws.
+func PACError(hypothesis, target Query, s Sampler, m int) float64 {
+	return pac.Error(hypothesis, target, s, m)
+}
+
+// NewBoundarySampler draws objects near the reference query's
+// decision boundary, so both labels occur with substantial
+// probability.
+func NewBoundarySampler(ref Query, rng *rand.Rand, mutations int) *pac.BoundarySampler {
+	return pac.NewBoundarySampler(ref, rng, mutations)
+}
+
+// Tracing: observe every membership question with its phase and
+// purpose, for interfaces that explain themselves to the user.
+type (
+	// TraceStep is one annotated question.
+	TraceStep = learn.Step
+	// Tracer observes learner questions; nil is silent.
+	Tracer = learn.Tracer
+)
+
+// LearnQhorn1Traced is LearnQhorn1 with per-question annotations.
+func LearnQhorn1Traced(u Universe, o Oracle, t Tracer) (Query, Qhorn1Stats) {
+	return learn.Qhorn1Traced(u, o, t)
+}
+
+// LearnRolePreservingTraced is LearnRolePreserving with per-question
+// annotations.
+func LearnRolePreservingTraced(u Universe, o Oracle, t Tracer) (Query, RPStats) {
+	return learn.RolePreservingTraced(u, o, t)
+}
+
+// EstimateQhorn1 bounds the number of questions a qhorn-1 learning
+// session may take on n propositions (Theorem 3.1 with measured
+// constants) — the number an interface shows before starting.
+func EstimateQhorn1(n int) int { return learn.EstimateQhorn1(n) }
+
+// EstimateRolePreserving bounds the questions for a role-preserving
+// session with the given shape (heads, causal density θ, expression
+// count k).
+func EstimateRolePreserving(n, heads, theta, k int) int {
+	return learn.EstimateRolePreserving(n, heads, theta, k)
+}
+
+// VerificationReport is the serializable rendering of a verification
+// set for query interfaces (kind, expectation, label, tuples per
+// question).
+type VerificationReport = verify.Report
+
+// Classify reports which learnable subclasses q belongs to, with a
+// diagnostic per violated restriction (§6's class-verification
+// direction); it is also available as the Query method q.Classify().
+func Classify(q Query) query.ClassReport { return q.Classify() }
+
+// ClassReport is the result of Classify.
+type ClassReport = query.ClassReport
