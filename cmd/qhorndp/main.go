@@ -24,6 +24,7 @@ import (
 
 	"qhorn/internal/dataplay"
 	"qhorn/internal/nested"
+	"qhorn/internal/obs"
 	"qhorn/internal/query"
 	"qhorn/internal/revise"
 )
@@ -44,6 +45,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		dataPath  = fs.String("data", "", "JSON dataset (default: 200 random boxes)")
 		seed      = fs.Int64("seed", 1, "seed for the random store")
 	)
+	obsFlags := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,6 +54,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	w := stdout
+
+	session, err := obsFlags.Start(stdout)
+	if err != nil {
+		return fail(err)
+	}
+	defer session.Close()
+	root := session.Tracer.StartSpan("dataplay-session")
+	defer root.End()
 
 	ps := nested.ChocolatePropositions()
 	if *propsPath != "" {
@@ -138,7 +148,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		fmt.Fprintln(w, "\nverifying written query:", gq)
+		sp := root.StartChild("verify", obs.A("query", gq.String()))
 		res, err := sys.VerifyQuery(gq, user)
+		sp.End()
 		if err != nil {
 			return fail(err)
 		}
@@ -147,7 +159,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return 0
 		}
 		fmt.Fprintf(w, "INCORRECT (%d disagreements); revising…\n", len(res.Disagreements))
+		sp = root.StartChild("revise")
 		rres, err := sys.ReviseQuery(gq, user)
+		sp.End()
 		if err != nil {
 			return fail(err)
 		}
@@ -162,7 +176,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *class == "rp" {
 		cl = dataplay.RolePreserving
 	}
+	sp := root.StartChild("learn", obs.A("class", *class))
 	learned, err := sys.Learn(cl, user)
+	sp.End()
 	if err != nil {
 		return fail(err)
 	}
@@ -171,19 +187,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	// Confirm with the O(k) verification set. A failure means some
 	// recorded response contradicts the user's intent — the §5 flow:
 	// review the history, amend, re-learn.
+	sp = root.StartChild("verify", obs.A("query", learned.String()))
 	vres, err := sys.VerifyQuery(learned, user)
+	sp.End()
 	if err != nil {
 		return fail(err)
 	}
 	fmt.Fprintf(w, "verification: correct=%v (%d questions)\n", vres.Correct, vres.QuestionsAsked)
 	if !vres.Correct && *simulate != "" {
 		fmt.Fprintln(w, "reviewing interaction history against the user's intent…")
+		sp = root.StartChild("amend-review")
 		fixed, err := sys.AmendReview(honest)
+		sp.End()
 		if err != nil {
 			return fail(err)
 		}
 		fmt.Fprintf(w, "  amended %d response(s)\n", fixed)
+		sp = root.StartChild("learn", obs.A("class", *class), obs.A("after", "amendment"))
 		learned, err = sys.Learn(cl, dataplay.UserFunc(honest.Classify))
+		sp.End()
 		if err != nil {
 			return fail(err)
 		}

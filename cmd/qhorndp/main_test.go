@@ -104,3 +104,17 @@ func TestErrors(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+// TestSessionTrace checks the session driver emits lifecycle spans
+// under -trace.
+func TestSessionTrace(t *testing.T) {
+	out, errb, code := runCLI(t, "", "-simulate", "Ax1 Ex2x3", "-trace")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, span := range []string{"Span tree:", "dataplay-session", "learn", "verify"} {
+		if !strings.Contains(out, span) {
+			t.Errorf("trace output missing %q:\n%s", span, out)
+		}
+	}
+}

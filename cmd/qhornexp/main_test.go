@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -119,5 +120,55 @@ func TestOutDir(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "Claim:") || !strings.Contains(string(data), "| query |") {
 		t.Error("markdown file incomplete")
+	}
+}
+
+// TestJSONBenchOutput runs one quick experiment with -json and checks
+// the BENCH_<experiment>.json file parses and carries the measured
+// fields.
+func TestJSONBenchOutput(t *testing.T) {
+	dir := t.TempDir()
+	out, errb, code := runCLI(t,
+		"-exp", "qhorn1-scaling", "-quick", "-trials", "2",
+		"-json", "-outdir", dir)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	path := filepath.Join(dir, "BENCH_qhorn1-scaling.json")
+	if !strings.Contains(out, path) {
+		t.Errorf("output does not mention %s:\n%s", path, out)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var summary map[string]interface{}
+	if err := json.Unmarshal(raw, &summary); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	for _, key := range []string{"experiment", "id", "wall_seconds", "growth_exponents", "question_counts", "tables"} {
+		if _, ok := summary[key]; !ok {
+			t.Errorf("JSON missing %q:\n%s", key, raw)
+		}
+	}
+	if summary["experiment"] != "qhorn1-scaling" {
+		t.Errorf("experiment = %v", summary["experiment"])
+	}
+}
+
+// TestExpTraceAndMetrics checks the shared observability flags on the
+// experiment runner: a span per experiment and the experiments
+// counter in the exposition.
+func TestExpTraceAndMetrics(t *testing.T) {
+	out, errb, code := runCLI(t,
+		"-exp", "qhorn1-scaling", "-quick", "-trials", "2", "-trace", "-metrics")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "Span tree:") || !strings.Contains(out, "experiment") {
+		t.Errorf("no experiment span in tree:\n%s", out)
+	}
+	if !strings.Contains(out, "qhorn_experiments_total 1") {
+		t.Errorf("exposition missing qhorn_experiments_total:\n%s", out)
 	}
 }

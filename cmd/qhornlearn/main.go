@@ -24,10 +24,13 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"regexp"
+	"strconv"
 
 	"qhorn/internal/boolean"
 	"qhorn/internal/learn"
 	"qhorn/internal/nested"
+	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
 )
@@ -52,6 +55,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		explain   = fs.Bool("explain", false, "print what each question was testing (phase and purpose)")
 		propose   = fs.Bool("propose", false, "derive the propositions automatically from the -data dataset")
 	)
+	obsFlags := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -60,10 +64,32 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// Observability session: span tracing, metrics, profiling. The
+	// -explain printer consumes the span stream, so it forces the
+	// tracer on even without -trace.
+	var extra []obs.SpanSink
+	if *explain {
+		extra = append(extra, explainSink{w: stdout})
+	}
+	session, err := obsFlags.Start(stdout, extra...)
+	if err != nil {
+		return fail(err)
+	}
+	defer session.Close()
+
 	// Set up the proposition universe.
 	var ps nested.Propositions
 	var u boolean.Universe
 	useData := *nVars == 0
+	// Auto-widen: a -simulate query referencing variables beyond the
+	// chocolate schema implies an abstract Boolean universe of the
+	// query's size.
+	if useData && !*propose && *propsPath == "" && *simulate != "" {
+		if max := maxVarIndex(*simulate); max > len(nested.ChocolatePropositions().Props) {
+			*nVars = max
+			useData = false
+		}
+	}
 	switch {
 	case *propose:
 		if *dataPath == "" {
@@ -174,31 +200,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return inner.Ask(s)
 		})
 	}
-	counter := oracle.Count(user)
+	counter := oracle.CountInto(user, session.Metrics)
 
-	// Optional explanation of every question (learn.Tracer).
-	var tracer learn.Tracer
-	if *explain {
-		tracer = func(st learn.Step) {
-			verdict := "non-answer"
-			if st.Answer {
-				verdict = "answer"
-			}
-			fmt.Fprintf(stdout, "  [%s] %s  %s -> %s\n", st.Phase, st.Purpose, st.Question.Format(u), verdict)
-		}
-	}
-
-	// Learn.
+	// Learn with full observability (spans, metrics, -explain).
+	ins := learn.Instrumentation{Spans: session.Tracer, Metrics: session.Metrics}
 	var learned query.Query
 	switch *class {
 	case "qhorn1":
 		var stats learn.Qhorn1Stats
-		learned, stats = learn.Qhorn1Traced(u, counter, tracer)
+		learned, stats = learn.Qhorn1Observed(u, counter, ins)
 		fmt.Fprintf(stdout, "\nLearned (%d questions: %d head, %d body, %d existential):\n  %s\n",
 			stats.Total(), stats.HeadQuestions, stats.BodyQuestions, stats.ExistentialQuestions, learned)
 	case "rp":
 		var stats learn.RPStats
-		learned, stats = learn.RolePreservingTraced(u, counter, tracer)
+		learned, stats = learn.RolePreservingObserved(u, counter, ins)
 		fmt.Fprintf(stdout, "\nLearned (%d questions: %d head, %d universal, %d existential):\n  %s\n",
 			stats.Total(), stats.HeadQuestions, stats.UniversalQuestions, stats.ExistentialQuestions, learned)
 	default:
@@ -234,5 +249,41 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprint(stdout, nested.FormatObject(ps.Schema, o))
 		}
 	}
+	if err := session.Close(); err != nil {
+		return fail(err)
+	}
 	return 0
+}
+
+// explainSink prints every membership question as it is asked, with
+// its phase and purpose, by consuming "question" events of the span
+// stream.
+type explainSink struct{ w io.Writer }
+
+func (e explainSink) SpanStart(*obs.Span) {}
+func (e explainSink) SpanEnd(*obs.Span)   {}
+func (e explainSink) SpanEvent(sp *obs.Span, ev obs.Event) {
+	if ev.Name != "question" {
+		return
+	}
+	attrs := map[string]string{}
+	for _, a := range ev.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	fmt.Fprintf(e.w, "  [%s] %s  %s -> %s\n",
+		attrs["phase"], attrs["purpose"], attrs["question"], attrs["answer"])
+}
+
+// maxVarIndex returns the largest xN variable index mentioned in a
+// query string, or 0.
+var varIndexRE = regexp.MustCompile(`x(\d+)`)
+
+func maxVarIndex(s string) int {
+	max := 0
+	for _, m := range varIndexRE.FindAllStringSubmatch(s, -1) {
+		if n, err := strconv.Atoi(m[1]); err == nil && n > max {
+			max = n
+		}
+	}
+	return max
 }

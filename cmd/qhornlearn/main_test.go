@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -141,5 +143,115 @@ func TestProposeFlag(t *testing.T) {
 	}
 	if _, _, code := runCLI(t, "", "-propose"); code != 1 {
 		t.Error("-propose without -data accepted")
+	}
+}
+
+// TestObservabilityEndToEnd is the acceptance scenario of the
+// observability layer: a simulated role-preserving session with
+// -trace -metrics emits a span tree covering every learning phase and
+// a metrics exposition whose qhorn_questions_total equals the
+// question count the CLI reports.
+func TestObservabilityEndToEnd(t *testing.T) {
+	out, errb, code := runCLI(t, "",
+		"-class", "rp", "-simulate", "∀x1x2 → x3 ∃x4x5", "-trace", "-metrics")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+
+	// The query references x4, x5: the CLI auto-widens past the
+	// 3-proposition chocolate schema to a 5-variable Boolean universe.
+	if !strings.Contains(out, "Learned (") {
+		t.Fatalf("no learned query in output:\n%s", out)
+	}
+
+	// Span tree covers every phase of the run.
+	if !strings.Contains(out, "Span tree:") {
+		t.Fatalf("no span tree:\n%s", out)
+	}
+	for _, span := range []string{"learn/rp", "heads", "bodies", "existential", "lattice-search"} {
+		if !strings.Contains(out, span) {
+			t.Errorf("span tree missing %q:\n%s", span, out)
+		}
+	}
+
+	// Exposition question counter equals the reported question count.
+	var reported int
+	if _, err := fmt.Sscanf(out[strings.Index(out, "Learned ("):], "Learned (%d questions", &reported); err != nil {
+		t.Fatalf("cannot parse reported question count: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Metrics:") {
+		t.Fatalf("no metrics exposition:\n%s", out)
+	}
+	metricLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "qhorn_questions_total ") {
+			metricLine = line
+		}
+	}
+	if metricLine == "" {
+		t.Fatalf("no qhorn_questions_total sample:\n%s", out)
+	}
+	var counted int
+	if _, err := fmt.Sscanf(metricLine, "qhorn_questions_total %d", &counted); err != nil {
+		t.Fatalf("cannot parse %q: %v", metricLine, err)
+	}
+	if counted != reported {
+		t.Errorf("exposition counts %d questions, CLI reported %d", counted, reported)
+	}
+
+	// The by-phase family sums to the same count.
+	byPhase := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "qhorn_questions_by_phase_total{") {
+			var v int
+			if _, err := fmt.Sscanf(line[strings.Index(line, "} ")+2:], "%d", &v); err == nil {
+				byPhase += v
+			}
+		}
+	}
+	if byPhase != reported {
+		t.Errorf("by-phase samples sum to %d, CLI reported %d", byPhase, reported)
+	}
+}
+
+// TestExplainConsumesSpanStream checks -explain prints the annotated
+// questions without requiring -trace.
+func TestExplainConsumesSpanStream(t *testing.T) {
+	out, _, code := runCLI(t, "", "-simulate", "Ax1 Ex2x3", "-explain")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "[heads] is x1 a universal head variable?") {
+		t.Errorf("explain output missing annotated question:\n%s", out)
+	}
+	if strings.Contains(out, "Span tree:") {
+		t.Errorf("-explain alone should not render the span tree:\n%s", out)
+	}
+}
+
+// TestTraceOutWritesJSONL checks -trace-out produces a parseable span
+// stream file.
+func TestTraceOutWritesJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	_, _, code := runCLI(t, "", "-simulate", "Ax1 Ex2x3", "-trace-out", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("span stream too short: %d lines", len(lines))
+	}
+	for _, line := range lines {
+		var rec map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if rec["type"] == "" || rec["name"] == "" {
+			t.Errorf("incomplete record %q", line)
+		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"qhorn/internal/boolean"
+	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
 	"qhorn/internal/revise"
@@ -45,6 +46,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		doRevise = fs.Bool("revise", false, "when incorrect, revise the query with further questions")
 		first    = fs.Bool("first", false, "stop at the first disagreement instead of running the full set")
 	)
+	obsFlags := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,6 +54,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "usage: qhornverify -n <vars> -query <shorthand> [-intended <shorthand> | -ask] [-revise] [-first]")
 		return 2
 	}
+	session, err := obsFlags.Start(stdout)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	defer session.Close()
 	u, err := boolean.NewUniverse(*nVars)
 	if err != nil {
 		return fail(stderr, err)
@@ -88,12 +95,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	default:
 		return 0
 	}
-	res := vs.Run(user)
+	counted := oracle.CountInto(user, session.Metrics)
+	var res verify.Result
 	if *first {
-		res = vs.RunUntilFirst(user)
+		res = vs.RunUntilFirst(counted)
+	} else {
+		res = vs.RunObserved(counted, session.Tracer, session.Metrics)
 	}
 	if res.Correct {
 		fmt.Fprintln(stdout, "VERIFIED: the user agrees with every question; the query matches her intent.")
+		if err := session.Close(); err != nil {
+			return fail(stderr, err)
+		}
 		return 0
 	}
 	fmt.Fprintf(stdout, "INCORRECT: %d disagreement(s):\n", len(res.Disagreements))

@@ -89,3 +89,27 @@ func TestUsageErrors(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+// TestVerifyTraceAndMetrics checks the observability flags on a
+// simulated verification run: per-family spans and kind-labeled
+// counters.
+func TestVerifyTraceAndMetrics(t *testing.T) {
+	out, errb, code := runCLI(t, "",
+		"-n", "6", "-query", "∀x1x4 → x5 ∃x2x3", "-intended", "∀x1x4 → x5 ∃x2x3",
+		"-trace", "-metrics")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "VERIFIED") {
+		t.Fatalf("not verified:\n%s", out)
+	}
+	if !strings.Contains(out, "Span tree:") || !strings.Contains(out, "verify/A1") {
+		t.Errorf("span tree missing verify/A1:\n%s", out)
+	}
+	if !strings.Contains(out, `qhorn_verify_questions_total{kind="A1"} 1`) {
+		t.Errorf("exposition missing kind-labeled verify counter:\n%s", out)
+	}
+	if !strings.Contains(out, "qhorn_questions_total ") {
+		t.Errorf("exposition missing oracle question counter:\n%s", out)
+	}
+}

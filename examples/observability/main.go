@@ -1,0 +1,53 @@
+// Observability: trace a learning run as a span tree, collect its
+// metrics, and print a Prometheus exposition — all through the public
+// qhorn API (see docs/OBSERVABILITY.md).
+//
+//	go run ./examples/observability
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"qhorn"
+)
+
+func main() {
+	u := qhorn.MustUniverse(6)
+	intended := qhorn.MustParseQuery(u, "∀x1x2 → x4 ∃x1x2 → x5 ∃x3 → x6")
+	fmt.Println("intended (hidden):", intended)
+
+	// A tree sink collects the span hierarchy; a registry collects
+	// the counters and histograms of the paper's cost model. The
+	// counting oracle mirrors its question count into the registry.
+	tree := qhorn.NewTreeSink()
+	tracer := qhorn.NewSpanTracer(tree)
+	reg := qhorn.NewMetricsRegistry()
+	user := qhorn.CountingOracleInto(qhorn.TargetOracle(intended), reg)
+
+	learned, stats := qhorn.LearnRolePreservingObserved(u, user, qhorn.Instrumentation{
+		Spans:   tracer,
+		Metrics: reg,
+	})
+	fmt.Println("learned:          ", learned)
+	fmt.Println("equivalent:        ", learned.Equivalent(intended))
+	fmt.Printf("questions:          %d\n", stats.Total())
+
+	// Verification runs under the same tracer and registry.
+	res, err := qhorn.VerifyObserved(learned, user, tracer, reg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("verification:       correct=%v (%d questions)\n", res.Correct, res.QuestionsAsked)
+
+	// The span tree shows where the questions went: learning phases,
+	// lattice searches, and one span per verification family.
+	fmt.Println("\nspan tree:")
+	tree.Render(os.Stdout)
+
+	// The exposition is the Prometheus text format; qhorn_questions_total
+	// equals every question the oracle answered, learning + verification.
+	fmt.Println("\nmetrics exposition:")
+	reg.WritePrometheus(os.Stdout)
+}

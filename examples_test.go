@@ -21,6 +21,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/chocolates", []string{"equivalent to intent: true", "match the query"}},
 		{"./examples/verification", []string{"correct=true", "caught by [A3]"}},
 		{"./examples/adversary", []string{"2^n − 1", "4095"}},
+		{"./examples/observability", []string{"equivalent:         true", "learn/rp", "lattice-search", "verify/A1", "qhorn_questions_total"}},
 		{"./examples/future", []string{"equivalent: true, ", "error 0.000", "depth 1 → 4, depth 2 → 12"}},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"qhorn/internal/stats"
+)
+
+// BenchTable is the JSON rendering of one stats.Table.
+type BenchTable struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// GrowthExponent is one measured growth exponent extracted from a
+// table note, e.g. 1.18 from "growth exponent: learner 1.18 (…)".
+type GrowthExponent struct {
+	Table string  `json:"table"`
+	Note  string  `json:"note"`
+	Value float64 `json:"value"`
+}
+
+// QuestionCount is one question-count measurement extracted from a
+// table row: the sweep parameter (first column) and the value of the
+// first "questions" column.
+type QuestionCount struct {
+	Table     string  `json:"table"`
+	Param     string  `json:"param"`       // first column header, e.g. "n"
+	ParamVal  string  `json:"param_value"` // e.g. "32"
+	Questions float64 `json:"questions"`
+}
+
+// BenchSummary is the machine-readable result of one experiment run,
+// written by `qhornexp -json` as BENCH_<experiment>.json.
+type BenchSummary struct {
+	Experiment  string  `json:"experiment"`
+	ID          string  `json:"id"`
+	Paper       string  `json:"paper"`
+	Claim       string  `json:"claim"`
+	Seed        int64   `json:"seed"`
+	Trials      int     `json:"trials"`
+	Quick       bool    `json:"quick"`
+	WallSeconds float64 `json:"wall_seconds"`
+
+	GrowthExponents []GrowthExponent `json:"growth_exponents,omitempty"`
+	QuestionCounts  []QuestionCount  `json:"question_counts,omitempty"`
+	Tables          []BenchTable     `json:"tables"`
+}
+
+// FileName returns the canonical output name, BENCH_<experiment>.json.
+func (s *BenchSummary) FileName() string {
+	return fmt.Sprintf("BENCH_%s.json", s.Experiment)
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (s *BenchSummary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Bench runs e under cfg, timing the run and extracting the
+// machine-readable measurements from its tables.
+func Bench(e Experiment, cfg Config) (*BenchSummary, []*stats.Table) {
+	cfg = cfg.normalize()
+	start := time.Now()
+	tables := e.Run(cfg)
+	return Summarize(e, cfg, tables, time.Since(start)), tables
+}
+
+// measuredExponent matches the %.2f-formatted exponents the
+// experiments put in their notes; claim references like "≈ 1" or
+// "n²" never carry two decimals, so they are not captured.
+var measuredExponent = regexp.MustCompile(`-?\d+\.\d{2}`)
+
+// Summarize builds a BenchSummary from an experiment's tables: growth
+// exponents are taken from every note mentioning one, and question
+// counts from the first column whose header names questions.
+func Summarize(e Experiment, cfg Config, tables []*stats.Table, wall time.Duration) *BenchSummary {
+	s := &BenchSummary{
+		Experiment:  e.Name,
+		ID:          e.ID,
+		Paper:       e.Paper,
+		Claim:       e.Claim,
+		Seed:        cfg.Seed,
+		Trials:      cfg.Trials,
+		Quick:       cfg.Quick,
+		WallSeconds: wall.Seconds(),
+	}
+	for _, t := range tables {
+		s.Tables = append(s.Tables, BenchTable{
+			Title:   t.Title,
+			Columns: t.Columns,
+			Rows:    t.Rows,
+			Notes:   t.Notes,
+		})
+		for _, note := range t.Notes {
+			if !strings.Contains(note, "growth exponent") {
+				continue
+			}
+			for _, m := range measuredExponent.FindAllString(note, -1) {
+				v, err := strconv.ParseFloat(m, 64)
+				if err != nil {
+					continue
+				}
+				s.GrowthExponents = append(s.GrowthExponents, GrowthExponent{
+					Table: t.Title,
+					Note:  note,
+					Value: v,
+				})
+			}
+		}
+		qCol := questionColumn(t.Columns)
+		if qCol < 0 {
+			continue
+		}
+		for _, row := range t.Rows {
+			if qCol >= len(row) || len(row) == 0 {
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(row[qCol]), 64)
+			if err != nil {
+				continue
+			}
+			param := ""
+			if len(t.Columns) > 0 {
+				param = t.Columns[0]
+			}
+			s.QuestionCounts = append(s.QuestionCounts, QuestionCount{
+				Table:     t.Title,
+				Param:     param,
+				ParamVal:  row[0],
+				Questions: v,
+			})
+		}
+	}
+	return s
+}
+
+// questionColumn returns the index of the first column reporting a
+// question count ("questions", "questions (mean)", …) but not a
+// derived ratio, or -1.
+func questionColumn(cols []string) int {
+	for i, c := range cols {
+		lc := strings.ToLower(c)
+		if strings.Contains(lc, "question") && !strings.Contains(lc, "/") {
+			return i
+		}
+	}
+	return -1
+}

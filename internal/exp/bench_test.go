@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"qhorn/internal/stats"
+)
+
+// TestSummarizeExtractsMeasurements pins the table→JSON extraction:
+// measured growth exponents come out of notes (claim references do
+// not) and question counts out of the first questions column.
+func TestSummarizeExtractsMeasurements(t *testing.T) {
+	e := Experiment{ID: "E99", Name: "bench-fixture", Paper: "Thm X", Claim: "c"}
+	tbl := stats.NewTable("fixture", "n", "questions (mean)", "questions / (n·lg n)")
+	tbl.AddRow(8, 24.5, 1.02)
+	tbl.AddRow(16, 61.0, 0.95)
+	tbl.AddNote("growth exponent: learner 1.18 (n lg n ⇒ ≈1.0–1.4), serial baseline 2.01 (n² ⇒ ≈2.0)")
+	tbl.AddNote("unrelated note with a number 3.14159")
+
+	s := Summarize(e, Config{Seed: 7, Trials: 3}, []*stats.Table{tbl}, 250*time.Millisecond)
+
+	if s.Experiment != "bench-fixture" || s.ID != "E99" || s.Seed != 7 || s.Trials != 3 {
+		t.Errorf("header fields wrong: %+v", s)
+	}
+	if s.WallSeconds != 0.25 {
+		t.Errorf("wall = %v", s.WallSeconds)
+	}
+	if len(s.GrowthExponents) != 2 {
+		t.Fatalf("exponents = %+v, want the two measured values", s.GrowthExponents)
+	}
+	if s.GrowthExponents[0].Value != 1.18 || s.GrowthExponents[1].Value != 2.01 {
+		t.Errorf("exponent values %+v", s.GrowthExponents)
+	}
+	if len(s.QuestionCounts) != 2 {
+		t.Fatalf("question counts = %+v", s.QuestionCounts)
+	}
+	qc := s.QuestionCounts[0]
+	if qc.Param != "n" || qc.ParamVal != "8" || qc.Questions != 24.5 {
+		t.Errorf("first question count %+v", qc)
+	}
+	if s.FileName() != "BENCH_bench-fixture.json" {
+		t.Errorf("file name %q", s.FileName())
+	}
+}
+
+// TestBenchRunsRealExperiment runs the smallest real experiment in
+// quick mode end to end and checks the JSON round-trips.
+func TestBenchRunsRealExperiment(t *testing.T) {
+	e, ok := ByName("qhorn1-scaling")
+	if !ok {
+		t.Skip("qhorn1-scaling not registered")
+	}
+	s, tables := Bench(e, Config{Seed: 1, Trials: 2, Quick: true})
+	if len(tables) == 0 || len(s.Tables) != len(tables) {
+		t.Fatalf("tables missing: %d vs %d", len(tables), len(s.Tables))
+	}
+	if s.WallSeconds <= 0 {
+		t.Error("wall time not measured")
+	}
+	if len(s.GrowthExponents) == 0 {
+		t.Error("no growth exponents extracted from a scaling experiment")
+	}
+	if len(s.QuestionCounts) == 0 {
+		t.Error("no question counts extracted from a scaling experiment")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchSummary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, buf.String())
+	}
+	if back.Experiment != "qhorn1-scaling" {
+		t.Errorf("round-tripped experiment %q", back.Experiment)
+	}
+	if !strings.Contains(buf.String(), `"wall_seconds"`) {
+		t.Error("JSON missing wall_seconds")
+	}
+}

@@ -1,0 +1,111 @@
+package learn
+
+import (
+	"qhorn/internal/boolean"
+	"qhorn/internal/obs"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+)
+
+// Instrumentation bundles the observability hooks a learning run may
+// carry. Every field is optional; the zero value is completely
+// silent and costs nothing on the question path.
+type Instrumentation struct {
+	// Steps receives one annotated Step per membership question —
+	// the self-explaining interface of the paper's introduction.
+	Steps Tracer
+	// Spans receives the hierarchical span stream: one root span per
+	// run ("learn/qhorn1", "learn/rp"), one child per phase ("heads",
+	// "bodies", "existential") and grandchildren for the subroutines
+	// ("find", "findall", "gethead", "lattice-search", "prune"), with
+	// one "question" event per membership question.
+	Spans *obs.Tracer
+	// Metrics receives the counters of the paper's cost model:
+	// questions by phase and lattice nodes visited/pruned.
+	Metrics *obs.Registry
+}
+
+// Qhorn1Observed is Qhorn1 with full observability: per-question
+// steps, span tracing and metrics, any subset of which may be unset.
+func Qhorn1Observed(u boolean.Universe, o oracle.Oracle, ins Instrumentation) (query.Query, Qhorn1Stats) {
+	l := &qhorn1Learner{u: u, o: o, in: instr{u: u, ins: ins}}
+	return l.learn()
+}
+
+// RolePreservingObserved is RolePreserving with full observability.
+func RolePreservingObserved(u boolean.Universe, o oracle.Oracle, ins Instrumentation) (query.Query, RPStats) {
+	l := &rpLearner{u: u, o: o, in: instr{u: u, ins: ins}}
+	return l.learn()
+}
+
+// instr is the per-run instrumentation state embedded in each
+// learner: the current span, and the phase/purpose annotation of the
+// next question. Its zero value is silent, so the exported phase
+// helpers (ClassifyHeads, LearnBodies, …) need no special casing.
+type instr struct {
+	u   boolean.Universe
+	ins Instrumentation
+	cur *obs.Span
+	// phase and purpose annotate the next question (set by note).
+	phase, purpose string
+}
+
+// start opens the run's root span; close it with the returned func.
+func (in *instr) start(name string, attrs ...obs.Attr) func() {
+	root := in.ins.Spans.StartSpan(name, attrs...)
+	in.cur = root
+	return func() { root.End() }
+}
+
+// begin opens a child span of the current span and makes it current;
+// the returned func ends it and restores the parent.
+func (in *instr) begin(name string, attrs ...obs.Attr) func() {
+	parent := in.cur
+	sp := parent.StartChild(name, attrs...)
+	in.cur = sp
+	return func() {
+		sp.End()
+		in.cur = parent
+	}
+}
+
+// note annotates the next question(s) with their phase and purpose.
+func (in *instr) note(phase, purpose string) {
+	in.phase, in.purpose = phase, purpose
+}
+
+// observe reports one asked question to every configured hook.
+func (in *instr) observe(s boolean.Set, answer bool) {
+	if in.ins.Steps != nil {
+		in.ins.Steps(Step{Phase: in.phase, Purpose: in.purpose, Question: s, Answer: answer})
+	}
+	if in.cur != nil {
+		verdict := "non-answer"
+		if answer {
+			verdict = "answer"
+		}
+		in.cur.Event("question",
+			obs.A("phase", in.phase),
+			obs.A("purpose", in.purpose),
+			obs.A("question", s.Format(in.u)),
+			obs.A("answer", verdict))
+	}
+	if in.ins.Metrics != nil {
+		in.ins.Metrics.Counter(obs.MetricQuestionsByPhase, "phase", in.phase).Inc()
+	}
+}
+
+// visited counts one explored lattice node.
+func (in *instr) visited() {
+	if in.ins.Metrics != nil {
+		in.ins.Metrics.Counter(obs.MetricLatticeVisited).Inc()
+	}
+}
+
+// pruned counts lattice nodes skipped by dominance or violation
+// pruning.
+func (in *instr) pruned(n int) {
+	if in.ins.Metrics != nil && n > 0 {
+		in.ins.Metrics.Counter(obs.MetricLatticePruned).Add(int64(n))
+	}
+}

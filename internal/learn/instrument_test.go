@@ -1,0 +1,160 @@
+package learn
+
+import (
+	"strings"
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/obs"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+)
+
+// annotationGrid is the target grid for the annotation-coverage tests:
+// queries spanning bodyless universals, shared bodies, existential
+// conjunctions and multi-head expressions.
+var annotationGrid = []struct {
+	n      int
+	target string
+	qhorn1 bool // in the qhorn-1 class too?
+}{
+	{1, "∃x1", true},
+	// x2, x3 unmentioned: role-preserving only (qhorn-1 assumes every
+	// variable participates).
+	{3, "∃x1", false},
+	{3, "∀x1 ∃x2x3", true},
+	{4, "∀x1 → x2 ∃x3 → x4", true},
+	{6, "∀x1x2 → x4 ∃x1x2 → x5 ∃x3 → x6", true},
+	{6, "∀x1x4 → x5 ∃x2x3", false},
+	{5, "∀x1x2 → x3 ∀x1x2 → x4 ∃x5", false},
+	{7, "∃x1x2 → x3 ∃x1x2 → x4 ∀x5 → x6 ∃x7", false},
+}
+
+// TestEveryQuestionAnnotatedGrid pins the contract behind the
+// explaining interfaces: every membership question either learner
+// asks, over a grid of targets, carries a non-empty Phase and Purpose.
+func TestEveryQuestionAnnotatedGrid(t *testing.T) {
+	for _, tc := range annotationGrid {
+		u := boolean.MustUniverse(tc.n)
+		target := query.MustParse(u, tc.target)
+		check := func(name string, steps []Step, total int) {
+			t.Helper()
+			if len(steps) != total {
+				t.Errorf("%s %q: traced %d steps, stats say %d", name, tc.target, len(steps), total)
+			}
+			for i, s := range steps {
+				if s.Phase == "" {
+					t.Errorf("%s %q: step %d has empty Phase (purpose %q)", name, tc.target, i, s.Purpose)
+				}
+				if s.Purpose == "" {
+					t.Errorf("%s %q: step %d has empty Purpose (phase %q)", name, tc.target, i, s.Phase)
+				}
+			}
+		}
+
+		var rpSteps []Step
+		learned, rpStats := RolePreservingTraced(u, oracle.Target(target), func(s Step) {
+			rpSteps = append(rpSteps, s)
+		})
+		if !learned.Equivalent(target) {
+			t.Errorf("rp %q: learned %s", tc.target, learned)
+		}
+		check("rp", rpSteps, rpStats.Total())
+
+		if !tc.qhorn1 {
+			continue
+		}
+		var q1Steps []Step
+		learned, q1Stats := Qhorn1Traced(u, oracle.Target(target), func(s Step) {
+			q1Steps = append(q1Steps, s)
+		})
+		if !learned.Equivalent(target) {
+			t.Errorf("qhorn1 %q: learned %s", tc.target, learned)
+		}
+		check("qhorn1", q1Steps, q1Stats.Total())
+	}
+}
+
+// TestQhorn1ObservedSpansAndMetrics runs the qhorn-1 learner with the
+// full instrumentation bundle and checks the span tree covers the
+// paper's phases and the by-phase counters reconcile with the stats.
+func TestQhorn1ObservedSpansAndMetrics(t *testing.T) {
+	u := boolean.MustUniverse(6)
+	target := query.MustParse(u, "∀x1x2 → x4 ∃x1x2 → x5 ∃x3 → x6")
+	tree := obs.NewTreeSink()
+	tr := obs.NewTracer(tree)
+	reg := obs.NewRegistry()
+	learned, stats := Qhorn1Observed(u, oracle.Target(target), Instrumentation{
+		Spans:   tr,
+		Metrics: reg,
+	})
+	if !learned.Equivalent(target) {
+		t.Fatalf("learned %s", learned)
+	}
+
+	names := tree.SpanNames()
+	for _, want := range []string{"learn/qhorn1", "heads", "bodies", "existential", "find", "findall", "gethead"} {
+		if !containsString(names, want) {
+			t.Errorf("span %q missing from tree (have %v)", want, names)
+		}
+	}
+
+	byPhase := map[string]int64{
+		"heads":       reg.CounterValue(obs.MetricQuestionsByPhase, "phase", "heads"),
+		"bodies":      reg.CounterValue(obs.MetricQuestionsByPhase, "phase", "bodies"),
+		"existential": reg.CounterValue(obs.MetricQuestionsByPhase, "phase", "existential"),
+	}
+	if byPhase["heads"] != int64(stats.HeadQuestions) ||
+		byPhase["bodies"] != int64(stats.BodyQuestions) ||
+		byPhase["existential"] != int64(stats.ExistentialQuestions) {
+		t.Errorf("by-phase counters %v, stats %+v", byPhase, stats)
+	}
+	if got := reg.SumCounter(obs.MetricQuestionsByPhase); got != int64(stats.Total()) {
+		t.Errorf("by-phase sum = %d, stats total = %d", got, stats.Total())
+	}
+
+	var b strings.Builder
+	tree.Render(&b)
+	if !strings.Contains(b.String(), "learn/qhorn1") {
+		t.Errorf("rendered tree missing root:\n%s", b.String())
+	}
+}
+
+// TestRolePreservingObservedSpansAndMetrics does the same for the
+// role-preserving learner, including the lattice counters.
+func TestRolePreservingObservedSpansAndMetrics(t *testing.T) {
+	u := boolean.MustUniverse(6)
+	target := query.MustParse(u, "∀x1x4 → x5 ∃x2x3")
+	tree := obs.NewTreeSink()
+	tr := obs.NewTracer(tree)
+	reg := obs.NewRegistry()
+	learned, stats := RolePreservingObserved(u, oracle.Target(target), Instrumentation{
+		Spans:   tr,
+		Metrics: reg,
+	})
+	if !learned.Equivalent(target) {
+		t.Fatalf("learned %s", learned)
+	}
+
+	names := tree.SpanNames()
+	for _, want := range []string{"learn/rp", "heads", "bodies", "existential", "lattice-search"} {
+		if !containsString(names, want) {
+			t.Errorf("span %q missing from tree (have %v)", want, names)
+		}
+	}
+	if got := reg.SumCounter(obs.MetricQuestionsByPhase); got != int64(stats.Total()) {
+		t.Errorf("by-phase sum = %d, stats total = %d", got, stats.Total())
+	}
+	if reg.CounterValue(obs.MetricLatticeVisited) == 0 {
+		t.Error("lattice visited counter never incremented")
+	}
+}
+
+func containsString(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

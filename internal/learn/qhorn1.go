@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"qhorn/internal/boolean"
+	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
 )
@@ -42,17 +43,14 @@ type qhorn1Learner struct {
 	// serial switches the variable searches from binary search to
 	// the one-question-per-variable baseline of §3.1.2 (Qhorn1Naive).
 	serial bool
-	// explain, when set, annotates the next question with its phase
-	// and purpose (see Qhorn1Traced).
-	explain func(phase, purpose string)
+	// in carries the observability hooks (see Qhorn1Observed); its
+	// zero value is silent.
+	in instr
 }
 
-// note annotates the next question for tracing; a nil explain is
-// silent.
+// note annotates the next question with its phase and purpose.
 func (l *qhorn1Learner) note(phase, purpose string) {
-	if l.explain != nil {
-		l.explain(phase, purpose)
-	}
+	l.in.note(phase, purpose)
 }
 
 // varNames renders a variable list as "x1,x3".
@@ -67,16 +65,20 @@ func varNames(vars []int) string {
 	return s
 }
 
-// find dispatches to binary or serial search for one target variable.
+// find dispatches to binary or serial search for one target variable,
+// under a "find" span (Algorithm 2).
 func (l *qhorn1Learner) find(vars []int, eliminate func([]int) bool) (int, bool) {
+	defer l.in.begin("find")()
 	if l.serial {
 		return serialFindOne(vars, eliminate)
 	}
 	return findOne(vars, eliminate)
 }
 
-// findEvery dispatches to binary or serial search for all targets.
+// findEvery dispatches to binary or serial search for all targets,
+// under a "findall" span (Algorithm 3).
 func (l *qhorn1Learner) findEvery(vars []int, eliminate func([]int) bool) []int {
+	defer l.in.begin("findall")()
 	if l.serial {
 		return serialFindAll(vars, eliminate)
 	}
@@ -85,16 +87,24 @@ func (l *qhorn1Learner) findEvery(vars []int, eliminate func([]int) bool) []int 
 
 func (l *qhorn1Learner) ask(s boolean.Set) bool {
 	*l.phase++
-	return l.o.Ask(s)
+	a := l.o.Ask(s)
+	l.in.observe(s, a)
+	return a
 }
 
 func (l *qhorn1Learner) learn() (query.Query, Qhorn1Stats) {
 	n := l.u.N()
 	var exprs []query.Expr
+	name := "learn/qhorn1"
+	if l.serial {
+		name = "learn/qhorn1-naive"
+	}
+	defer l.in.start(name, obs.Af("n", "%d", n))()
 
 	// Phase 1 (§3.1.1): classify every variable as universal head or
 	// existential with one question each.
 	l.phase = &l.stats.HeadQuestions
+	endPhase := l.in.begin("heads")
 	var uniHeads, existential []int
 	for x := 0; x < n; x++ {
 		l.note("heads", fmt.Sprintf("is x%d a universal head variable?", x+1))
@@ -104,10 +114,12 @@ func (l *qhorn1Learner) learn() (query.Query, Qhorn1Stats) {
 			uniHeads = append(uniHeads, x)
 		}
 	}
+	endPhase()
 
 	// Phase 2 (§3.1.2, Algorithm 1): learn the body of each universal
 	// head by binary search, reusing known bodies.
 	l.phase = &l.stats.BodyQuestions
+	endPhase = l.in.begin("bodies")
 	var bodies []boolean.Tuple // disjoint learned bodies
 	for _, h := range uniHeads {
 		b := l.findBodyFor(h, bodies, existential)
@@ -118,10 +130,13 @@ func (l *qhorn1Learner) learn() (query.Query, Qhorn1Stats) {
 		exprs = append(exprs, query.UniversalHorn(b, h))
 		bodies = appendBody(bodies, b)
 	}
+	endPhase()
 
 	// Phase 3 (§3.1.3, Algorithm 4): learn existential Horn
 	// expressions among the remaining existential variables.
 	l.phase = &l.stats.ExistentialQuestions
+	endPhase = l.in.begin("existential")
+	defer endPhase()
 	var bodyUnion boolean.Tuple
 	for _, b := range bodies {
 		bodyUnion = bodyUnion.Union(b)
@@ -240,6 +255,7 @@ func (l *qhorn1Learner) findBodyFor(h int, bodies []boolean.Tuple, existential [
 // holds at most one head, candidate C satisfies #heads(T ∪ C) ≥ 2,
 // and each question halves C.
 func (l *qhorn1Learner) getHead(dVars []int) (int, bool) {
+	defer l.in.begin("gethead")()
 	matrix := func(vars []int) bool {
 		l.note("existential", fmt.Sprintf("do at least two head variables lie in %s?", varNames(vars)))
 		return l.ask(MatrixQuestion(l.u, boolean.FromVars(vars...)))

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"qhorn/internal/boolean"
+	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
 )
@@ -62,34 +63,38 @@ type rpLearner struct {
 	stats     RPStats
 	phase     *int
 	ablations Ablations
-	// explain, when set, annotates the next question with its phase
-	// and purpose (see RolePreservingTraced).
-	explain func(phase, purpose string)
+	// in carries the observability hooks (see
+	// RolePreservingObserved); its zero value is silent.
+	in instr
 }
 
-// note annotates the next question for tracing; a nil explain is
-// silent.
+// note annotates the next question with its phase and purpose.
 func (l *rpLearner) note(phase, purpose string) {
-	if l.explain != nil {
-		l.explain(phase, purpose)
-	}
+	l.in.note(phase, purpose)
 }
 
 func (l *rpLearner) ask(s boolean.Set) bool {
 	*l.phase++
-	return l.o.Ask(s)
+	a := l.o.Ask(s)
+	l.in.observe(s, a)
+	return a
 }
 
 func (l *rpLearner) learn() (query.Query, RPStats) {
+	defer l.in.start("learn/rp", obs.Af("n", "%d", l.u.N()))()
+
 	// Phase 1 (§3.2.1): determine the universal head variables, one
 	// question per variable, exactly as in §3.1.1.
 	l.phase = &l.stats.HeadQuestions
+	endPhase := l.in.begin("heads")
 	headSet := l.classifyHeads()
+	endPhase()
 
 	// Phase 2 (§3.2.1): for each head, search the Boolean lattice on
 	// the non-head variables (other heads pinned true, h pinned
 	// false) for the distinguishing tuples of h's dominant bodies.
 	l.phase = &l.stats.UniversalQuestions
+	endPhase = l.in.begin("bodies")
 	var universals []query.Expr
 	for _, h := range headSet.Vars() {
 		for _, b := range l.findBodies(h, headSet) {
@@ -100,11 +105,14 @@ func (l *rpLearner) learn() (query.Query, RPStats) {
 			}
 		}
 	}
+	endPhase()
 
 	// Phase 3 (§3.2.2): search the full Boolean lattice for the
 	// distinguishing tuples of the dominant existential conjunctions.
 	l.phase = &l.stats.ExistentialQuestions
+	endPhase = l.in.begin("existential")
 	conjs := l.findConjunctions(universals)
+	endPhase()
 
 	exprs := append([]query.Expr{}, universals...)
 	for _, c := range conjs {
@@ -167,6 +175,7 @@ func LearnConjunctions(u boolean.Universe, o oracle.Oracle, universals []query.E
 // known body, until no root uncovers a new body (Theorem 3.5).
 // A single empty body means h is bodyless (∀h).
 func (l *rpLearner) findBodies(h int, headSet boolean.Tuple) []boolean.Tuple {
+	defer l.in.begin("lattice-search", obs.Af("head", "x%d", h+1))()
 	all := l.u.All()
 	free := all.Minus(headSet)
 	pinned := headSet.Without(h) // other heads true, h false
@@ -192,9 +201,11 @@ func (l *rpLearner) findBodies(h int, headSet boolean.Tuple) []boolean.Tuple {
 		root := queue[0]
 		queue = queue[1:]
 		if visited[root] {
+			l.in.pruned(1)
 			continue
 		}
 		visited[root] = true
+		l.in.visited()
 		if !hasBody(root) {
 			continue
 		}
@@ -259,6 +270,7 @@ func bodyRoots(top boolean.Tuple, found []boolean.Tuple) []boolean.Tuple {
 // dominant existential conjunctions (possibly including guarantee
 // clauses, which Normalize later folds in).
 func (l *rpLearner) findConjunctions(universals []query.Expr) []boolean.Tuple {
+	defer l.in.begin("lattice-search", obs.A("target", "conjunctions"))()
 	qU := query.Query{U: l.u, Exprs: universals}
 
 	// Seed the discovered set with the distinguishing tuples of the
@@ -293,8 +305,10 @@ func (l *rpLearner) findConjunctions(universals []query.Expr) []boolean.Tuple {
 			if dominatedByDiscovered(t) {
 				// Everything at or below t is dominated by a known
 				// conjunction (rule R1): stop descending.
+				l.in.pruned(1)
 				continue
 			}
+			l.in.visited()
 			// Children that do not violate a universal Horn
 			// expression (the lattice of §3.2.2 with violating
 			// tuples removed).
@@ -303,6 +317,8 @@ func (l *rpLearner) findConjunctions(universals []query.Expr) []boolean.Tuple {
 				c := t.Without(v)
 				if !qU.Violates(c) {
 					children = append(children, c)
+				} else {
+					l.in.pruned(1)
 				}
 			}
 			base := concatTuples(discovered, frontier[i+1:], next)
@@ -326,6 +342,7 @@ func (l *rpLearner) findConjunctions(universals []query.Expr) []boolean.Tuple {
 // O(|K| lg |cands|) questions. Monotonicity holds because every tuple
 // involved is universal-violation free.
 func (l *rpLearner) pruneTuples(cands []boolean.Tuple, base []boolean.Tuple) []boolean.Tuple {
+	defer l.in.begin("prune")()
 	askWith := func(extra ...[]boolean.Tuple) bool {
 		l.note("existential", "which candidate tuples are needed to keep your query satisfied?")
 		return l.ask(boolean.NewSet(concatTuples(append([][]boolean.Tuple{base}, extra...)...)...))

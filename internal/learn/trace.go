@@ -25,43 +25,18 @@ type Step struct {
 }
 
 // Tracer observes learner questions as they are asked. A nil Tracer
-// is silent.
+// is silent. Tracer is the step-level view; Instrumentation carries
+// it alongside span tracing and metrics.
 type Tracer func(Step)
-
-// tracingOracle wraps an oracle so every question is reported to the
-// tracer with the purpose the learner set beforehand.
-type tracingOracle struct {
-	inner   oracle.Oracle
-	trace   Tracer
-	phase   string
-	purpose string
-}
-
-func (t *tracingOracle) Ask(s boolean.Set) bool {
-	a := t.inner.Ask(s)
-	if t.trace != nil {
-		t.trace(Step{Phase: t.phase, Purpose: t.purpose, Question: s, Answer: a})
-	}
-	return a
-}
-
-// explain sets the annotation for the next question(s).
-func (t *tracingOracle) explain(phase, purpose string) {
-	t.phase, t.purpose = phase, purpose
-}
 
 // Qhorn1Traced is Qhorn1 with a tracer receiving every question
 // annotated with its phase and purpose.
 func Qhorn1Traced(u boolean.Universe, o oracle.Oracle, trace Tracer) (query.Query, Qhorn1Stats) {
-	to := &tracingOracle{inner: o, trace: trace}
-	l := &qhorn1Learner{u: u, o: to, explain: to.explain}
-	return l.learn()
+	return Qhorn1Observed(u, o, Instrumentation{Steps: trace})
 }
 
 // RolePreservingTraced is RolePreserving with a tracer receiving
 // every question annotated with its phase and purpose.
 func RolePreservingTraced(u boolean.Universe, o oracle.Oracle, trace Tracer) (query.Query, RPStats) {
-	to := &tracingOracle{inner: o, trace: trace}
-	l := &rpLearner{u: u, o: to, explain: to.explain}
-	return l.learn()
+	return RolePreservingObserved(u, o, Instrumentation{Steps: trace})
 }

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Flags is the shared observability flag bundle every CLI binds:
+//
+//	-trace        render the span tree on stdout at exit
+//	-trace-out F  append the span stream as JSONL to file F
+//	-metrics      print the Prometheus exposition on stdout at exit
+//	-profile P    write P.cpu.pprof and P.heap.pprof around the run
+type Flags struct {
+	Trace    bool
+	TraceOut string
+	Metrics  bool
+	Profile  string
+}
+
+// BindFlags registers the shared observability flags on fs.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Trace, "trace", false, "print the span tree of the run at exit")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write the span stream as JSONL to this file")
+	fs.BoolVar(&f.Metrics, "metrics", false, "print the metrics exposition (Prometheus text format) at exit")
+	fs.StringVar(&f.Profile, "profile", "", "write CPU and heap profiles with this file prefix")
+	return f
+}
+
+// Session is a live observability context for one CLI run: the span
+// tracer (nil when no trace output was requested and no extra sinks
+// were passed), the metrics registry (always usable), and the
+// deferred outputs that Close flushes.
+type Session struct {
+	// Tracer is the span tracer; nil when tracing is off, which the
+	// instrumented packages treat as silent.
+	Tracer *Tracer
+	// Metrics is the run's registry; always non-nil.
+	Metrics *Registry
+
+	flags   *Flags
+	out     io.Writer
+	tree    *TreeSink
+	jsonl   *JSONLSink
+	jsonlF  *os.File
+	profile *Profile
+	closed  bool
+}
+
+// Start opens a session for the parsed flags. Tree and metrics output
+// go to out at Close. Extra sinks (e.g. a CLI's -explain printer)
+// force the tracer on even without -trace.
+func (f *Flags) Start(out io.Writer, extra ...SpanSink) (*Session, error) {
+	s := &Session{flags: f, out: out, Metrics: NewRegistry()}
+	var sinks []SpanSink
+	if f.Trace {
+		s.tree = NewTreeSink()
+		sinks = append(sinks, s.tree)
+	}
+	if f.TraceOut != "" {
+		file, err := os.Create(f.TraceOut)
+		if err != nil {
+			return nil, fmt.Errorf("obs: trace-out: %w", err)
+		}
+		s.jsonlF = file
+		s.jsonl = NewJSONLSink(file)
+		sinks = append(sinks, s.jsonl)
+	}
+	sinks = append(sinks, extra...)
+	if len(sinks) > 0 {
+		s.Tracer = NewTracer(sinks...)
+	}
+	if f.Profile != "" {
+		p, err := StartProfile(f.Profile)
+		if err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		s.profile = p
+	}
+	return s, nil
+}
+
+func (s *Session) closeFiles() {
+	if s.jsonlF != nil {
+		s.jsonlF.Close()
+		s.jsonlF = nil
+	}
+}
+
+// Close flushes the session: renders the span tree, prints the
+// metrics exposition, closes the JSONL file and stops profiling. It
+// returns the first error encountered but always attempts every step.
+// Closing twice is a no-op, so a CLI may both defer Close (for error
+// paths) and check its error explicitly on success.
+func (s *Session) Close() error {
+	if s == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.tree != nil {
+		fmt.Fprintln(s.out, "\nSpan tree:")
+		s.tree.Render(s.out)
+	}
+	if s.flags.Metrics {
+		fmt.Fprintln(s.out, "\nMetrics:")
+		keep(s.Metrics.WritePrometheus(s.out))
+	}
+	if s.jsonl != nil {
+		keep(s.jsonl.Err())
+	}
+	if s.jsonlF != nil {
+		keep(s.jsonlF.Close())
+		s.jsonlF = nil
+	}
+	keep(s.profile.Stop())
+	return first
+}
+
+// Tree returns the collected tree sink, or nil when -trace is off;
+// tests use it to assert span coverage without parsing output.
+func (s *Session) Tree() *TreeSink { return s.tree }

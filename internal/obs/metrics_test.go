@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("qhorn_questions_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("qhorn_questions_total") != c {
+		t.Error("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if g.Value() != 2.0 {
+		t.Errorf("gauge = %v, want 2", g.Value())
+	}
+	g.Max(1.0)
+	if g.Value() != 2.0 {
+		t.Error("Max lowered the gauge")
+	}
+	g.Max(7)
+	if g.Value() != 7.0 {
+		t.Error("Max did not raise the gauge")
+	}
+
+	h := r.Histogram("h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 105 {
+		t.Errorf("histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestLabeledVariantsAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("q", "phase", "heads").Add(3)
+	r.Counter("q", "phase", "bodies").Add(4)
+	if got := r.CounterValue("q", "phase", "heads"); got != 3 {
+		t.Errorf("heads = %d", got)
+	}
+	if got := r.SumCounter("q"); got != 7 {
+		t.Errorf("sum = %d, want 7", got)
+	}
+	if got := r.CounterValue("q", "phase", "existential"); got != 0 {
+		t.Errorf("absent variant = %d, want 0", got)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge lookup of a counter name did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("qhorn_questions_total", "membership questions asked")
+	r.Counter("qhorn_questions_total").Add(12)
+	r.Counter("qhorn_questions_by_phase_total", "phase", "heads").Add(5)
+	r.Gauge("qhorn_max_tuples").Set(8)
+	h := r.Histogram("qhorn_tuples_per_question", []float64{1, 2, 4})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP qhorn_questions_total membership questions asked",
+		"# TYPE qhorn_questions_total counter",
+		"qhorn_questions_total 12",
+		`qhorn_questions_by_phase_total{phase="heads"} 5`,
+		"# TYPE qhorn_max_tuples gauge",
+		"qhorn_max_tuples 8",
+		"# TYPE qhorn_tuples_per_question histogram",
+		`qhorn_tuples_per_question_bucket{le="1"} 1`,
+		`qhorn_tuples_per_question_bucket{le="2"} 1`,
+		`qhorn_tuples_per_question_bucket{le="4"} 2`,
+		`qhorn_tuples_per_question_bucket{le="+Inf"} 3`,
+		"qhorn_tuples_per_question_sum 13",
+		"qhorn_tuples_per_question_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilRegistryDiscards(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h", []float64{1}).Observe(1)
+	r.Describe("c", "x")
+	r.PublishExpvar("nil-registry-test")
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.CounterValue("c") != 0 || r.SumCounter("c") != 0 {
+		t.Error("nil registry reported values")
+	}
+}
+
+func TestExpvarBridge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("qhorn_questions_total").Add(9)
+	h := r.Histogram("lat", []float64{1})
+	h.Observe(0.5)
+	r.PublishExpvar("qhorn-test-metrics")
+	// Publishing a second registry under the same name must not panic
+	// and must not displace the first.
+	NewRegistry().PublishExpvar("qhorn-test-metrics")
+
+	v := expvar.Get("qhorn-test-metrics")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+		t.Fatalf("expvar not JSON: %v", err)
+	}
+	if m["qhorn_questions_total"].(float64) != 9 {
+		t.Errorf("expvar questions = %v", m["qhorn_questions_total"])
+	}
+	if m["lat_count"].(float64) != 1 {
+		t.Errorf("expvar lat_count = %v", m["lat_count"])
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			phase := []string{"heads", "bodies", "existential"}[i%3]
+			for j := 0; j < 500; j++ {
+				r.Counter("q", "phase", phase).Inc()
+				r.Gauge("g").Max(float64(j))
+				r.Histogram("h", []float64{1, 10, 100}).Observe(float64(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.SumCounter("q"); got != 8*500 {
+		t.Errorf("sum = %d, want %d", got, 8*500)
+	}
+	if r.Histogram("h", []float64{1, 10, 100}).Count() != 8*500 {
+		t.Error("histogram lost samples")
+	}
+}

@@ -1,0 +1,83 @@
+// Package obs is the unified observability layer of the repository:
+// hierarchical span tracing, a metrics registry with Prometheus text
+// exposition and an expvar bridge, and profiling hooks — all over the
+// standard library only.
+//
+// Every theorem the repository reproduces is a claim about observable
+// cost: questions asked, tuples per question, lattice nodes explored
+// (Theorems 3.1, 3.5, 3.8, 4.2). This package is the single substrate
+// through which the learners (internal/learn), the verifier
+// (internal/verify), the oracles (internal/oracle) and the experiment
+// harness (internal/exp) report that cost, and through which the CLIs
+// expose it (-trace, -trace-out, -metrics, -profile).
+//
+// The span vocabulary mirrors the paper's algorithm structure: a
+// learning run is a root span ("learn/qhorn1", "learn/rp") with one
+// child per phase ("heads", "bodies", "existential") and grandchildren
+// for the subroutines ("find", "findall", "gethead", "lattice-search",
+// "prune"); a verification run is a root span ("verify") with one
+// child per question family ("verify/A1" … "verify/N2"). Each
+// membership question is an event on the innermost open span.
+//
+// Everything is nil-safe: a nil *Tracer yields nil *Spans whose
+// methods no-op, and a nil *Registry hands out discard metrics, so
+// instrumented code needs no "is observability on?" branches.
+package obs
+
+import "fmt"
+
+// Attr is one key/value annotation on a span or event.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// A builds an Attr.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Af builds an Attr with a formatted value.
+func Af(key, format string, args ...interface{}) Attr {
+	return Attr{Key: key, Value: fmt.Sprintf(format, args...)}
+}
+
+// Names of the metrics the instrumented packages maintain. Exposed as
+// constants so CLIs, tests and dashboards agree on spelling.
+const (
+	// MetricQuestions counts membership questions at the oracle
+	// boundary (oracle.CountInto); it is the paper's primary cost.
+	MetricQuestions = "qhorn_questions_total"
+	// MetricTuples counts tuples across all questions.
+	MetricTuples = "qhorn_tuples_total"
+	// MetricTuplesPerQuestion is the distribution of tuples per
+	// question (Lemma 3.4 bounds cost when this is constant).
+	MetricTuplesPerQuestion = "qhorn_tuples_per_question"
+	// MetricOracleSeconds is the distribution of oracle answer
+	// latency in seconds.
+	MetricOracleSeconds = "qhorn_oracle_answer_seconds"
+	// MetricQuestionsByPhase counts questions per algorithm phase
+	// (label "phase": heads, bodies, existential).
+	MetricQuestionsByPhase = "qhorn_questions_by_phase_total"
+	// MetricLatticeVisited counts lattice nodes the role-preserving
+	// learner actually explored.
+	MetricLatticeVisited = "qhorn_lattice_nodes_visited_total"
+	// MetricLatticePruned counts lattice nodes skipped by dominance
+	// or violation pruning.
+	MetricLatticePruned = "qhorn_lattice_nodes_pruned_total"
+	// MetricVerifyQuestions counts verification questions per family
+	// (label "kind": A1…A4, N1, N2).
+	MetricVerifyQuestions = "qhorn_verify_questions_total"
+	// MetricVerifyDisagreements counts verification disagreements.
+	MetricVerifyDisagreements = "qhorn_verify_disagreements_total"
+	// MetricExperiments counts experiment-harness runs.
+	MetricExperiments = "qhorn_experiments_total"
+)
+
+// TuplesPerQuestionBuckets are the fixed histogram buckets for
+// MetricTuplesPerQuestion: question payloads are small (most questions
+// carry O(1)–O(n) tuples on n ≤ 64 variables).
+var TuplesPerQuestionBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+
+// LatencyBuckets are the fixed histogram buckets for
+// MetricOracleSeconds, from microseconds (simulated oracles) to
+// seconds (interactive users).
+var LatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60}

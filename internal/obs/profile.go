@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profile captures CPU and heap profiles around a run: StartProfile
+// begins CPU sampling into <prefix>.cpu.pprof, and Stop finishes it
+// and writes the heap profile to <prefix>.heap.pprof. Both files are
+// readable with `go tool pprof`.
+type Profile struct {
+	cpu      *os.File
+	heapPath string
+}
+
+// StartProfile begins profiling with the given file prefix. The
+// returned Profile must be stopped exactly once.
+func StartProfile(prefix string) (*Profile, error) {
+	f, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return &Profile{cpu: f, heapPath: prefix + ".heap.pprof"}, nil
+}
+
+// Stop ends CPU sampling and writes the heap profile. Stopping a nil
+// Profile is a no-op.
+func (p *Profile) Stop() error {
+	if p == nil {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	if err := p.cpu.Close(); err != nil {
+		return err
+	}
+	f, err := os.Create(p.heapPath)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // flush recently freed objects so the profile reflects live heap
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return nil
+}

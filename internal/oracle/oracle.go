@@ -19,8 +19,11 @@ import (
 	"io"
 	"math/rand"
 	"strings"
+	"sync"
+	"time"
 
 	"qhorn/internal/boolean"
+	"qhorn/internal/obs"
 	"qhorn/internal/query"
 )
 
@@ -47,10 +50,15 @@ func Target(q query.Query) Oracle {
 
 // Counter wraps an oracle and records the complexity measures the
 // paper reports: the number of questions asked, the total and maximum
-// number of tuples per question. The zero value is not usable; wrap
-// with Count.
+// number of tuples per question. It is safe for concurrent use —
+// concurrent experiment sweeps may share one Counter — but the public
+// fields must only be read once the learners using it have returned
+// (or through Snapshot, which locks). The zero value is not usable;
+// wrap with Count or CountInto.
 type Counter struct {
+	mu        sync.Mutex
 	inner     Oracle
+	reg       *obs.Registry
 	Questions int
 	Tuples    int
 	MaxTuples int
@@ -59,19 +67,51 @@ type Counter struct {
 // Count wraps inner with a fresh Counter.
 func Count(inner Oracle) *Counter { return &Counter{inner: inner} }
 
+// CountInto wraps inner with a Counter that doubles as a thin adapter
+// over the metrics registry: every question also updates
+// qhorn_questions_total, qhorn_tuples_total, the tuples-per-question
+// histogram and the oracle answer-latency histogram. A nil registry
+// degrades to Count.
+func CountInto(inner Oracle, reg *obs.Registry) *Counter {
+	return &Counter{inner: inner, reg: reg}
+}
+
 // Ask implements Oracle, forwarding to the wrapped oracle.
 func (c *Counter) Ask(s boolean.Set) bool {
+	size := s.Size()
+	c.mu.Lock()
 	c.Questions++
-	c.Tuples += s.Size()
-	if s.Size() > c.MaxTuples {
-		c.MaxTuples = s.Size()
+	c.Tuples += size
+	if size > c.MaxTuples {
+		c.MaxTuples = size
 	}
-	return c.inner.Ask(s)
+	reg := c.reg
+	c.mu.Unlock()
+	if reg == nil {
+		return c.inner.Ask(s)
+	}
+	reg.Counter(obs.MetricQuestions).Inc()
+	reg.Counter(obs.MetricTuples).Add(int64(size))
+	reg.Histogram(obs.MetricTuplesPerQuestion, obs.TuplesPerQuestionBuckets).Observe(float64(size))
+	start := time.Now()
+	a := c.inner.Ask(s)
+	reg.Histogram(obs.MetricOracleSeconds, obs.LatencyBuckets).Observe(time.Since(start).Seconds())
+	return a
+}
+
+// Snapshot returns a consistent view of the counters, safe to call
+// while learners are still asking.
+func (c *Counter) Snapshot() (questions, tuples, maxTuples int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Questions, c.Tuples, c.MaxTuples
 }
 
 // Reset clears the counters.
 func (c *Counter) Reset() {
+	c.mu.Lock()
 	c.Questions, c.Tuples, c.MaxTuples = 0, 0, 0
+	c.mu.Unlock()
 }
 
 // Entry is one recorded membership question and its response.
@@ -82,8 +122,11 @@ type Entry struct {
 
 // Transcript wraps an oracle and records every question and response,
 // in order. A transcript is the interaction history that §5 proposes
-// showing users so they can revise mistaken responses.
+// showing users so they can revise mistaken responses. It is safe for
+// concurrent use; read Entries only after the learners using it have
+// returned, or through Len/Copy which lock.
 type Transcript struct {
+	mu      sync.Mutex
 	inner   Oracle
 	Entries []Entry
 }
@@ -94,8 +137,25 @@ func Record(inner Oracle) *Transcript { return &Transcript{inner: inner} }
 // Ask implements Oracle.
 func (t *Transcript) Ask(s boolean.Set) bool {
 	a := t.inner.Ask(s)
+	t.mu.Lock()
 	t.Entries = append(t.Entries, Entry{Question: s, Answer: a})
+	t.mu.Unlock()
 	return a
+}
+
+// Len reports the number of recorded entries, safe to call while
+// learners are still asking.
+func (t *Transcript) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.Entries)
+}
+
+// Copy returns a snapshot of the recorded entries.
+func (t *Transcript) Copy() []Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Entry{}, t.Entries...)
 }
 
 // Noisy wraps an oracle and flips each response independently with

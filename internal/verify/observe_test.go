@@ -1,0 +1,93 @@
+package verify_test
+
+import (
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/obs"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+	"qhorn/internal/verify"
+)
+
+// TestRunObservedCoversEveryFamily pins the span and metric shape of
+// an observed verification run: one child span per question named
+// after its family, and kind-labeled counters summing to the set size.
+func TestRunObservedCoversEveryFamily(t *testing.T) {
+	u := boolean.MustUniverse(6)
+	qg := query.MustParse(u, "∀x1x2 → x4 ∃x1x2 → x5 ∃x3 → x6")
+	vs, err := verify.Build(qg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := obs.NewTreeSink()
+	tr := obs.NewTracer(tree)
+	reg := obs.NewRegistry()
+
+	res := vs.RunObserved(oracle.Target(qg), tr, reg)
+	if !res.Correct {
+		t.Fatalf("self-verification disagreed: %+v", res.Disagreements)
+	}
+
+	names := tree.SpanNames()
+	if !contains(names, "verify") {
+		t.Errorf("no root verify span (have %v)", names)
+	}
+	kinds := map[verify.Kind]bool{}
+	for _, q := range vs.Questions {
+		kinds[q.Kind] = true
+	}
+	for k := range kinds {
+		if !contains(names, "verify/"+string(k)) {
+			t.Errorf("span verify/%s missing (have %v)", k, names)
+		}
+	}
+	if got := reg.SumCounter(obs.MetricVerifyQuestions); got != int64(len(vs.Questions)) {
+		t.Errorf("%s sum = %d, want %d", obs.MetricVerifyQuestions, got, len(vs.Questions))
+	}
+	if got := reg.SumCounter(obs.MetricVerifyDisagreements); got != 0 {
+		t.Errorf("%s sum = %d, want 0", obs.MetricVerifyDisagreements, got)
+	}
+}
+
+// TestRunObservedCountsDisagreements checks the disagreement counter
+// and event against a user whose intent differs from the given query.
+func TestRunObservedCountsDisagreements(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	given := query.MustParse(u, "∀x1 → x2 ∃x3x4")
+	intent := query.MustParse(u, "∀x1 → x2 ∃x3 ∃x4")
+	vs, err := verify.Build(given)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	res := vs.RunObserved(oracle.Target(intent), nil, reg)
+	if res.Correct {
+		t.Fatal("distinct queries verified as correct")
+	}
+	if got := reg.SumCounter(obs.MetricVerifyDisagreements); got != int64(len(res.Disagreements)) {
+		t.Errorf("disagreement counter = %d, result lists %d", got, len(res.Disagreements))
+	}
+	if got := reg.SumCounter(obs.MetricVerifyQuestions); got != int64(res.QuestionsAsked) {
+		t.Errorf("question counter = %d, asked %d", got, res.QuestionsAsked)
+	}
+}
+
+// TestRunObservedNilHooks checks nil tracer and registry are silent.
+func TestRunObservedNilHooks(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	qg := query.MustParse(u, "∀x1 → x2 ∃x3")
+	res, err := verify.VerifyObserved(qg, oracle.Target(qg), nil, nil)
+	if err != nil || !res.Correct {
+		t.Fatalf("nil hooks broke verification: %v %+v", err, res)
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

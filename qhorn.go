@@ -43,6 +43,7 @@ import (
 
 	"qhorn/internal/boolean"
 	"qhorn/internal/learn"
+	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/pac"
 	"qhorn/internal/query"
@@ -256,6 +257,65 @@ func LearnQhorn1Traced(u Universe, o Oracle, t Tracer) (Query, Qhorn1Stats) {
 // annotations.
 func LearnRolePreservingTraced(u Universe, o Oracle, t Tracer) (Query, RPStats) {
 	return learn.RolePreservingTraced(u, o, t)
+}
+
+// Observability (see docs/OBSERVABILITY.md): hierarchical span
+// tracing, a metrics registry with Prometheus text exposition, and
+// per-question step tracing, shared by the learners, the verifier and
+// the CLIs. Nil hooks are silent, so instrumentation can be threaded
+// unconditionally.
+type (
+	// MetricsRegistry collects counters, gauges and histograms; a nil
+	// registry discards everything.
+	MetricsRegistry = obs.Registry
+	// SpanTracer emits hierarchical spans to its sinks; nil is silent.
+	SpanTracer = obs.Tracer
+	// Span is one timed region of a run ("learn/rp", "heads", …).
+	Span = obs.Span
+	// SpanEvent is one point-in-time event within a span.
+	SpanEvent = obs.Event
+	// SpanSink consumes the span stream (TreeSink, JSONLSink, or a
+	// custom consumer such as qhornlearn's -explain printer).
+	SpanSink = obs.SpanSink
+	// TreeSink collects spans and renders them as an indented tree.
+	TreeSink = obs.TreeSink
+	// JSONLSink streams spans as JSON lines.
+	JSONLSink = obs.JSONLSink
+	// Instrumentation bundles the optional observability hooks of a
+	// learning run; the zero value is silent.
+	Instrumentation = learn.Instrumentation
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSpanTracer returns a tracer emitting to the given sinks.
+func NewSpanTracer(sinks ...SpanSink) *SpanTracer { return obs.NewTracer(sinks...) }
+
+// NewTreeSink returns a sink that renders the span tree.
+func NewTreeSink() *TreeSink { return obs.NewTreeSink() }
+
+// LearnQhorn1Observed is LearnQhorn1 with observability hooks.
+func LearnQhorn1Observed(u Universe, o Oracle, ins Instrumentation) (Query, Qhorn1Stats) {
+	return learn.Qhorn1Observed(u, o, ins)
+}
+
+// LearnRolePreservingObserved is LearnRolePreserving with
+// observability hooks.
+func LearnRolePreservingObserved(u Universe, o Oracle, ins Instrumentation) (Query, RPStats) {
+	return learn.RolePreservingObserved(u, o, ins)
+}
+
+// VerifyObserved is Verify with span tracing and metrics; tr and reg
+// may each be nil.
+func VerifyObserved(q Query, o Oracle, tr *SpanTracer, reg *MetricsRegistry) (VerificationResult, error) {
+	return verify.VerifyObserved(q, o, tr, reg)
+}
+
+// CountingOracleInto is CountingOracle additionally mirroring its
+// counts into a metrics registry (qhorn_questions_total and friends).
+func CountingOracleInto(o Oracle, reg *MetricsRegistry) *oracle.Counter {
+	return oracle.CountInto(o, reg)
 }
 
 // EstimateQhorn1 bounds the number of questions a qhorn-1 learning
