@@ -23,6 +23,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/adversary", []string{"2^n − 1", "4095"}},
 		{"./examples/observability", []string{"equivalent:         true", "learn/rp", "lattice-search", "verify/A1", "qhorn_questions_total"}},
 		{"./examples/future", []string{"equivalent: true, ", "error 0.000", "depth 1 → 4, depth 2 → 12"}},
+		{"./examples/fuzzing", []string{"disagreements: 0", "caught: learn-equiv", "minimized: 1 vars, 1 parts"}},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -1,0 +1,38 @@
+package brute_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/brute"
+	"qhorn/internal/difffuzz"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+)
+
+// TestBruteAgreesWithEngineCases: on universes small enough to
+// enumerate, brute-force elimination learns a query equivalent to
+// every hidden query the differential generator draws — the same
+// cross-check the fuzz engine applies, pinned here as a direct brute
+// test with the generator's variety instead of hand fixtures.
+func TestBruteAgreesWithEngineCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	u := boolean.MustUniverse(2)
+	candidates := query.AllQueries(u)
+	pool := boolean.AllObjects(u)
+	for i := 0; i < 30; i++ {
+		class := difffuzz.ClassQhorn1
+		if i%2 == 1 {
+			class = difffuzz.ClassRP
+		}
+		hidden := difffuzz.GenCase(rng, class, 2, 2).Hidden
+		res, err := brute.Learn(candidates, oracle.Target(hidden), pool)
+		if err != nil {
+			t.Fatalf("hidden %s: %v", hidden, err)
+		}
+		if !res.Learned.Equivalent(hidden) {
+			t.Errorf("brute learned %s for hidden %s", res.Learned, hidden)
+		}
+	}
+}

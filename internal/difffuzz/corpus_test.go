@@ -1,0 +1,195 @@
+package difffuzz
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+// TestReproRoundTrip: FormatRepro → ParseRepro preserves the case for
+// every class.
+func TestReproRoundTrip(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	cases := []Case{
+		{Class: ClassQhorn1, Hidden: query.MustParse(u, "∀x1x2 → x3 ∃x4")},
+		{Class: ClassRP, Hidden: query.MustParse(u, "∀x1 → x2 ∃x3x4")},
+		{Class: ClassVerify,
+			Hidden: query.MustParse(u, "∀x1x2 → x3 ∃x4"),
+			Given:  query.MustParse(u, "∃x1x2x3 ∃x4")},
+	}
+	for _, c := range cases {
+		d := Disagreement{
+			Kind: KindLearnEquiv, Case: c, Detail: "fixture",
+			Witness: boolean.NewSet(u.All()), HasWitness: true,
+		}
+		back, err := ParseRepro([]byte(FormatRepro(d)))
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		if back.Class != c.Class || !back.Hidden.Equal(c.Hidden) || !back.Given.Equal(c.Given) {
+			t.Errorf("round trip changed case: %s -> %s", c, back)
+		}
+	}
+}
+
+// TestParseReproErrors: malformed repro files produce errors, not
+// panics or silent defaults.
+func TestParseReproErrors(t *testing.T) {
+	bad := []string{
+		"class: nope\nn: 2\nhidden: ∃x1",
+		"class: rp\nn: 0\nhidden: ∃x1",
+		"class: rp\nn: 99\nhidden: ∃x1",
+		"class: rp\nn: 2\nhidden: ∃x9",
+		"class: verify\nn: 2\nhidden: ∃x1\ngiven: bogus",
+		"class: rp\nn: 2\nhidden: ∃x1\nnot-a-kv-line",
+	}
+	for _, s := range bad {
+		if _, err := ParseRepro([]byte(s)); err == nil {
+			t.Errorf("ParseRepro(%q) succeeded, want error", s)
+		}
+	}
+}
+
+// TestWriteReproAndLoadCorpus: repros persist under stable names and
+// load back in sorted order; a missing directory is an empty corpus.
+func TestWriteReproAndLoadCorpus(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	u := boolean.MustUniverse(3)
+	d := Disagreement{
+		Kind: KindBrute,
+		Case: Case{Class: ClassRP, Hidden: query.MustParse(u, "∃x1x2 ∃x3")},
+	}
+	path1, err := WriteRepro(dir, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path2, err := WriteRepro(dir, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path1 != path2 {
+		t.Errorf("same repro mapped to different files: %s vs %s", path1, path2)
+	}
+	if !strings.HasPrefix(filepath.Base(path1), "brute-") {
+		t.Errorf("repro file %s not named after its kind", path1)
+	}
+	cases, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 1 || !cases[0].Hidden.Equal(d.Case.Hidden) {
+		t.Errorf("corpus = %v, want the single written case", cases)
+	}
+	if cases, err := LoadCorpus(filepath.Join(dir, "missing")); err != nil || cases != nil {
+		t.Errorf("missing dir: cases=%v err=%v, want empty, nil", cases, err)
+	}
+}
+
+// TestCorpusReplay replays every checked-in repro under
+// testdata/corpus through the full judge battery. The corpus encodes
+// the paper's tricky shapes; all must pass.
+func TestCorpusReplay(t *testing.T) {
+	cases, err := LoadCorpus(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("testdata/corpus is empty — seed corpus missing")
+	}
+	for _, c := range cases {
+		res := CheckCase(c, Options{})
+		for _, d := range res.Disagreements {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestCorpusLoadError: unparseable corpus entries surface the file
+// name.
+func TestCorpusLoadError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.repro"), []byte("class: nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(dir); err == nil || !strings.Contains(err.Error(), "bad.repro") {
+		t.Errorf("LoadCorpus error = %v, want mention of bad.repro", err)
+	}
+}
+
+// TestCaseFromShorthand: fuzz decoding enforces the class, sizes the
+// universe from the text, and rejects oversized or unparseable input.
+func TestCaseFromShorthand(t *testing.T) {
+	if c, ok := CaseFromShorthand(ClassQhorn1, "∀x1x2 → x3 ∃x4"); !ok || !c.Hidden.IsQhorn1() || c.Hidden.N() != 4 {
+		t.Errorf("valid qhorn-1 shorthand rejected: %v %v", c, ok)
+	}
+	if _, ok := CaseFromShorthand(ClassQhorn1, "∀x1 → x2 ∃x2x3"); ok {
+		t.Error("non-qhorn-1 input accepted into qhorn-1 class (x2 repeats across parts)")
+	}
+	if c, ok := CaseFromShorthand(ClassRP, "∀x1 → x2 ∀x2 → x3"); !ok || !c.Hidden.IsRolePreserving() {
+		t.Errorf("rp shorthand not repaired: %v %v", c, ok)
+	}
+	for _, s := range []string{"", "∃x99", "garbage", "∀x1 →"} {
+		if _, ok := CaseFromShorthand(ClassRP, s); ok {
+			t.Errorf("bad shorthand %q accepted", s)
+		}
+	}
+}
+
+// TestVerifyCaseFromShorthand: both queries share the joint universe.
+func TestVerifyCaseFromShorthand(t *testing.T) {
+	c, ok := VerifyCaseFromShorthand("∃x1", "∃x5")
+	if !ok || c.Hidden.N() != 5 || c.Given.N() != 5 {
+		t.Errorf("joint universe not used: %v %v", c, ok)
+	}
+	if _, ok := VerifyCaseFromShorthand("∃x1", "nope"); ok {
+		t.Error("unparseable hidden accepted")
+	}
+	if _, ok := VerifyCaseFromShorthand("", ""); ok {
+		t.Error("empty pair accepted")
+	}
+}
+
+// TestRepairRolePreserving: repair reaches the class and is the
+// identity on queries already in it.
+func TestRepairRolePreserving(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	good := query.MustParse(u, "∀x1 → x2 ∃x3")
+	if got := RepairRolePreserving(good); !got.Equal(good) {
+		t.Errorf("repair changed a role-preserving query: %s", got)
+	}
+	bad := query.MustParse(u, "∀x1 → x2 ∀x2 → x3")
+	got := RepairRolePreserving(bad)
+	if !got.IsRolePreserving() {
+		t.Errorf("repair failed: %s", got)
+	}
+	if got.Size() >= bad.Size() {
+		t.Errorf("repair did not drop an expression: %s", got)
+	}
+}
+
+// TestMaxVarIndex: universe sizing reads the largest index and flags
+// absurd ones for rejection.
+func TestMaxVarIndex(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"∀x1x2 → x3", 3},
+		{"∃x7", 7},
+		{"no vars here", 0},
+		{"x", 0},
+		{"X12x3", 12},
+	}
+	for _, tc := range cases {
+		if got := maxVarIndex(tc.in); got != tc.want {
+			t.Errorf("maxVarIndex(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got := maxVarIndex("∃x99999999999999999999"); got <= boolean.MaxVars {
+		t.Errorf("huge index = %d, want > MaxVars for rejection", got)
+	}
+}

@@ -1,0 +1,233 @@
+package difffuzz
+
+import (
+	"math/rand"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+// GenCase draws one seeded learning case of the requested class on a
+// universe of minVars..maxVars variables. Qhorn-1 hidden queries come
+// from query.GenQhorn1 with an occasional small-partition variant so
+// bodyless expressions and singleton existentials (the "empty body"
+// and "head-only" tricky shapes) stay frequent; role-preserving
+// hidden queries draw their shape parameters — head count, causal
+// density θ, body and conjunction sizes — fresh per case.
+func GenCase(rng *rand.Rand, class Class, minVars, maxVars int) Case {
+	n := minVars
+	if maxVars > minVars {
+		n += rng.Intn(maxVars - minVars + 1)
+	}
+	switch class {
+	case ClassQhorn1:
+		var hidden query.Query
+		if rng.Intn(4) == 0 {
+			// Small partitions maximize bodyless universals and
+			// singleton existential Horn expressions.
+			hidden = query.GenQhorn1Sized(rng, n, 2)
+		} else {
+			hidden = query.GenQhorn1(rng, n)
+		}
+		return Case{Class: ClassQhorn1, Hidden: hidden}
+	case ClassVerify:
+		// A verification case needs a given query too: a mutant of the
+		// hidden one when a mutation applies, otherwise the hidden
+		// query itself (the verifier must then answer Correct).
+		c := GenCase(rng, ClassRP, n, n)
+		given := c.Hidden
+		if g, _, ok := Mutant(rng, c.Hidden); ok {
+			given = g
+		}
+		return Case{Class: ClassVerify, Hidden: c.Hidden, Given: given}
+	default:
+		opts := query.RPOptions{
+			Heads:         rng.Intn(n/2 + 1),
+			BodiesPerHead: 1 + rng.Intn(3),
+			MinBodySize:   1,
+			MaxBodySize:   1 + rng.Intn(3),
+			Conjs:         rng.Intn(4),
+			MaxConjSize:   1 + rng.Intn(n),
+		}
+		if opts.Heads == 0 && opts.Conjs == 0 {
+			opts.Conjs = 1 // avoid the trivial query ⊤ dominating runs
+		}
+		return Case{Class: ClassRP, Hidden: query.GenRolePreserving(rng, n, opts)}
+	}
+}
+
+// mutator is one adversarial edit. It returns ok=false when the edit
+// does not apply to the query (for example flip-role on a query with
+// no universal Horn expressions).
+type mutator struct {
+	name  string
+	apply func(rng *rand.Rand, q query.Query) (query.Query, bool)
+}
+
+// mutators are the adversarial edits of the issue: flip head/body
+// roles, duplicate variables into bodies, drop guarantee-clause
+// witnesses, permute variables, plus structural drop/add edits. Each
+// produces a syntactically valid query; Mutant additionally filters
+// for role preservation.
+var mutators = []mutator{
+	{"flip-role", flipRole},
+	{"dup-var", dupVar},
+	{"drop-witness", dropWitness},
+	{"permute", permuteVars},
+	{"drop-expr", dropExpr},
+	{"add-conj", addConj},
+}
+
+// Mutant applies a random adversarial mutation to q and returns the
+// mutated query with the mutation's name. It retries across mutators
+// until the result is valid role-preserving and structurally distinct
+// from q; ok is false when no mutation applies (for example on ⊤).
+func Mutant(rng *rand.Rand, q query.Query) (query.Query, string, bool) {
+	for attempt := 0; attempt < 16; attempt++ {
+		m := mutators[rng.Intn(len(mutators))]
+		out, ok := m.apply(rng, q)
+		if !ok || out.Validate() != nil || !out.IsRolePreserving() {
+			continue
+		}
+		if out.Equal(q) {
+			continue
+		}
+		return out, m.name, true
+	}
+	return query.Query{}, "", false
+}
+
+// flipRole swaps the head of a universal Horn expression with one of
+// its body variables: ∀B∪{b} → h becomes ∀B∪{h} → b. On qhorn-1
+// queries this preserves the partition but changes which dependence
+// holds; on role-preserving queries it may demote a head.
+func flipRole(rng *rand.Rand, q query.Query) (query.Query, bool) {
+	var idxs []int
+	for i, e := range q.Exprs {
+		if e.Quant == query.Forall && e.Head != query.NoHead && !e.Body.IsEmpty() {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return query.Query{}, false
+	}
+	i := idxs[rng.Intn(len(idxs))]
+	e := q.Exprs[i]
+	vars := e.Body.Vars()
+	b := vars[rng.Intn(len(vars))]
+	exprs := copyExprs(q.Exprs)
+	exprs[i] = query.Expr{Quant: query.Forall, Body: e.Body.Without(b).With(e.Head), Head: b}
+	return rebuild(q, exprs)
+}
+
+// dupVar duplicates a variable into the body of an expression it does
+// not already appear in — the classic way to leave qhorn-1 (variable
+// repetition across parts) while staying syntactically well-formed.
+func dupVar(rng *rand.Rand, q query.Query) (query.Query, bool) {
+	if len(q.Exprs) == 0 || q.N() == 0 {
+		return query.Query{}, false
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		i := rng.Intn(len(q.Exprs))
+		v := rng.Intn(q.N())
+		e := q.Exprs[i]
+		if e.Body.Has(v) || e.Head == v {
+			continue
+		}
+		exprs := copyExprs(q.Exprs)
+		exprs[i] = query.Expr{Quant: e.Quant, Body: e.Body.With(v), Head: e.Head}
+		return rebuild(q, exprs)
+	}
+	return query.Query{}, false
+}
+
+// dropWitness replaces a universal Horn expression ∀B → h by the bare
+// guarantee clause ∃B∪{h}: the implication is dropped but its witness
+// conjunction survives. The mutant accepts strictly more objects than
+// the original unless the implication was vacuous.
+func dropWitness(rng *rand.Rand, q query.Query) (query.Query, bool) {
+	var idxs []int
+	for i, e := range q.Exprs {
+		if e.Quant == query.Forall && e.Head != query.NoHead {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return query.Query{}, false
+	}
+	i := idxs[rng.Intn(len(idxs))]
+	e := q.Exprs[i]
+	exprs := copyExprs(q.Exprs)
+	exprs[i] = query.Conjunction(e.Body.With(e.Head))
+	return rebuild(q, exprs)
+}
+
+// permuteVars renames the variables by a random non-identity
+// permutation (query.Rename): the shape is identical but the oracle
+// for the original query classifies the mutant's questions wrongly.
+func permuteVars(rng *rand.Rand, q query.Query) (query.Query, bool) {
+	n := q.N()
+	if n < 2 {
+		return query.Query{}, false
+	}
+	perm := rng.Perm(n)
+	identity := true
+	for i, p := range perm {
+		if p != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		perm[0], perm[1] = perm[1], perm[0]
+	}
+	out, err := query.Rename(q, perm)
+	if err != nil {
+		return query.Query{}, false
+	}
+	return out, true
+}
+
+// dropExpr removes one expression. Dropping the last expression
+// yields ⊤, which is a legitimate adversarial given query.
+func dropExpr(rng *rand.Rand, q query.Query) (query.Query, bool) {
+	if len(q.Exprs) == 0 {
+		return query.Query{}, false
+	}
+	i := rng.Intn(len(q.Exprs))
+	exprs := append(copyExprs(q.Exprs[:i]), q.Exprs[i+1:]...)
+	return rebuild(q, exprs)
+}
+
+// addConj appends an existential conjunction over non-head variables,
+// keeping role preservation by construction.
+func addConj(rng *rand.Rand, q query.Query) (query.Query, bool) {
+	nonHeads := q.U.Complement(q.UniversalHeads()).Vars()
+	if len(nonHeads) == 0 {
+		return query.Query{}, false
+	}
+	size := 1 + rng.Intn(minInt(3, len(nonHeads)))
+	rng.Shuffle(len(nonHeads), func(i, j int) { nonHeads[i], nonHeads[j] = nonHeads[j], nonHeads[i] })
+	conj := boolean.FromVars(nonHeads[:size]...)
+	exprs := append(copyExprs(q.Exprs), query.Conjunction(conj))
+	return rebuild(q, exprs)
+}
+
+func copyExprs(exprs []query.Expr) []query.Expr {
+	return append([]query.Expr{}, exprs...)
+}
+
+func rebuild(q query.Query, exprs []query.Expr) (query.Query, bool) {
+	out, err := query.New(q.U, exprs...)
+	if err != nil {
+		return query.Query{}, false
+	}
+	return out, true
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,172 @@
+package difffuzz
+
+import (
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+// Minimize greedily shrinks a failing case to a locally-minimal one:
+// it tries removing a universe variable (remapping indices), dropping
+// a whole expression, and removing a single body variable — in that
+// order, most aggressive first — and keeps any shrink after which the
+// case still fails, until no single shrink does. fails must be a
+// deterministic predicate; CheckCase is, so the usual call is
+//
+//	small := Minimize(c, func(c Case) bool {
+//		return len(CheckCase(c, opt).Disagreements) > 0
+//	})
+//
+// Shrink candidates that leave the case's query class (a qhorn-1
+// hidden query must keep covering every variable, a verify case must
+// keep both queries role-preserving) are discarded, so the result is
+// a valid case of the same class.
+func Minimize(c Case, fails func(Case) bool) Case {
+	if !fails(c) {
+		return c
+	}
+	for {
+		shrunk := false
+		for _, cand := range shrinks(c) {
+			if !validCase(cand) {
+				continue
+			}
+			if fails(cand) {
+				c, shrunk = cand, true
+				break
+			}
+		}
+		if !shrunk {
+			return c
+		}
+	}
+}
+
+// shrinks enumerates every single-step reduction of the case.
+func shrinks(c Case) []Case {
+	var out []Case
+	n := c.Hidden.N()
+	// Remove a universe variable from both queries at once.
+	if n > 1 {
+		for v := 0; v < n; v++ {
+			cand := c
+			cand.Hidden = dropUniverseVar(c.Hidden, v)
+			if c.Class == ClassVerify {
+				cand.Given = dropUniverseVar(c.Given, v)
+			}
+			out = append(out, cand)
+		}
+	}
+	// Drop one expression of the hidden (then given) query.
+	for i := range c.Hidden.Exprs {
+		cand := c
+		cand.Hidden = dropExprAt(c.Hidden, i)
+		out = append(out, cand)
+	}
+	if c.Class == ClassVerify {
+		for i := range c.Given.Exprs {
+			cand := c
+			cand.Given = dropExprAt(c.Given, i)
+			out = append(out, cand)
+		}
+	}
+	// Remove one variable from one body.
+	out = append(out, bodyShrinks(c, false)...)
+	if c.Class == ClassVerify {
+		out = append(out, bodyShrinks(c, true)...)
+	}
+	return out
+}
+
+func bodyShrinks(c Case, given bool) []Case {
+	q := c.Hidden
+	if given {
+		q = c.Given
+	}
+	var out []Case
+	for i, e := range q.Exprs {
+		for _, v := range e.Body.Vars() {
+			exprs := copyExprs(q.Exprs)
+			exprs[i] = query.Expr{Quant: e.Quant, Body: e.Body.Without(v), Head: e.Head}
+			shrunken, ok := rebuild(q, exprs)
+			if !ok {
+				continue
+			}
+			cand := c
+			if given {
+				cand.Given = shrunken
+			} else {
+				cand.Hidden = shrunken
+			}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// dropExprAt removes the i-th expression.
+func dropExprAt(q query.Query, i int) query.Query {
+	exprs := append(copyExprs(q.Exprs[:i]), q.Exprs[i+1:]...)
+	out, ok := rebuild(q, exprs)
+	if !ok {
+		return query.Query{U: q.U, Exprs: exprs}
+	}
+	return out
+}
+
+// dropUniverseVar removes variable v from the query: expressions
+// headed by v are dropped, v is removed from every body, conjunctions
+// emptied by the removal are dropped, and the remaining variables are
+// renumbered down onto a universe of n-1 variables.
+func dropUniverseVar(q query.Query, v int) query.Query {
+	u := boolean.MustUniverse(q.N() - 1)
+	var exprs []query.Expr
+	for _, e := range q.Exprs {
+		if e.Head == v {
+			continue
+		}
+		body := remapDown(e.Body.Without(v), v)
+		if e.Head == query.NoHead && body.IsEmpty() {
+			continue
+		}
+		head := e.Head
+		if head != query.NoHead && head > v {
+			head--
+		}
+		exprs = append(exprs, query.Expr{Quant: e.Quant, Body: body, Head: head})
+	}
+	out, err := query.New(u, exprs...)
+	if err != nil {
+		// Leave an invalid marker; validCase filters it out.
+		return query.Query{U: u, Exprs: exprs}
+	}
+	return out
+}
+
+// remapDown shifts every variable above v down by one.
+func remapDown(t boolean.Tuple, v int) boolean.Tuple {
+	var out boolean.Tuple
+	for _, x := range t.Vars() {
+		if x > v {
+			x--
+		}
+		out = out.With(x)
+	}
+	return out
+}
+
+// validCase reports whether the case is well-formed and still inside
+// its declared class.
+func validCase(c Case) bool {
+	if c.Hidden.N() < 1 || c.Hidden.Validate() != nil {
+		return false
+	}
+	switch c.Class {
+	case ClassQhorn1:
+		return c.Hidden.IsQhorn1()
+	case ClassVerify:
+		return c.Given.Validate() == nil &&
+			c.Hidden.IsRolePreserving() && c.Given.IsRolePreserving()
+	default:
+		return c.Hidden.IsRolePreserving()
+	}
+}

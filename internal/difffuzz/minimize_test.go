@@ -1,0 +1,148 @@
+package difffuzz
+
+import (
+	"math/rand"
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/query"
+)
+
+// warpDropFirst corrupts a learned query by deleting its first
+// expression — the injected bug the engine must catch (no real
+// disagreement between the repository's implementations survives the
+// clean-run tests, so detection is proven on a known mutation).
+func warpDropFirst(q query.Query) query.Query {
+	if len(q.Exprs) == 0 {
+		return q
+	}
+	return dropExprAt(q, 0)
+}
+
+// TestInjectedBugDetected: warping the learner's output makes the
+// engine report a disagreement on every class.
+func TestInjectedBugDetected(t *testing.T) {
+	opt := Options{Warp: warpDropFirst}
+	rng := rand.New(rand.NewSource(23))
+	for _, class := range []Class{ClassQhorn1, ClassRP} {
+		detected := 0
+		for i := 0; i < 20; i++ {
+			c := GenCase(rng, class, 3, 6)
+			if len(CheckCase(c, opt).Disagreements) > 0 {
+				detected++
+			}
+		}
+		if detected == 0 {
+			t.Errorf("%s: injected bug never detected in 20 cases", class)
+		}
+	}
+}
+
+// TestMinimizeShrinksInjectedBug is the acceptance-criterion test:
+// the minimizer shrinks a failing repro to at most 3 parts
+// (expressions) while it keeps failing, and the result is locally
+// minimal — no single further shrink still fails.
+func TestMinimizeShrinksInjectedBug(t *testing.T) {
+	opt := Options{Warp: warpDropFirst}
+	fails := func(c Case) bool { return len(CheckCase(c, opt).Disagreements) > 0 }
+	rng := rand.New(rand.NewSource(29))
+	shrunkOnce := false
+	for i := 0; i < 10; i++ {
+		c := GenCase(rng, ClassRP, 5, 8)
+		if !fails(c) {
+			continue
+		}
+		small := Minimize(c, fails)
+		if !fails(small) {
+			t.Fatalf("minimized case no longer fails: %s", small)
+		}
+		if got := small.Hidden.Size(); got > 3 {
+			t.Errorf("minimized hidden query has %d parts, want <= 3: %s", got, small.Hidden)
+		}
+		if small.Hidden.N() >= c.Hidden.N() && small.Hidden.Size() >= c.Hidden.Size() && c.Hidden.Size() > 1 {
+			t.Errorf("minimizer did not shrink %s (still %s)", c, small)
+		} else {
+			shrunkOnce = true
+		}
+		for _, cand := range shrinks(small) {
+			if validCase(cand) && fails(cand) {
+				t.Errorf("result %s not locally minimal: shrink %s still fails", small, cand)
+				break
+			}
+		}
+	}
+	if !shrunkOnce {
+		t.Fatal("no failing case was generated — injected bug too weak")
+	}
+}
+
+// TestMinimizePassingCaseUntouched: a case that does not fail is
+// returned unchanged.
+func TestMinimizePassingCaseUntouched(t *testing.T) {
+	c := GenCase(rand.New(rand.NewSource(31)), ClassQhorn1, 4, 4)
+	out := Minimize(c, func(Case) bool { return false })
+	if !out.Hidden.Equal(c.Hidden) {
+		t.Errorf("passing case was modified: %s -> %s", c, out)
+	}
+}
+
+// TestMinimizeKeepsClass: shrinking a qhorn-1 case never leaves the
+// class, and a verify case keeps both queries role-preserving.
+func TestMinimizeKeepsClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	opt := Options{Warp: warpDropFirst}
+	fails := func(c Case) bool { return len(CheckCase(c, opt).Disagreements) > 0 }
+	for i := 0; i < 10; i++ {
+		c := GenCase(rng, ClassQhorn1, 4, 6)
+		if !fails(c) {
+			continue
+		}
+		small := Minimize(c, fails)
+		if !small.Hidden.IsQhorn1() {
+			t.Fatalf("minimized qhorn-1 case left the class: %s", small.Hidden)
+		}
+	}
+}
+
+// TestDropUniverseVar: removing a variable renumbers the rest and
+// drops the expressions that depended on it.
+func TestDropUniverseVar(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	q := query.MustParse(u, "∀x1x2 → x3 ∃x4")
+	got := dropUniverseVar(q, 2) // drop x3: the universal loses its head
+	if got.N() != 3 {
+		t.Fatalf("universe = %d, want 3", got.N())
+	}
+	want := query.MustParse(boolean.MustUniverse(3), "∃x3")
+	if !got.Equal(want) {
+		t.Errorf("dropUniverseVar = %s, want %s", got, want)
+	}
+
+	got = dropUniverseVar(q, 0) // drop x1: body shrinks, x2..x4 shift down
+	want = query.MustParse(boolean.MustUniverse(3), "∀x1 → x2 ∃x3")
+	if !got.Equal(want) {
+		t.Errorf("dropUniverseVar = %s, want %s", got, want)
+	}
+}
+
+// TestValidCase: class membership is enforced per class.
+func TestValidCase(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	q1 := query.MustParse(u, "∀x1 → x2 ∃x3")
+	rpOnly := query.MustParse(u, "∀x1 → x2") // not qhorn-1: x3 uncovered
+	cases := []struct {
+		c    Case
+		want bool
+	}{
+		{Case{Class: ClassQhorn1, Hidden: q1}, true},
+		{Case{Class: ClassQhorn1, Hidden: rpOnly}, false},
+		{Case{Class: ClassRP, Hidden: rpOnly}, true},
+		{Case{Class: ClassVerify, Hidden: q1, Given: rpOnly}, true},
+		{Case{Class: ClassVerify, Hidden: q1, Given: query.MustParse(u, "∀x1 → x2 ∀x2 → x3")}, false},
+	}
+	for _, tc := range cases {
+		if got := validCase(tc.c); got != tc.want {
+			t.Errorf("validCase(%s) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}

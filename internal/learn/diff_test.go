@@ -1,0 +1,23 @@
+package learn_test
+
+import (
+	"testing"
+
+	"qhorn/internal/difffuzz"
+)
+
+// TestDifferentialSmoke cross-validates both learners against the
+// verifier, brute force, and ground-truth semantics through the
+// differential engine — a short deterministic slice of what
+// cmd/qhornfuzz and the native fuzz targets run at scale.
+func TestDifferentialSmoke(t *testing.T) {
+	for _, class := range []difffuzz.Class{difffuzz.ClassQhorn1, difffuzz.ClassRP} {
+		rep := difffuzz.Run(difffuzz.Config{Seed: 271, Runs: 40, Class: class})
+		for _, d := range rep.Disagreements {
+			t.Errorf("%s: %s", class, d)
+		}
+		if rep.CasesByClass[class] != 40 {
+			t.Errorf("%s: ran %d cases, want 40", class, rep.CasesByClass[class])
+		}
+	}
+}

@@ -70,6 +70,12 @@ const (
 	MetricVerifyDisagreements = "qhorn_verify_disagreements_total"
 	// MetricExperiments counts experiment-harness runs.
 	MetricExperiments = "qhorn_experiments_total"
+	// MetricFuzzCases counts differential-fuzz cases checked (label
+	// "class": qhorn1, rp, verify).
+	MetricFuzzCases = "qhorn_fuzz_cases_total"
+	// MetricFuzzDisagreements counts differential-fuzz disagreements
+	// (label "kind": the difffuzz.Kind that fired).
+	MetricFuzzDisagreements = "qhorn_fuzz_disagreements_total"
 )
 
 // TuplesPerQuestionBuckets are the fixed histogram buckets for

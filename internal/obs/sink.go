@@ -62,7 +62,7 @@ func (j *JSONLSink) SpanEvent(s *Span, e Event) {
 
 func (j *JSONLSink) SpanEnd(s *Span) {
 	j.write(jsonlRecord{Type: "end", ID: s.ID, Parent: s.ParentID, Name: s.Name,
-		Time: s.Ended.Format(time.RFC3339Nano),
+		Time:       s.Ended.Format(time.RFC3339Nano),
 		DurationUS: s.Duration().Microseconds(), Events: s.events})
 }
 

@@ -1,0 +1,40 @@
+package query
+
+import (
+	"fmt"
+
+	"qhorn/internal/boolean"
+)
+
+// Rename applies a variable permutation to the query: variable i is
+// renamed to perm[i] in every head and body. perm must be a
+// permutation of 0..n-1 for the query's universe. Renaming preserves
+// class membership (qhorn-1, role-preserving) and query shape but in
+// general changes semantics relative to a fixed oracle, which makes it
+// the "permute parts" adversarial mutation of the differential fuzzer.
+func Rename(q Query, perm []int) (Query, error) {
+	n := q.U.N()
+	if len(perm) != n {
+		return Query{}, fmt.Errorf("query: permutation has %d entries, universe has %d variables", len(perm), n)
+	}
+	seen := boolean.Tuple(0)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen.Has(p) {
+			return Query{}, fmt.Errorf("query: %v is not a permutation of 0..%d", perm, n-1)
+		}
+		seen = seen.With(p)
+	}
+	exprs := make([]Expr, len(q.Exprs))
+	for i, e := range q.Exprs {
+		var body boolean.Tuple
+		for _, v := range e.Body.Vars() {
+			body = body.With(perm[v])
+		}
+		head := e.Head
+		if head != NoHead {
+			head = perm[head]
+		}
+		exprs[i] = Expr{Quant: e.Quant, Body: body, Head: head}
+	}
+	return New(q.U, exprs...)
+}

@@ -1,0 +1,68 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"qhorn/internal/boolean"
+)
+
+// TestRename: variables move to their images in every head and body.
+func TestRename(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	q := MustParse(u, "∀x1x2 → x3 ∃x4")
+	got, err := Rename(q, []int{3, 2, 1, 0}) // reverse
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustParse(u, "∀x3x4 → x2 ∃x1")
+	if !got.Equal(want) {
+		t.Errorf("Rename = %s, want %s", got, want)
+	}
+}
+
+// TestRenameIdentityAndInverse: the identity permutation is a no-op
+// and applying a permutation then its inverse round-trips.
+func TestRenameIdentityAndInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 50; i++ {
+		n := 2 + rng.Intn(6)
+		q := GenQhorn1(rng, n)
+		perm := rng.Perm(n)
+		inverse := make([]int, n)
+		for from, to := range perm {
+			inverse[to] = from
+		}
+		renamed, err := Rename(q, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !renamed.IsQhorn1() {
+			t.Fatalf("renaming left qhorn-1: %s", renamed)
+		}
+		back, err := Rename(renamed, inverse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(q) {
+			t.Errorf("perm+inverse changed %s into %s", q, back)
+		}
+	}
+}
+
+// TestRenameErrors: non-permutations are rejected.
+func TestRenameErrors(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	q := MustParse(u, "∃x1x2x3")
+	for _, perm := range [][]int{
+		{0, 1},          // wrong length
+		{0, 1, 1},       // repeated image
+		{0, 1, 3},       // out of range
+		{-1, 1, 2},      // negative
+		{0, 1, 2, 3, 4}, // too long
+	} {
+		if _, err := Rename(q, perm); err == nil {
+			t.Errorf("Rename with %v succeeded, want error", perm)
+		}
+	}
+}

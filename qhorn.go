@@ -39,6 +39,7 @@
 package qhorn
 
 import (
+	"io"
 	"math/rand"
 
 	"qhorn/internal/boolean"
@@ -294,6 +295,9 @@ func NewSpanTracer(sinks ...SpanSink) *SpanTracer { return obs.NewTracer(sinks..
 
 // NewTreeSink returns a sink that renders the span tree.
 func NewTreeSink() *TreeSink { return obs.NewTreeSink() }
+
+// NewJSONLSink returns a sink streaming spans as JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
 
 // LearnQhorn1Observed is LearnQhorn1 with observability hooks.
 func LearnQhorn1Observed(u Universe, o Oracle, ins Instrumentation) (Query, Qhorn1Stats) {
