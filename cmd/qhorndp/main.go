@@ -171,13 +171,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return report(w, stderr, sys, rres.Revised, ps)
 	}
 
-	// Learning mode.
+	// Learning mode. -parallel selects the batch-structured learners;
+	// the DataPlay session still answers serially (see
+	// dataplay.LearnParallel), so counts match the serial run exactly.
+	learnFn := sys.Learn
+	if obsFlags.Parallel > 0 {
+		learnFn = sys.LearnParallel
+	}
 	cl := dataplay.Qhorn1
 	if *class == "rp" {
 		cl = dataplay.RolePreserving
 	}
 	sp := root.StartChild("learn", obs.A("class", *class))
-	learned, err := sys.Learn(cl, user)
+	learned, err := learnFn(cl, user)
 	sp.End()
 	if err != nil {
 		return fail(err)
@@ -204,7 +210,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(w, "  amended %d response(s)\n", fixed)
 		sp = root.StartChild("learn", obs.A("class", *class), obs.A("after", "amendment"))
-		learned, err = sys.Learn(cl, dataplay.UserFunc(honest.Classify))
+		learned, err = learnFn(cl, dataplay.UserFunc(honest.Classify))
 		sp.End()
 		if err != nil {
 			return fail(err)

@@ -84,7 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer session.Close()
 
-	cfg := exp.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	cfg := exp.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: obsFlags.Parallel}
 	// runExperiment wraps one experiment in a span, counts it and
 	// produces its machine-readable bench summary.
 	runExperiment := func(e exp.Experiment) (*exp.BenchSummary, []*stats.Table) {

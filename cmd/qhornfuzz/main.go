@@ -70,6 +70,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	defer session.Close()
 
 	var opt difffuzz.Options
+	opt.Parallel = obsFlags.Parallel
 	if *inject {
 		opt.Warp = dropFirstExpr
 		fmt.Fprintln(stdout, "INJECTING a bug into the learner's output: disagreements below are expected")

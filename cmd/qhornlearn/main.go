@@ -200,6 +200,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return inner.Ask(s)
 		})
 	}
+	// -parallel: answer independent questions concurrently. Only a
+	// simulated user is concurrency-safe — interactive prompts would
+	// interleave — so the flag requires -simulate.
+	if obsFlags.Parallel > 0 {
+		if *simulate == "" {
+			return fail(fmt.Errorf("-parallel requires -simulate (an interactive user cannot answer concurrently)"))
+		}
+		user = oracle.ParallelInto(user, obsFlags.Parallel, session.Metrics)
+		fmt.Fprintf(stdout, "Answering independent questions with %d concurrent workers\n", obsFlags.Parallel)
+	}
 	counter := oracle.CountInto(user, session.Metrics)
 
 	// Learn with full observability (spans, metrics, -explain).
@@ -208,12 +218,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	switch *class {
 	case "qhorn1":
 		var stats learn.Qhorn1Stats
-		learned, stats = learn.Qhorn1Observed(u, counter, ins)
+		if obsFlags.Parallel > 0 {
+			learned, stats = learn.Qhorn1ParallelObserved(u, counter, ins)
+		} else {
+			learned, stats = learn.Qhorn1Observed(u, counter, ins)
+		}
 		fmt.Fprintf(stdout, "\nLearned (%d questions: %d head, %d body, %d existential):\n  %s\n",
 			stats.Total(), stats.HeadQuestions, stats.BodyQuestions, stats.ExistentialQuestions, learned)
 	case "rp":
 		var stats learn.RPStats
-		learned, stats = learn.RolePreservingObserved(u, counter, ins)
+		if obsFlags.Parallel > 0 {
+			learned, stats = learn.RolePreservingParallelObserved(u, counter, ins)
+		} else {
+			learned, stats = learn.RolePreservingObserved(u, counter, ins)
+		}
 		fmt.Fprintf(stdout, "\nLearned (%d questions: %d head, %d universal, %d existential):\n  %s\n",
 			stats.Total(), stats.HeadQuestions, stats.UniversalQuestions, stats.ExistentialQuestions, learned)
 	default:

@@ -95,11 +95,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	default:
 		return 0
 	}
+	// -parallel: the verification questions are mutually independent,
+	// so a simulated user answers the whole set as one concurrent
+	// batch. Interactive users (-ask) stay serial, and -first is
+	// inherently sequential.
+	if obsFlags.Parallel > 0 && *intended == "" {
+		return fail(stderr, fmt.Errorf("-parallel requires -intended (an interactive user cannot answer concurrently)"))
+	}
 	counted := oracle.CountInto(user, session.Metrics)
 	var res verify.Result
-	if *first {
+	switch {
+	case *first:
 		res = vs.RunUntilFirst(counted)
-	} else {
+	case obsFlags.Parallel > 0:
+		pool := oracle.ParallelInto(user, obsFlags.Parallel, session.Metrics)
+		counted = oracle.CountInto(pool, session.Metrics)
+		fmt.Fprintf(stdout, "Answering the verification set with %d concurrent workers\n", obsFlags.Parallel)
+		res = vs.RunParallelObserved(counted, session.Tracer, session.Metrics)
+	default:
 		res = vs.RunObserved(counted, session.Tracer, session.Metrics)
 	}
 	if res.Correct {

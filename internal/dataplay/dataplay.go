@@ -130,6 +130,25 @@ func (s *System) Learn(class Class, u User) (query.Query, error) {
 	}
 }
 
+// LearnParallel is Learn through the batch-structured learners of the
+// parallel question engine (docs/PARALLELISM.md). The DataPlay session
+// answers questions one at a time regardless — the amendment protocol
+// of §5 needs a serialized transcript to replay — so the engine's
+// serial-degradation path is exercised: identical questions, identical
+// counts, no concurrency against the session.
+func (s *System) LearnParallel(class Class, u User) (query.Query, error) {
+	switch class {
+	case Qhorn1:
+		q, _ := learn.Qhorn1Parallel(s.Universe(), s.oracleFor(u))
+		return q, nil
+	case RolePreserving:
+		q, _ := learn.RolePreservingParallel(s.Universe(), s.oracleFor(u))
+		return q, nil
+	default:
+		return query.Query{}, fmt.Errorf("dataplay: unknown class %d", int(class))
+	}
+}
+
 // VerifyQuery runs the §4 verification set against the user.
 func (s *System) VerifyQuery(q query.Query, u User) (verify.Result, error) {
 	return verify.Verify(q, s.oracleFor(u))

@@ -34,6 +34,12 @@ type Options struct {
 	// Tests use it to inject known bugs and prove the engine detects
 	// and the minimizer shrinks them.
 	Warp func(query.Query) query.Query
+	// Parallel, when positive, adds the parallel-engine judge: the
+	// batched learners and verifier run through an oracle.Parallel
+	// pool of this many workers and must reproduce the serial path
+	// exactly — an equivalent query with an identical question count,
+	// and an identical verification result (docs/PARALLELISM.md).
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +98,7 @@ func checkLearn(c Case, opt Options) CaseResult {
 		q, st := learn.RolePreserving(u, counter)
 		learned, asked = q, st.Total()
 	}
+	serial := learned // pre-warp output, the parallel judge's reference
 	if opt.Warp != nil {
 		learned = opt.Warp(learned)
 	}
@@ -151,7 +158,34 @@ func checkLearn(c Case, opt Options) CaseResult {
 		}
 	}
 
-	// Judge 6: the brute-force elimination learner, where the universe
+	// Judge 6: the parallel batched learner must reproduce the serial
+	// path exactly — an equivalent query learned with an identical
+	// question count (the determinism contract of the batch engine,
+	// docs/PARALLELISM.md).
+	if opt.Parallel > 0 {
+		pool := oracle.Parallel(oracle.Target(c.Hidden), opt.Parallel)
+		var plearned query.Query
+		var pasked int
+		switch c.Class {
+		case ClassQhorn1:
+			q, st := learn.Qhorn1Parallel(u, pool)
+			plearned, pasked = q, st.Total()
+		default:
+			q, st := learn.RolePreservingParallel(u, pool)
+			plearned, pasked = q, st.Total()
+		}
+		res.Questions += pasked
+		if pasked != asked {
+			fail(KindParallel, Witness{}, false,
+				"parallel learner asked %d questions, serial asked %d", pasked, asked)
+		}
+		if w, found := SemanticWitness(plearned, serial, opt); found {
+			fail(KindParallel, w, true,
+				"parallel learner's %s is not equivalent to serial %s", plearned, serial)
+		}
+	}
+
+	// Judge 7: the brute-force elimination learner, where the universe
 	// permits enumerating all queries and all objects.
 	if opt.BruteVars > 0 && u.N() <= opt.BruteVars {
 		res.BruteChecked = true
@@ -199,6 +233,34 @@ func checkVerify(c Case, opt Options) CaseResult {
 	}
 	vres := vs.Run(oracle.Target(c.Hidden))
 	res.Questions += vres.QuestionsAsked
+
+	// Parallel-engine judge: running the same set as one batch must
+	// reproduce the serial run bit for bit — verdict, question count,
+	// and the disagreement list in set order.
+	if opt.Parallel > 0 {
+		pool := oracle.Parallel(oracle.Target(c.Hidden), opt.Parallel)
+		pres := vs.RunParallel(pool)
+		res.Questions += pres.QuestionsAsked
+		switch {
+		case pres.Correct != vres.Correct || pres.QuestionsAsked != vres.QuestionsAsked:
+			fail(KindParallel, Witness{}, false,
+				"parallel verify (correct=%v, %d questions) differs from serial (correct=%v, %d questions)",
+				pres.Correct, pres.QuestionsAsked, vres.Correct, vres.QuestionsAsked)
+		case len(pres.Disagreements) != len(vres.Disagreements):
+			fail(KindParallel, Witness{}, false,
+				"parallel verify found %d disagreements, serial found %d",
+				len(pres.Disagreements), len(vres.Disagreements))
+		default:
+			for i := range pres.Disagreements {
+				if pres.Disagreements[i].Question.Set.Key() != vres.Disagreements[i].Question.Set.Key() {
+					fail(KindParallel, pres.Disagreements[i].Question.Set, true,
+						"parallel verify disagreement %d differs from serial", i)
+					break
+				}
+			}
+		}
+	}
+
 	equiv := judgeEquivalence(&res, c, c.Given, c.Hidden, opt)
 	if vres.Correct != equiv.equal {
 		w, hasW := equiv.witness, equiv.hasWitness

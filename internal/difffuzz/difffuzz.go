@@ -93,6 +93,11 @@ const (
 	// KindBudget: the learner exceeded twice its advertised question
 	// bound (learn.EstimateQhorn1 / learn.EstimateRolePreserving).
 	KindBudget Kind = "budget"
+	// KindParallel: the parallel batched learner (or verifier run)
+	// broke the engine's determinism contract — a different query, a
+	// different question count, or a different verification verdict
+	// than the serial path (docs/PARALLELISM.md).
+	KindParallel Kind = "parallel"
 )
 
 // Disagreement is one failed judgment: the case, what fired, and —

@@ -22,6 +22,10 @@ type Config struct {
 	Trials int
 	// Quick shrinks the parameter sweeps for fast smoke runs.
 	Quick bool
+	// Parallel, when positive, pins the worker count of the parallel
+	// question engine instead of the experiment's default sweep
+	// (the -parallel flag of cmd/qhornexp).
+	Parallel int
 }
 
 // DefaultConfig is used when fields are zero.

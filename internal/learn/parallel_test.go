@@ -1,0 +1,182 @@
+package learn_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"qhorn/internal/difffuzz"
+	"qhorn/internal/learn"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+)
+
+// runSerialAndParallel learns target with both the serial and the
+// batched learner and returns the two counters for comparison. The
+// parallel learner asks through an oracle.Parallel pool so batches
+// really are answered concurrently.
+func runSerialAndParallel(t *testing.T, target query.Query, workers int,
+	serial func(o oracle.Oracle) (query.Query, int),
+	parallel func(o oracle.Oracle) (query.Query, int)) (sc, pc *oracle.Counter) {
+	t.Helper()
+	sc = oracle.Count(oracle.Target(target))
+	sq, st := serial(sc)
+	pc = oracle.Count(oracle.Target(target))
+	pq, pt := parallel(oracle.Parallel(pc, workers))
+	if !sq.Equivalent(target) {
+		t.Errorf("serial learner got %s, not equivalent to %s", sq, target)
+	}
+	if !pq.Equivalent(sq) {
+		t.Errorf("parallel learner got %s, serial got %s (target %s)", pq, sq, target)
+	}
+	if st != pt {
+		t.Errorf("per-phase stats diverge for %s: serial total %d, parallel total %d", target, st, pt)
+	}
+	if sc.Questions != pc.Questions || sc.Tuples != pc.Tuples || sc.MaxTuples != pc.MaxTuples {
+		t.Errorf("oracle accounting diverges for %s: serial (%d, %d, %d), parallel (%d, %d, %d)",
+			target, sc.Questions, sc.Tuples, sc.MaxTuples, pc.Questions, pc.Tuples, pc.MaxTuples)
+	}
+	return sc, pc
+}
+
+// TestQhorn1ParallelMatchesSerial pins the engine's determinism
+// contract for qhorn-1 (docs/PARALLELISM.md): on seeded random
+// targets, the batched learner returns an equivalent query with
+// identical per-phase question counts and identical oracle-side
+// question/tuple accounting.
+func TestQhorn1ParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 60; i++ {
+		c := difffuzz.GenCase(rng, difffuzz.ClassQhorn1, 2, 8)
+		var sst, pst learn.Qhorn1Stats
+		runSerialAndParallel(t, c.Hidden, 1+i%7,
+			func(o oracle.Oracle) (query.Query, int) {
+				q, st := learn.Qhorn1(c.Hidden.U, o)
+				sst = st
+				return q, st.Total()
+			},
+			func(o oracle.Oracle) (query.Query, int) {
+				q, st := learn.Qhorn1Parallel(c.Hidden.U, o)
+				pst = st
+				return q, st.Total()
+			})
+		if sst != pst {
+			t.Errorf("%s: serial stats %+v, parallel stats %+v", c.Hidden, sst, pst)
+		}
+	}
+}
+
+// TestRolePreservingParallelMatchesSerial is the same contract for the
+// role-preserving learner, whose per-head lattice searches run as
+// concurrent question streams through oracle.Drive.
+func TestRolePreservingParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 60; i++ {
+		c := difffuzz.GenCase(rng, difffuzz.ClassRP, 2, 8)
+		var sst, pst learn.RPStats
+		runSerialAndParallel(t, c.Hidden, 1+i%7,
+			func(o oracle.Oracle) (query.Query, int) {
+				q, st := learn.RolePreserving(c.Hidden.U, o)
+				sst = st
+				return q, st.Total()
+			},
+			func(o oracle.Oracle) (query.Query, int) {
+				q, st := learn.RolePreservingParallel(c.Hidden.U, o)
+				pst = st
+				return q, st.Total()
+			})
+		if sst != pst {
+			t.Errorf("%s: serial stats %+v, parallel stats %+v", c.Hidden, sst, pst)
+		}
+	}
+}
+
+// TestParallelMatchesSerialOnCorpus replays every persisted difffuzz
+// repro — each one a past or near-miss bug — through both learners.
+// The corpus cases are exactly where serial/parallel divergence would
+// hide.
+func TestParallelMatchesSerialOnCorpus(t *testing.T) {
+	cases, err := difffuzz.LoadCorpus("../difffuzz/testdata/corpus")
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("corpus is empty")
+	}
+	for _, c := range cases {
+		switch c.Class {
+		case difffuzz.ClassQhorn1:
+			runSerialAndParallel(t, c.Hidden, 4,
+				func(o oracle.Oracle) (query.Query, int) {
+					q, st := learn.Qhorn1(c.Hidden.U, o)
+					return q, st.Total()
+				},
+				func(o oracle.Oracle) (query.Query, int) {
+					q, st := learn.Qhorn1Parallel(c.Hidden.U, o)
+					return q, st.Total()
+				})
+		case difffuzz.ClassRP:
+			runSerialAndParallel(t, c.Hidden, 4,
+				func(o oracle.Oracle) (query.Query, int) {
+					q, st := learn.RolePreserving(c.Hidden.U, o)
+					return q, st.Total()
+				},
+				func(o oracle.Oracle) (query.Query, int) {
+					q, st := learn.RolePreservingParallel(c.Hidden.U, o)
+					return q, st.Total()
+				})
+		}
+	}
+}
+
+// TestDifferentialParallelSmoke runs the full judge battery with the
+// parallel-engine judge enabled: every generated case also runs the
+// batched learner (and batched verifier) and must agree with the
+// serial path question-for-question.
+func TestDifferentialParallelSmoke(t *testing.T) {
+	rep := difffuzz.Run(difffuzz.Config{
+		Seed:    977,
+		Runs:    30,
+		Options: difffuzz.Options{Parallel: 4},
+	})
+	for _, d := range rep.Disagreements {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestParallelObservedAccounting pins that the observed parallel
+// learners report instrumentation question counts identical to their
+// serial observed counterparts — all accounting happens in the calling
+// goroutine, in deterministic order.
+func TestParallelObservedAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	countSteps := func(run func(ins learn.Instrumentation)) map[string]int {
+		counts := map[string]int{}
+		run(learn.Instrumentation{Steps: func(s learn.Step) { counts[s.Phase]++ }})
+		return counts
+	}
+	for i := 0; i < 10; i++ {
+		c := difffuzz.GenCase(rng, difffuzz.ClassQhorn1, 2, 6)
+		serial := countSteps(func(ins learn.Instrumentation) {
+			learn.Qhorn1Observed(c.Hidden.U, oracle.Target(c.Hidden), ins)
+		})
+		parallel := countSteps(func(ins learn.Instrumentation) {
+			learn.Qhorn1ParallelObserved(c.Hidden.U, oracle.Parallel(oracle.Target(c.Hidden), 4), ins)
+		})
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("%s: serial observed %v question events by phase, parallel %v", c.Hidden, serial, parallel)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		c := difffuzz.GenCase(rng, difffuzz.ClassRP, 2, 6)
+		serial := countSteps(func(ins learn.Instrumentation) {
+			learn.RolePreservingObserved(c.Hidden.U, oracle.Target(c.Hidden), ins)
+		})
+		parallel := countSteps(func(ins learn.Instrumentation) {
+			learn.RolePreservingParallelObserved(c.Hidden.U, oracle.Parallel(oracle.Target(c.Hidden), 4), ins)
+		})
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("%s: serial observed %v question events by phase, parallel %v", c.Hidden, serial, parallel)
+		}
+	}
+}

@@ -43,6 +43,12 @@ type qhorn1Learner struct {
 	// serial switches the variable searches from binary search to
 	// the one-question-per-variable baseline of §3.1.2 (Qhorn1Naive).
 	serial bool
+	// batch surfaces independent question sets as oracle.AskAll
+	// batches (Qhorn1Parallel): the n head questions, each FindAll
+	// level, and the co-head separation questions. The questions —
+	// and the per-phase counts — are identical to the serial run;
+	// only the asking overlaps in time.
+	batch bool
 	// in carries the observability hooks (see Qhorn1Observed); its
 	// zero value is silent.
 	in instr
@@ -51,6 +57,59 @@ type qhorn1Learner struct {
 // note annotates the next question with its phase and purpose.
 func (l *qhorn1Learner) note(phase, purpose string) {
 	l.in.note(phase, purpose)
+}
+
+// elimQuestion describes the membership question behind an
+// elimination predicate of Algorithms 2–3: how to build the question
+// for a candidate set, how to annotate it, and which oracle answer
+// eliminates the set. Factoring the question out of the closure lets
+// the batch mode issue whole FindAll levels as one oracle batch with
+// unchanged annotations and accounting.
+type elimQuestion struct {
+	phase          string
+	build          func(d []int) boolean.Set
+	purpose        func(d []int) string
+	eliminatedWhen bool
+}
+
+// eliminate adapts e to the serial predicate findOne/findAll expect.
+func (l *qhorn1Learner) eliminate(e elimQuestion) func([]int) bool {
+	return func(d []int) bool {
+		l.note(e.phase, e.purpose(d))
+		return l.ask(e.build(d)) == e.eliminatedWhen
+	}
+}
+
+// eliminateBatch adapts e to the level-batch predicate of
+// findAllBatched.
+func (l *qhorn1Learner) eliminateBatch(e elimQuestion) func([][]int) []bool {
+	return func(ds [][]int) []bool {
+		qs := make([]boolean.Set, len(ds))
+		for i, d := range ds {
+			qs[i] = e.build(d)
+		}
+		answers := l.askBatch(qs, func(i int) (string, string) {
+			return e.phase, e.purpose(ds[i])
+		})
+		for i := range answers {
+			answers[i] = answers[i] == e.eliminatedWhen
+		}
+		return answers
+	}
+}
+
+// askBatch asks one batch of independent questions through
+// oracle.AskAll and then runs the serial accounting — phase counter,
+// note, observe — per question in question order, so a batched run
+// reports exactly what the serial run reports.
+func (l *qhorn1Learner) askBatch(qs []boolean.Set, note func(i int) (phase, purpose string)) []bool {
+	answers := oracle.AskAll(l.o, qs)
+	for i, a := range answers {
+		*l.phase++
+		l.in.note(note(i))
+		l.in.observe(qs[i], a)
+	}
+	return answers
 }
 
 // varNames renders a variable list as "x1,x3".
@@ -66,23 +125,29 @@ func varNames(vars []int) string {
 }
 
 // find dispatches to binary or serial search for one target variable,
-// under a "find" span (Algorithm 2).
-func (l *qhorn1Learner) find(vars []int, eliminate func([]int) bool) (int, bool) {
+// under a "find" span (Algorithm 2). The binary search is adaptive —
+// each question depends on the previous answer — so it stays serial
+// even in batch mode.
+func (l *qhorn1Learner) find(vars []int, e elimQuestion) (int, bool) {
 	defer l.in.begin("find")()
 	if l.serial {
-		return serialFindOne(vars, eliminate)
+		return serialFindOne(vars, l.eliminate(e))
 	}
-	return findOne(vars, eliminate)
+	return findOne(vars, l.eliminate(e))
 }
 
-// findEvery dispatches to binary or serial search for all targets,
-// under a "findall" span (Algorithm 3).
-func (l *qhorn1Learner) findEvery(vars []int, eliminate func([]int) bool) []int {
+// findEvery dispatches to binary, serial, or level-batched search for
+// all targets, under a "findall" span (Algorithm 3).
+func (l *qhorn1Learner) findEvery(vars []int, e elimQuestion) []int {
 	defer l.in.begin("findall")()
-	if l.serial {
-		return serialFindAll(vars, eliminate)
+	switch {
+	case l.serial:
+		return serialFindAll(vars, l.eliminate(e))
+	case l.batch:
+		return findAllBatched(vars, l.eliminateBatch(e))
+	default:
+		return findAll(vars, l.eliminate(e))
 	}
-	return findAll(vars, eliminate)
 }
 
 func (l *qhorn1Learner) ask(s boolean.Set) bool {
@@ -106,12 +171,29 @@ func (l *qhorn1Learner) learn() (query.Query, Qhorn1Stats) {
 	l.phase = &l.stats.HeadQuestions
 	endPhase := l.in.begin("heads")
 	var uniHeads, existential []int
-	for x := 0; x < n; x++ {
-		l.note("heads", fmt.Sprintf("is x%d a universal head variable?", x+1))
-		if l.ask(HeadTestQuestion(l.u, x)) {
+	headAnswer := func(x int, answer bool) {
+		if answer {
 			existential = append(existential, x)
 		} else {
 			uniHeads = append(uniHeads, x)
+		}
+	}
+	if l.batch {
+		// The n head questions are mutually independent: one batch.
+		qs := make([]boolean.Set, n)
+		for x := 0; x < n; x++ {
+			qs[x] = HeadTestQuestion(l.u, x)
+		}
+		answers := l.askBatch(qs, func(x int) (string, string) {
+			return "heads", fmt.Sprintf("is x%d a universal head variable?", x+1)
+		})
+		for x, a := range answers {
+			headAnswer(x, a)
+		}
+	} else {
+		for x := 0; x < n; x++ {
+			l.note("heads", fmt.Sprintf("is x%d a universal head variable?", x+1))
+			headAnswer(x, l.ask(HeadTestQuestion(l.u, x)))
 		}
 	}
 	endPhase()
@@ -154,10 +236,17 @@ func (l *qhorn1Learner) learn() (query.Query, Qhorn1Stats) {
 		// existential head of that body.
 		eT := boolean.FromVars(e)
 		knownVars := tupleVars(bodies)
-		if b, found := l.find(knownVars, func(d []int) bool {
-			l.note("existential", fmt.Sprintf("does x%d depend on one of the known body variables %s?", e+1, varNames(d)))
-			return l.ask(ExistentialIndependenceQuestion(l.u, eT, boolean.FromVars(d...)))
-		}); found {
+		knownElim := elimQuestion{
+			phase: "existential",
+			build: func(d []int) boolean.Set {
+				return ExistentialIndependenceQuestion(l.u, eT, boolean.FromVars(d...))
+			},
+			purpose: func(d []int) string {
+				return fmt.Sprintf("does x%d depend on one of the known body variables %s?", e+1, varNames(d))
+			},
+			eliminatedWhen: true,
+		}
+		if b, found := l.find(knownVars, knownElim); found {
 			for _, known := range bodies {
 				if known.Has(b) {
 					exprs = append(exprs, query.ExistentialHorn(known, e))
@@ -168,9 +257,15 @@ func (l *qhorn1Learner) learn() (query.Query, Qhorn1Stats) {
 		}
 		// Find all variables D that e depends on among the pending
 		// existential variables.
-		dVars := l.findEvery(pending, func(d []int) bool {
-			l.note("existential", fmt.Sprintf("does x%d depend on any of %s?", e+1, varNames(d)))
-			return l.ask(ExistentialIndependenceQuestion(l.u, eT, boolean.FromVars(d...)))
+		dVars := l.findEvery(pending, elimQuestion{
+			phase: "existential",
+			build: func(d []int) boolean.Set {
+				return ExistentialIndependenceQuestion(l.u, eT, boolean.FromVars(d...))
+			},
+			purpose: func(d []int) string {
+				return fmt.Sprintf("does x%d depend on any of %s?", e+1, varNames(d))
+			},
+			eliminatedWhen: true,
 		})
 		d := boolean.FromVars(dVars...)
 		if d.IsEmpty() {
@@ -191,16 +286,35 @@ func (l *qhorn1Learner) learn() (query.Query, Qhorn1Stats) {
 			continue
 		}
 		// h1 is one head; separate the remaining heads from the body
-		// variables with one independence question each.
+		// variables with one independence question each. The questions
+		// are mutually independent, so batch mode issues them at once.
 		heads := boolean.FromVars(h1)
 		h1T := boolean.FromVars(h1)
+		cand := make([]int, 0, len(dVars))
 		for _, dv := range dVars {
-			if dv == h1 {
-				continue
+			if dv != h1 {
+				cand = append(cand, dv)
 			}
-			l.note("existential", fmt.Sprintf("are x%d and x%d independent co-heads?", h1+1, dv+1))
-			if l.ask(ExistentialIndependenceQuestion(l.u, h1T, boolean.FromVars(dv))) {
-				heads = heads.With(dv)
+		}
+		if l.batch {
+			qs := make([]boolean.Set, len(cand))
+			for i, dv := range cand {
+				qs[i] = ExistentialIndependenceQuestion(l.u, h1T, boolean.FromVars(dv))
+			}
+			answers := l.askBatch(qs, func(i int) (string, string) {
+				return "existential", fmt.Sprintf("are x%d and x%d independent co-heads?", h1+1, cand[i]+1)
+			})
+			for i, a := range answers {
+				if a {
+					heads = heads.With(cand[i])
+				}
+			}
+		} else {
+			for _, dv := range cand {
+				l.note("existential", fmt.Sprintf("are x%d and x%d independent co-heads?", h1+1, dv+1))
+				if l.ask(ExistentialIndependenceQuestion(l.u, h1T, boolean.FromVars(dv))) {
+					heads = heads.With(dv)
+				}
 			}
 		}
 		bodyVars := d.Minus(heads).With(e)
@@ -220,9 +334,15 @@ func (l *qhorn1Learner) learn() (query.Query, Qhorn1Stats) {
 // variable identifies the whole body — then a full FindAll over the
 // existential variables.
 func (l *qhorn1Learner) findBodyFor(h int, bodies []boolean.Tuple, existential []int) boolean.Tuple {
-	eliminate := func(d []int) bool {
-		l.note("bodies", fmt.Sprintf("does the body of x%d include a variable of %s?", h+1, varNames(d)))
-		return !l.ask(UniversalDependenceQuestion(l.u, h, boolean.FromVars(d...)))
+	eliminate := elimQuestion{
+		phase: "bodies",
+		build: func(d []int) boolean.Set {
+			return UniversalDependenceQuestion(l.u, h, boolean.FromVars(d...))
+		},
+		purpose: func(d []int) string {
+			return fmt.Sprintf("does the body of x%d include a variable of %s?", h+1, varNames(d))
+		},
+		eliminatedWhen: false,
 	}
 	knownVars := tupleVars(bodies)
 	if b, found := l.find(knownVars, eliminate); found {

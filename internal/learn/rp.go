@@ -63,6 +63,13 @@ type rpLearner struct {
 	stats     RPStats
 	phase     *int
 	ablations Ablations
+	// batch surfaces independent question sets as oracle.AskAll
+	// batches (RolePreservingParallel): the n head questions as one
+	// batch, and the per-head lattice searches of §3.2.1 — which
+	// depend only on the head set, not on each other — interleaved
+	// through oracle.Drive so each round's questions form one batch.
+	// Questions and per-phase counts are identical to the serial run.
+	batch bool
 	// in carries the observability hooks (see
 	// RolePreservingObserved); its zero value is silent.
 	in instr
@@ -71,6 +78,19 @@ type rpLearner struct {
 // note annotates the next question with its phase and purpose.
 func (l *rpLearner) note(phase, purpose string) {
 	l.in.note(phase, purpose)
+}
+
+// askBatch asks one batch of independent questions through
+// oracle.AskAll and runs the serial accounting per question in
+// question order (see qhorn1Learner.askBatch).
+func (l *rpLearner) askBatch(qs []boolean.Set, note func(i int) (phase, purpose string)) []bool {
+	answers := oracle.AskAll(l.o, qs)
+	for i, a := range answers {
+		*l.phase++
+		l.in.note(note(i))
+		l.in.observe(qs[i], a)
+	}
+	return answers
 }
 
 func (l *rpLearner) ask(s boolean.Set) bool {
@@ -93,11 +113,22 @@ func (l *rpLearner) learn() (query.Query, RPStats) {
 	// Phase 2 (§3.2.1): for each head, search the Boolean lattice on
 	// the non-head variables (other heads pinned true, h pinned
 	// false) for the distinguishing tuples of h's dominant bodies.
+	// The per-head searches depend only on the head set, never on one
+	// another, so batch mode runs them as concurrent question streams.
 	l.phase = &l.stats.UniversalQuestions
 	endPhase = l.in.begin("bodies")
+	heads := headSet.Vars()
+	bodiesByHead := make([][]boolean.Tuple, len(heads))
+	if l.batch && len(heads) > 1 {
+		l.findBodiesConcurrently(heads, headSet, bodiesByHead)
+	} else {
+		for i, h := range heads {
+			bodiesByHead[i] = l.findBodies(h, headSet)
+		}
+	}
 	var universals []query.Expr
-	for _, h := range headSet.Vars() {
-		for _, b := range l.findBodies(h, headSet) {
+	for i, h := range heads {
+		for _, b := range bodiesByHead[i] {
 			if b.IsEmpty() {
 				universals = append(universals, query.BodylessUniversal(h))
 			} else {
@@ -124,9 +155,25 @@ func (l *rpLearner) learn() (query.Query, RPStats) {
 }
 
 // classifyHeads asks one head-test question per variable and returns
-// the set of universal head variables.
+// the set of universal head variables. The questions are mutually
+// independent, so batch mode issues all n at once.
 func (l *rpLearner) classifyHeads() boolean.Tuple {
 	var headSet boolean.Tuple
+	if l.batch {
+		qs := make([]boolean.Set, l.u.N())
+		for x := range qs {
+			qs[x] = HeadTestQuestion(l.u, x)
+		}
+		answers := l.askBatch(qs, func(x int) (string, string) {
+			return "heads", fmt.Sprintf("is x%d a universal head variable?", x+1)
+		})
+		for x, a := range answers {
+			if !a {
+				headSet = headSet.With(x)
+			}
+		}
+		return headSet
+	}
 	for x := 0; x < l.u.N(); x++ {
 		l.note("heads", fmt.Sprintf("is x%d a universal head variable?", x+1))
 		if !l.ask(HeadTestQuestion(l.u, x)) {
@@ -168,14 +215,51 @@ func LearnConjunctions(u boolean.Universe, o oracle.Oracle, universals []query.E
 	return l.findConjunctions(universals)
 }
 
-// findBodies returns the dominant bodies of universal head h. The
-// search starts from the top of the restricted lattice (Fig. 5),
+// bodyAsk asks one lattice question of a per-head body search; the
+// serial path routes it through l.ask, the concurrent path through a
+// Drive stream that defers the accounting to the driver goroutine.
+type bodyAsk func(s boolean.Set, purpose string) bool
+
+// findBodies returns the dominant bodies of universal head h,
+// searching serially under a per-head "lattice-search" span.
+func (l *rpLearner) findBodies(h int, headSet boolean.Tuple) []boolean.Tuple {
+	defer l.in.begin("lattice-search", obs.Af("head", "x%d", h+1))()
+	return l.searchBodies(h, headSet, func(s boolean.Set, purpose string) bool {
+		l.note("bodies", purpose)
+		return l.ask(s)
+	})
+}
+
+// findBodiesConcurrently runs the per-head lattice searches as
+// concurrent question streams through oracle.Drive: each round's
+// questions — one per still-searching head — are answered as one
+// batch. Every stream asks exactly the questions its serial
+// counterpart asks, and the driver callback replays the serial
+// accounting (phase counter, note, observe) in stream order, so
+// counts and traces stay deterministic. The per-head lattice-search
+// spans are skipped in this mode: the searches overlap in time, and
+// the span stack is single-threaded by design.
+func (l *rpLearner) findBodiesConcurrently(heads []int, headSet boolean.Tuple, out [][]boolean.Tuple) {
+	purposes := make([]string, len(heads))
+	oracle.Drive(l.o, len(heads), func(i int, ask oracle.AskFunc) {
+		out[i] = l.searchBodies(heads[i], headSet, func(s boolean.Set, purpose string) bool {
+			purposes[i] = purpose
+			return ask(s)
+		})
+	}, func(i int, s boolean.Set, a bool) {
+		*l.phase++
+		l.in.note("bodies", purposes[i])
+		l.in.observe(s, a)
+	})
+}
+
+// searchBodies is the body-search engine behind findBodies (§3.2.1).
+// The search starts from the top of the restricted lattice (Fig. 5),
 // minimizes down to one body with Algorithm 6, then explores the
 // sub-lattices rooted at tuples that exclude one variable from each
 // known body, until no root uncovers a new body (Theorem 3.5).
 // A single empty body means h is bodyless (∀h).
-func (l *rpLearner) findBodies(h int, headSet boolean.Tuple) []boolean.Tuple {
-	defer l.in.begin("lattice-search", obs.Af("head", "x%d", h+1))()
+func (l *rpLearner) searchBodies(h int, headSet boolean.Tuple, ask bodyAsk) []boolean.Tuple {
 	all := l.u.All()
 	free := all.Minus(headSet)
 	pinned := headSet.Without(h) // other heads true, h false
@@ -184,8 +268,8 @@ func (l *rpLearner) findBodies(h int, headSet boolean.Tuple) []boolean.Tuple {
 	// question(t) pairs the all-true tuple with lattice point t; it
 	// is a non-answer iff t contains a complete body for h.
 	hasBody := func(t boolean.Tuple) bool {
-		l.note("bodies", fmt.Sprintf("does a complete body for x%d lie within %s?", h+1, varNames(t.Intersect(free).Vars())))
-		return !l.ask(boolean.NewSet(all, t))
+		purpose := fmt.Sprintf("does a complete body for x%d lie within %s?", h+1, varNames(t.Intersect(free).Vars()))
+		return !ask(boolean.NewSet(all, t), purpose)
 	}
 
 	// Bodyless check at the lattice bottom: the bottom contains a

@@ -13,11 +13,15 @@ import (
 //	-trace-out F  append the span stream as JSONL to file F
 //	-metrics      print the Prometheus exposition on stdout at exit
 //	-profile P    write P.cpu.pprof and P.heap.pprof around the run
+//	-parallel N   answer independent questions with N workers
 type Flags struct {
 	Trace    bool
 	TraceOut string
 	Metrics  bool
 	Profile  string
+	// Parallel is the worker count of the parallel batched question
+	// engine (docs/PARALLELISM.md); 0 keeps every CLI fully serial.
+	Parallel int
 }
 
 // BindFlags registers the shared observability flags on fs.
@@ -27,6 +31,7 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write the span stream as JSONL to this file")
 	fs.BoolVar(&f.Metrics, "metrics", false, "print the metrics exposition (Prometheus text format) at exit")
 	fs.StringVar(&f.Profile, "profile", "", "write CPU and heap profiles with this file prefix")
+	fs.IntVar(&f.Parallel, "parallel", 0, "answer independent membership questions with this many concurrent workers (0 = serial)")
 	return f
 }
 

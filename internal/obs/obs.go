@@ -76,6 +76,16 @@ const (
 	// MetricFuzzDisagreements counts differential-fuzz disagreements
 	// (label "kind": the difffuzz.Kind that fired).
 	MetricFuzzDisagreements = "qhorn_fuzz_disagreements_total"
+	// MetricOracleInFlight gauges the membership questions currently
+	// being answered by the batch engine's workers (oracle.Pool).
+	MetricOracleInFlight = "qhorn_oracle_in_flight"
+	// MetricBatches counts AskBatch calls through the worker pool.
+	MetricBatches = "qhorn_oracle_batches_total"
+	// MetricBatchSize is the distribution of questions per batch.
+	MetricBatchSize = "qhorn_oracle_batch_size"
+	// MetricBatchSeconds is the distribution of wall time per batch in
+	// seconds.
+	MetricBatchSeconds = "qhorn_oracle_batch_seconds"
 )
 
 // TuplesPerQuestionBuckets are the fixed histogram buckets for
@@ -87,3 +97,8 @@ var TuplesPerQuestionBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 6
 // MetricOracleSeconds, from microseconds (simulated oracles) to
 // seconds (interactive users).
 var LatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60}
+
+// BatchSizeBuckets are the fixed histogram buckets for
+// MetricBatchSize: batches range from a lone binary-search probe to
+// the n head questions of §3.1.1 on universes of up to 64 variables.
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}

@@ -1,0 +1,303 @@
+package oracle
+
+// This file implements the parallel batched question engine. The
+// paper's learners and verifier ask large sets of *independent*
+// membership questions — the n head questions of §3.1.1/§3.2.1, the
+// per-variable binary searches of Algorithms 2–3, the per-root
+// lattice searches of §3.2.1, and the A1–A4/N1–N2 verification
+// families of Fig. 6. The engine lets those sets be answered
+// concurrently without changing what is asked:
+//
+//   - BatchOracle extends Oracle with AskBatch, answering a slice of
+//     independent questions with order-aligned results.
+//   - AskAll is the polymorphic entry point callers use: one AskBatch
+//     when available, a serial loop otherwise.
+//   - Pool is the worker-pool driver that turns any concurrency-safe
+//     Oracle into a BatchOracle.
+//   - Drive interleaves several *adaptive* question streams (e.g. one
+//     binary search per lattice root) so that each round's questions
+//     form one batch, while each stream still asks exactly the
+//     questions it would ask running alone.
+//
+// Question and tuple accounting stays exactly deterministic: every
+// wrapper in this package implements AskBatch with the same counter
+// increments as the serial path, and the learners' differential tests
+// (internal/difffuzz) enforce identical question counts between the
+// serial and parallel learners.
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/obs"
+)
+
+// BatchOracle extends Oracle with AskBatch: answer a slice of
+// independent membership questions, returning the answers aligned
+// with the question order. Implementations may answer the questions
+// concurrently; the caller must not assume anything about the order
+// in which the inner work happens, only about the result layout.
+type BatchOracle interface {
+	Oracle
+	AskBatch(qs []boolean.Set) []bool
+}
+
+// AskAll answers every question of qs through o: with one AskBatch
+// call when o implements BatchOracle, serially in question order
+// otherwise. Either way the returned slice is aligned with qs, so
+// callers are agnostic to the oracle's batching capability.
+func AskAll(o Oracle, qs []boolean.Set) []bool {
+	if len(qs) == 0 {
+		return nil
+	}
+	if b, ok := o.(BatchOracle); ok {
+		return b.AskBatch(qs)
+	}
+	out := make([]bool, len(qs))
+	for i, q := range qs {
+		out[i] = o.Ask(q)
+	}
+	return out
+}
+
+// DefaultWorkers is the worker count Parallel substitutes for a
+// non-positive request: one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Pool is the worker-pool batch driver: AskBatch fans its questions
+// out to at most Workers goroutines asking the inner oracle
+// concurrently. The inner oracle must be safe for concurrent use —
+// Target and every wrapper of this package are; the adaptive
+// lower-bound adversaries (Adversary, PairAdversary, …) are not, and
+// neither is Interactive, whose prompts would interleave.
+//
+// A panic in the inner oracle (e.g. an exhausted Budget) stops the
+// batch — questions not yet started are skipped — and is re-raised on
+// the AskBatch caller once every worker has finished.
+type Pool struct {
+	inner   Oracle
+	workers int
+	reg     *obs.Registry
+}
+
+// Parallel wraps inner with a worker pool of the given size; workers
+// <= 0 selects DefaultWorkers.
+func Parallel(inner Oracle, workers int) *Pool {
+	return ParallelInto(inner, workers, nil)
+}
+
+// ParallelInto is Parallel with engine metrics recorded into reg:
+// the in-flight gauge (qhorn_oracle_in_flight), the batch counter and
+// batch-size histogram, and the per-batch latency histogram. A nil
+// registry degrades to Parallel.
+func ParallelInto(inner Oracle, workers int, reg *obs.Registry) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Pool{inner: inner, workers: workers, reg: reg}
+}
+
+// Workers reports the pool's concurrency cap.
+func (p *Pool) Workers() int { return p.workers }
+
+// Ask implements Oracle: single questions bypass the pool and only
+// touch the in-flight gauge.
+func (p *Pool) Ask(s boolean.Set) bool {
+	g := p.reg.Gauge(obs.MetricOracleInFlight)
+	g.Add(1)
+	defer g.Add(-1)
+	return p.inner.Ask(s)
+}
+
+// AskBatch implements BatchOracle, answering up to Workers questions
+// concurrently. Results are aligned with qs no matter which worker
+// answered which question.
+func (p *Pool) AskBatch(qs []boolean.Set) []bool {
+	if len(qs) == 0 {
+		return nil
+	}
+	start := time.Now()
+	p.reg.Counter(obs.MetricBatches).Inc()
+	p.reg.Histogram(obs.MetricBatchSize, obs.BatchSizeBuckets).Observe(float64(len(qs)))
+	answers := make([]bool, len(qs))
+	workers := p.workers
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	gauge := p.reg.Gauge(obs.MetricOracleInFlight)
+	var (
+		mu         sync.Mutex
+		wg         sync.WaitGroup
+		panicked   bool
+		firstPanic interface{}
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if !panicked {
+								panicked, firstPanic = true, r
+							}
+							mu.Unlock()
+						}
+					}()
+					gauge.Add(1)
+					defer gauge.Add(-1)
+					answers[i] = p.inner.Ask(qs[i])
+				}()
+			}
+		}()
+	}
+	for i := range qs {
+		mu.Lock()
+		stop := panicked
+		mu.Unlock()
+		if stop {
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if panicked {
+		panic(firstPanic)
+	}
+	p.reg.Histogram(obs.MetricBatchSeconds, obs.LatencyBuckets).Observe(time.Since(start).Seconds())
+	return answers
+}
+
+// AskFunc is the synchronous question callback Drive hands to each of
+// its streams.
+type AskFunc func(boolean.Set) bool
+
+// driveAbort unwinds a stream goroutine once the driver has stopped
+// answering; Drive recovers it internally.
+type driveAbort struct{}
+
+// Drive interleaves n adaptive question streams over one oracle.
+// Each stream is a sequential search (stream i runs in its own
+// goroutine and asks questions through the provided AskFunc); every
+// round the driver gathers the next question of each still-running
+// stream, answers the round as one batch through AskAll — hence
+// concurrently when o implements BatchOracle — and resumes each
+// stream with its answer. A stream therefore receives exactly the
+// answers it would receive running alone, so its question sequence —
+// and the total question count — is identical to serial execution;
+// only wall-clock time changes.
+//
+// Rounds are deterministic: a round's batch holds the r-th question
+// of every stream still alive at round r, ordered by stream index.
+// observe, when non-nil, is called in the driver's goroutine for
+// every answered question in that order — a single-threaded hook for
+// accounting and tracing that needs no synchronization.
+//
+// A panic in the oracle (e.g. an exhausted Budget) or in a stream is
+// re-raised on the Drive caller after every stream goroutine has
+// unwound.
+func Drive(o Oracle, n int, stream func(i int, ask AskFunc), observe func(i int, s boolean.Set, answer bool)) {
+	if n <= 0 {
+		return
+	}
+	type request struct {
+		idx   int
+		q     boolean.Set
+		reply chan bool
+	}
+	var (
+		requests = make(chan request)
+		done     = make(chan interface{}, n) // each stream's recover()
+		aborted  = make(chan struct{})
+	)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer func() { done <- recover() }()
+			stream(i, func(q boolean.Set) bool {
+				req := request{idx: i, q: q, reply: make(chan bool, 1)}
+				select {
+				case requests <- req:
+				case <-aborted:
+					panic(driveAbort{})
+				}
+				select {
+				case a := <-req.reply:
+					return a
+				case <-aborted:
+					panic(driveAbort{})
+				}
+			})
+		}(i)
+	}
+
+	live := n
+	var pending []request
+	var streamPanic interface{}
+	abort := func(p interface{}) {
+		if streamPanic == nil {
+			streamPanic = p
+		}
+		close(aborted)
+		// Wake nothing else: every remaining stream unwinds via the
+		// aborted channel; drain their completions.
+		for live > 0 {
+			<-done
+			live--
+		}
+	}
+	for live > 0 {
+		// Gather one event (question or completion) from every live
+		// stream: after this loop the round is complete.
+		pending = pending[:0]
+		waiting := live
+		for waiting > 0 {
+			select {
+			case req := <-requests:
+				pending = append(pending, req)
+				waiting--
+			case p := <-done:
+				live--
+				waiting--
+				if p != nil {
+					if _, isAbort := p.(driveAbort); !isAbort {
+						abort(p)
+						panic(streamPanic)
+					}
+				}
+			}
+		}
+		if len(pending) == 0 {
+			continue
+		}
+		sort.Slice(pending, func(a, b int) bool { return pending[a].idx < pending[b].idx })
+		qs := make([]boolean.Set, len(pending))
+		for j, req := range pending {
+			qs[j] = req.q
+		}
+		answers, err := askAllRecover(o, qs)
+		if err != nil {
+			abort(err)
+			panic(streamPanic)
+		}
+		for j, req := range pending {
+			if observe != nil {
+				observe(req.idx, req.q, answers[j])
+			}
+			req.reply <- answers[j]
+		}
+	}
+}
+
+// askAllRecover runs AskAll, converting a panic into a returned value
+// so Drive can unwind its streams before re-raising it.
+func askAllRecover(o Oracle, qs []boolean.Set) (answers []bool, panicked interface{}) {
+	defer func() { panicked = recover() }()
+	return AskAll(o, qs), nil
+}

@@ -99,6 +99,34 @@ func (c *Counter) Ask(s boolean.Set) bool {
 	return a
 }
 
+// AskBatch implements BatchOracle. The accounting is identical to
+// asking each question serially — same question, tuple, and histogram
+// increments, recorded before the inner oracle is consulted — except
+// that the per-answer latency histogram is skipped: within a batch,
+// individual answer latencies overlap, and the batch engine's
+// qhorn_oracle_batch_seconds histogram covers the wall time instead.
+func (c *Counter) AskBatch(qs []boolean.Set) []bool {
+	c.mu.Lock()
+	for _, q := range qs {
+		size := q.Size()
+		c.Questions++
+		c.Tuples += size
+		if size > c.MaxTuples {
+			c.MaxTuples = size
+		}
+	}
+	reg := c.reg
+	c.mu.Unlock()
+	if reg != nil {
+		reg.Counter(obs.MetricQuestions).Add(int64(len(qs)))
+		for _, q := range qs {
+			reg.Counter(obs.MetricTuples).Add(int64(q.Size()))
+			reg.Histogram(obs.MetricTuplesPerQuestion, obs.TuplesPerQuestionBuckets).Observe(float64(q.Size()))
+		}
+	}
+	return AskAll(c.inner, qs)
+}
+
 // Snapshot returns a consistent view of the counters, safe to call
 // while learners are still asking.
 func (c *Counter) Snapshot() (questions, tuples, maxTuples int) {
@@ -143,6 +171,19 @@ func (t *Transcript) Ask(s boolean.Set) bool {
 	return a
 }
 
+// AskBatch implements BatchOracle; the batch's entries are appended
+// in question order, regardless of the order the inner oracle
+// answered them in.
+func (t *Transcript) AskBatch(qs []boolean.Set) []bool {
+	answers := AskAll(t.inner, qs)
+	t.mu.Lock()
+	for i, q := range qs {
+		t.Entries = append(t.Entries, Entry{Question: q, Answer: answers[i]})
+	}
+	t.mu.Unlock()
+	return answers
+}
+
 // Len reports the number of recorded entries, safe to call while
 // learners are still asking.
 func (t *Transcript) Len() int {
@@ -160,23 +201,61 @@ func (t *Transcript) Copy() []Entry {
 
 // Noisy wraps an oracle and flips each response independently with
 // probability p, simulating the noisy users discussed in §5. The rng
-// must not be nil.
+// must not be nil; it is guarded by a mutex (a *rand.Rand is not safe
+// for concurrent use), so the wrapper may be shared by concurrent
+// askers. For a fixed seed, the flip sequence — and therefore the
+// exact set of corrupted answers — is deterministic only under serial
+// asking: concurrent Ask calls draw from the rng in scheduling order.
+// AskBatch draws its flips in question order after the whole batch is
+// answered, so batched runs keep a per-batch deterministic flip
+// sequence even when the inner oracle answers concurrently.
 func Noisy(inner Oracle, p float64, rng *rand.Rand) Oracle {
-	return Func(func(s boolean.Set) bool {
-		a := inner.Ask(s)
-		if rng.Float64() < p {
-			return !a
+	return &noisy{inner: inner, p: p, rng: rng}
+}
+
+type noisy struct {
+	inner Oracle
+	p     float64
+	mu    sync.Mutex
+	rng   *rand.Rand
+}
+
+// Ask implements Oracle.
+func (n *noisy) Ask(s boolean.Set) bool {
+	a := n.inner.Ask(s)
+	n.mu.Lock()
+	flip := n.rng.Float64() < n.p
+	n.mu.Unlock()
+	if flip {
+		return !a
+	}
+	return a
+}
+
+// AskBatch implements BatchOracle; see Noisy for the flip-sequence
+// determinism contract.
+func (n *noisy) AskBatch(qs []boolean.Set) []bool {
+	answers := AskAll(n.inner, qs)
+	n.mu.Lock()
+	for i := range answers {
+		if n.rng.Float64() < n.p {
+			answers[i] = !answers[i]
 		}
-		return a
-	})
+	}
+	n.mu.Unlock()
+	return answers
 }
 
 // Budget wraps an oracle with a hard cap on the number of questions —
 // the interactive patience of a real user. Exceeding the budget
 // panics with ErrBudget via BudgetExceeded, which callers recover as
 // a signal; tests use it to enforce the paper's question bounds
-// mechanically.
+// mechanically. The cap is enforced under a mutex so a budget of L
+// admits exactly L questions even with concurrent askers — never
+// L+workers. Read Used only after the askers have returned, or
+// through Remaining, which locks.
 type Budget struct {
+	mu    sync.Mutex
 	inner Oracle
 	Limit int
 	Used  int
@@ -198,33 +277,196 @@ func WithBudget(inner Oracle, limit int) *Budget {
 }
 
 // Ask implements Oracle; it panics with ErrBudget when the cap is
-// exceeded.
+// exceeded. The slot is reserved before the inner oracle is consulted,
+// so concurrent asks proceed in parallel while exactly Limit of them
+// ever reach the inner oracle.
 func (b *Budget) Ask(s boolean.Set) bool {
-	if b.Used >= b.Limit {
-		panic(ErrBudget{Limit: b.Limit})
-	}
-	b.Used++
+	b.take(1)
 	return b.inner.Ask(s)
 }
 
+// AskBatch implements BatchOracle with the serial panic semantics
+// intact: when the batch overruns the budget, the questions that fit
+// are still asked — exactly what a serial caller would have gotten —
+// and then ErrBudget is raised.
+func (b *Budget) AskBatch(qs []boolean.Set) []bool {
+	b.mu.Lock()
+	allowed := b.Limit - b.Used
+	if allowed > len(qs) {
+		allowed = len(qs)
+	}
+	b.Used += allowed
+	b.mu.Unlock()
+	if allowed < len(qs) {
+		AskAll(b.inner, qs[:allowed])
+		panic(ErrBudget{Limit: b.Limit})
+	}
+	return AskAll(b.inner, qs)
+}
+
+// take reserves n question slots or panics with ErrBudget.
+func (b *Budget) take(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.Used+n > b.Limit {
+		panic(ErrBudget{Limit: b.Limit})
+	}
+	b.Used += n
+}
+
 // Remaining returns the questions left in the budget.
-func (b *Budget) Remaining() int { return b.Limit - b.Used }
+func (b *Budget) Remaining() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.Limit - b.Used
+}
 
 // Memo wraps an oracle and caches responses by canonical question
 // key, so repeated questions are answered without consulting the
 // inner oracle. Wrap the Counter inside Memo to count only distinct
-// questions, or outside to count all.
+// questions, or outside to count all. The cache is singleflight-
+// guarded: when concurrent askers pose the same question, one of them
+// asks the inner oracle and the rest wait for its answer, so the
+// inner oracle sees each distinct question at most once even under
+// concurrency.
 func Memo(inner Oracle) Oracle {
-	cache := map[string]bool{}
-	return Func(func(s boolean.Set) bool {
-		k := s.Key()
-		if a, ok := cache[k]; ok {
+	return &memo{
+		inner:    inner,
+		answers:  map[string]bool{},
+		inflight: map[string]chan struct{}{},
+	}
+}
+
+type memo struct {
+	inner    Oracle
+	mu       sync.Mutex
+	answers  map[string]bool
+	inflight map[string]chan struct{}
+}
+
+// Ask implements Oracle.
+func (m *memo) Ask(s boolean.Set) bool {
+	k := s.Key()
+	for {
+		m.mu.Lock()
+		if a, ok := m.answers[k]; ok {
+			m.mu.Unlock()
 			return a
 		}
-		a := inner.Ask(s)
-		cache[k] = a
-		return a
-	})
+		if ch, ok := m.inflight[k]; ok {
+			// Someone else is asking this exact question: wait for
+			// their answer instead of double-asking the inner oracle.
+			m.mu.Unlock()
+			<-ch
+			// Answered — or the leader panicked, in which case the
+			// retry elects a new leader (re-raising the same panic for
+			// deterministic panics such as ErrBudget).
+			continue
+		}
+		ch := make(chan struct{})
+		m.inflight[k] = ch
+		m.mu.Unlock()
+		return m.lead(k, ch, s)
+	}
+}
+
+// lead asks the inner oracle on behalf of every goroutine waiting on
+// key k, then wakes the waiters. The in-flight marker is removed even
+// when the inner oracle panics, so no waiter is stranded.
+func (m *memo) lead(k string, ch chan struct{}, s boolean.Set) bool {
+	defer func() {
+		m.mu.Lock()
+		delete(m.inflight, k)
+		m.mu.Unlock()
+		close(ch)
+	}()
+	a := m.inner.Ask(s)
+	m.mu.Lock()
+	m.answers[k] = a
+	m.mu.Unlock()
+	return a
+}
+
+// AskBatch implements BatchOracle: cached questions are answered from
+// the cache, duplicates of questions already in flight wait for the
+// existing asker, and the remaining distinct questions are forwarded
+// to the inner oracle as one deduplicated sub-batch.
+func (m *memo) AskBatch(qs []boolean.Set) []bool {
+	keys := make([]string, len(qs))
+	for i, q := range qs {
+		keys[i] = q.Key()
+	}
+	answers := make([]bool, len(qs))
+	pending := make([]int, len(qs))
+	for i := range qs {
+		pending[i] = i
+	}
+	for len(pending) > 0 {
+		var (
+			still   []int           // unresolved after the cache pass
+			leaders []int           // first unresolved index per new key
+			chans   []chan struct{} // their in-flight markers
+			wait    chan struct{}   // another asker's flight to await
+		)
+		led := map[string]bool{}
+		m.mu.Lock()
+		for _, i := range pending {
+			k := keys[i]
+			if a, ok := m.answers[k]; ok {
+				answers[i] = a
+				continue
+			}
+			still = append(still, i)
+			if led[k] {
+				continue
+			}
+			if ch, ok := m.inflight[k]; ok {
+				if wait == nil {
+					wait = ch
+				}
+				continue
+			}
+			ch := make(chan struct{})
+			m.inflight[k] = ch
+			led[k] = true
+			leaders = append(leaders, i)
+			chans = append(chans, ch)
+		}
+		m.mu.Unlock()
+		switch {
+		case len(leaders) > 0:
+			m.leadBatch(keys, leaders, chans, qs)
+		case wait != nil:
+			<-wait
+		}
+		pending = still
+	}
+	return answers
+}
+
+// leadBatch asks the inner oracle the deduplicated sub-batch at the
+// given leader indices and settles their flights.
+func (m *memo) leadBatch(keys []string, leaders []int, chans []chan struct{}, qs []boolean.Set) {
+	defer func() {
+		m.mu.Lock()
+		for _, i := range leaders {
+			delete(m.inflight, keys[i])
+		}
+		m.mu.Unlock()
+		for _, ch := range chans {
+			close(ch)
+		}
+	}()
+	sub := make([]boolean.Set, len(leaders))
+	for j, i := range leaders {
+		sub[j] = qs[i]
+	}
+	res := AskAll(m.inner, sub)
+	m.mu.Lock()
+	for j, i := range leaders {
+		m.answers[keys[i]] = res[j]
+	}
+	m.mu.Unlock()
 }
 
 // Interactive returns an oracle that renders each membership question

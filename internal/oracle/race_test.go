@@ -1,7 +1,9 @@
 package oracle_test
 
 import (
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"qhorn/internal/boolean"
@@ -107,3 +109,159 @@ func TestTranscriptCopyIsIndependent(t *testing.T) {
 		t.Errorf("copy len %d, live len %d", len(snap), tr.Len())
 	}
 }
+
+// TestMemoConcurrentAskersSingleflight hammers one Memo with many
+// goroutines asking a small set of overlapping questions. Under -race
+// this pins both the data-race fix and the singleflight guarantee: the
+// inner oracle sees each distinct question exactly once — no
+// double-asks, no torn cache. The pre-fix Memo (bare map, no lock)
+// fails both ways.
+func TestMemoConcurrentAskersSingleflight(t *testing.T) {
+	u := boolean.MustUniverse(5)
+	const distinct = 8
+	qs := probeQuestions(u, distinct)
+	index := map[string]int{}
+	for i, q := range qs {
+		index[q.Key()] = i
+	}
+	askedBy := make([]atomicCounter, distinct)
+	m := oracle.Memo(oracle.Func(func(s boolean.Set) bool {
+		askedBy[index[s.Key()]].add(1)
+		return s.Size()%2 == 1
+	}))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				q := qs[(g+r)%distinct]
+				if m.Ask(q) != (q.Size()%2 == 1) {
+					t.Errorf("memo returned a wrong cached answer for %s", q.Key())
+				}
+			}
+		}(g)
+	}
+	// Batches race against the single askers too.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			oracle.AskAll(m, qs)
+		}()
+	}
+	wg.Wait()
+	for i := range askedBy {
+		if got := askedBy[i].load(); got != 1 {
+			t.Errorf("inner oracle asked question %d %d times, want exactly 1", i, got)
+		}
+	}
+}
+
+// TestBudgetConcurrentAskersExact hammers one Budget of L with far
+// more concurrent asks than L. Under -race this pins the fix: exactly
+// L questions reach the inner oracle (never L+workers), every excess
+// ask panics ErrBudget, and Used never tears.
+func TestBudgetConcurrentAskersExact(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	const limit = 25
+	var inner atomicCounter
+	b := oracle.WithBudget(oracle.Func(func(boolean.Set) bool {
+		inner.add(1)
+		return true
+	}), limit)
+
+	var wg sync.WaitGroup
+	var budgetPanics atomicCounter
+	q := boolean.NewSet(u.All())
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 10; r++ {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(oracle.ErrBudget); !ok {
+								panic(r)
+							}
+							budgetPanics.add(1)
+						}
+					}()
+					b.Ask(q)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := inner.load(); got != limit {
+		t.Errorf("inner oracle asked %d questions, want exactly the budget %d", got, limit)
+	}
+	if got := budgetPanics.load(); got != 100-limit {
+		t.Errorf("%d asks panicked ErrBudget, want %d", got, 100-limit)
+	}
+	if b.Remaining() != 0 {
+		t.Errorf("Remaining = %d after exhaustion", b.Remaining())
+	}
+}
+
+// TestNoisyConcurrentAskersRaceClean hammers one Noisy wrapper from
+// many goroutines. Under -race this pins the rng mutex: *rand.Rand is
+// not concurrency-safe, and the pre-fix wrapper raced (and could
+// corrupt the rng state) the moment two askers overlapped.
+func TestNoisyConcurrentAskersRaceClean(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	n := oracle.Noisy(oracle.Func(func(boolean.Set) bool { return true }), 0.3, rand.New(rand.NewSource(11)))
+	qs := probeQuestions(u, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 100; r++ {
+				n.Ask(qs[(g+r)%len(qs)])
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestPoolConcurrentBatchesRaceClean hammers one Pool — over the full
+// wrapper stack — with concurrent batches and single asks. Under
+// -race this pins the engine itself: workers write disjoint answer
+// slots, the in-flight gauge is atomic, and the wrappers' batch paths
+// hold their locks.
+func TestPoolConcurrentBatchesRaceClean(t *testing.T) {
+	u := boolean.MustUniverse(6)
+	target := query.MustParse(u, "∀x1x2 → x4 ∃x1x2 → x5 ∃x3 → x6")
+	reg := obs.NewRegistry()
+	pool := oracle.ParallelInto(oracle.Target(target), 4, reg)
+	stack := oracle.Record(oracle.CountInto(oracle.Memo(pool), reg))
+	qs := probeQuestions(u, 30)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				oracle.AskAll(stack, qs)
+				return
+			}
+			for _, q := range qs {
+				stack.Ask(q)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := reg.Gauge(obs.MetricOracleInFlight).Value(); got != 0 {
+		t.Errorf("in-flight gauge = %v after quiescence, want 0", got)
+	}
+}
+
+// atomicCounter is a tiny test helper.
+type atomicCounter struct{ v int64 }
+
+func (c *atomicCounter) add(n int64) { atomic.AddInt64(&c.v, n) }
+func (c *atomicCounter) load() int64 { return atomic.LoadInt64(&c.v) }

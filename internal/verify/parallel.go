@@ -1,0 +1,91 @@
+package verify
+
+import (
+	"fmt"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/obs"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+)
+
+// questions collects the membership questions of the set in its
+// deterministic order.
+func (vs Set) questions() []boolean.Set {
+	qs := make([]boolean.Set, len(vs.Questions))
+	for i, q := range vs.Questions {
+		qs[i] = q.Set
+	}
+	return qs
+}
+
+// RunParallel is Run with the whole verification set issued as one
+// batch: the questions of the A1–A4/N1–N2 families are mutually
+// independent (each compares the intended query's classification of a
+// fixed object set against the given query's), so a BatchOracle —
+// e.g. oracle.Parallel around a simulated user — answers them
+// concurrently. The result is identical to Run's: same questions,
+// same QuestionsAsked, and disagreements in the set's deterministic
+// order regardless of answer arrival order.
+func (vs Set) RunParallel(o oracle.Oracle) Result {
+	answers := oracle.AskAll(o, vs.questions())
+	res := Result{Correct: true, QuestionsAsked: len(vs.Questions)}
+	for i, q := range vs.Questions {
+		if answers[i] != q.Expect {
+			res.Correct = false
+			res.Disagreements = append(res.Disagreements, Disagreement{Question: q, Got: answers[i]})
+		}
+	}
+	return res
+}
+
+// RunParallelObserved is RunParallel with observability: the batch is
+// answered first, then the span stream — one child span per question,
+// in set order — and the per-family counters are emitted from the
+// calling goroutine, exactly as RunObserved emits them. Spans carry a
+// "mode: parallel" attribute so traces distinguish batched runs; the
+// per-question span durations are not meaningful in this mode (the
+// answers arrived before the spans opened).
+func (vs Set) RunParallelObserved(o oracle.Oracle, tr *obs.Tracer, reg *obs.Registry) Result {
+	root := tr.StartSpan("verify",
+		obs.A("query", vs.Query.String()),
+		obs.Af("questions", "%d", len(vs.Questions)),
+		obs.A("mode", "parallel"))
+	defer root.End()
+
+	answers := oracle.AskAll(o, vs.questions())
+	res := Result{Correct: true, QuestionsAsked: len(vs.Questions)}
+	for i, q := range vs.Questions {
+		got := answers[i]
+		sp := root.StartChild("verify/"+string(q.Kind),
+			obs.A("about", q.About),
+			obs.Af("expect", "%v", q.Expect))
+		if reg != nil {
+			reg.Counter(obs.MetricVerifyQuestions, "kind", string(q.Kind)).Inc()
+		}
+		if got != q.Expect {
+			res.Correct = false
+			res.Disagreements = append(res.Disagreements, Disagreement{Question: q, Got: got})
+			sp.Event("disagreement",
+				obs.A("about", q.About),
+				obs.Af("expect", "%v", q.Expect),
+				obs.Af("got", "%v", got))
+			if reg != nil {
+				reg.Counter(obs.MetricVerifyDisagreements, "kind", string(q.Kind)).Inc()
+			}
+		}
+		sp.End()
+	}
+	root.Annotate(obs.Af("correct", "%v", res.Correct))
+	return res
+}
+
+// VerifyParallel is Verify with the verification set run as one batch
+// (see Set.RunParallel).
+func VerifyParallel(qg query.Query, o oracle.Oracle) (Result, error) {
+	vs, err := Build(qg)
+	if err != nil {
+		return Result{}, fmt.Errorf("verify: %w", err)
+	}
+	return vs.RunParallel(o), nil
+}

@@ -142,6 +142,12 @@ func Conjunction(vars Tuple) Expr { return query.Conjunction(vars) }
 // Vars builds a tuple from 0-based variable indices.
 func Vars(vars ...int) Tuple { return boolean.FromVars(vars...) }
 
+// ParseSet reads an object in the braces notation, e.g. "{110, 011}".
+func ParseSet(u Universe, s string) (Set, error) { return boolean.ParseSet(u, s) }
+
+// MustParseSet is ParseSet for fixtures and examples.
+func MustParseSet(u Universe, s string) Set { return boolean.MustParseSet(u, s) }
+
 // LearnQhorn1 learns a qhorn-1 query exactly with O(n lg n)
 // membership questions (§3.1, Theorem 3.1).
 func LearnQhorn1(u Universe, o Oracle) (Query, Qhorn1Stats) { return learn.Qhorn1(u, o) }
@@ -320,6 +326,47 @@ func VerifyObserved(q Query, o Oracle, tr *SpanTracer, reg *MetricsRegistry) (Ve
 // counts into a metrics registry (qhorn_questions_total and friends).
 func CountingOracleInto(o Oracle, reg *MetricsRegistry) *oracle.Counter {
 	return oracle.CountInto(o, reg)
+}
+
+// Parallel batched question engine (see docs/PARALLELISM.md): the
+// learners and the verifier surface their independent question sets as
+// batches, and a BatchOracle answers each batch concurrently — exactly
+// the serial questions, exactly the serial counts, less wall time when
+// every answer costs user latency.
+type (
+	// BatchOracle is an Oracle that can answer a slice of independent
+	// questions at once.
+	BatchOracle = oracle.BatchOracle
+	// ParallelOracle is the worker-pool driver turning any
+	// concurrency-safe Oracle into a BatchOracle.
+	ParallelOracle = oracle.Pool
+)
+
+// ParallelOracleOf wraps a concurrency-safe oracle with a worker pool
+// of the given size (≤ 0 selects one worker per CPU).
+func ParallelOracleOf(o Oracle, workers int) *ParallelOracle { return oracle.Parallel(o, workers) }
+
+// AskAll answers every question through o — as one concurrent batch
+// when o is a BatchOracle, serially otherwise.
+func AskAll(o Oracle, qs []Set) []bool { return oracle.AskAll(o, qs) }
+
+// LearnQhorn1Parallel is LearnQhorn1 with independent question sets
+// issued as batches: equivalent output, identical question counts.
+func LearnQhorn1Parallel(u Universe, o Oracle) (Query, Qhorn1Stats) {
+	return learn.Qhorn1Parallel(u, o)
+}
+
+// LearnRolePreservingParallel is LearnRolePreserving with batched
+// question sets and concurrent per-head searches: equivalent output,
+// identical question counts.
+func LearnRolePreservingParallel(u Universe, o Oracle) (Query, RPStats) {
+	return learn.RolePreservingParallel(u, o)
+}
+
+// VerifyParallel is Verify with the whole verification set answered as
+// one batch (the A1–A4/N1–N2 questions are mutually independent).
+func VerifyParallel(q Query, o Oracle) (VerificationResult, error) {
+	return verify.VerifyParallel(q, o)
 }
 
 // EstimateQhorn1 bounds the number of questions a qhorn-1 learning

@@ -233,3 +233,35 @@ func TestFacadeClassifyAndReport(t *testing.T) {
 		t.Errorf("report = %+v", report)
 	}
 }
+
+func TestFacadeParallel(t *testing.T) {
+	u := qhorn.MustUniverse(6)
+	target := qhorn.MustParseQuery(u, "∀x1x4 → x5 ∃x2x3")
+	pool := qhorn.ParallelOracleOf(qhorn.TargetOracle(target), 4)
+	var batch qhorn.BatchOracle = pool
+	qs := []qhorn.Set{
+		qhorn.MustParseSet(u, "{111111}"),
+		qhorn.MustParseSet(u, "{000000}"),
+	}
+	answers := qhorn.AskAll(batch, qs)
+	if len(answers) != 2 || answers[0] != target.Eval(qs[0]) || answers[1] != target.Eval(qs[1]) {
+		t.Errorf("AskAll through the facade: %v", answers)
+	}
+
+	serial, sstats := qhorn.LearnQhorn1(u, qhorn.TargetOracle(target))
+	learned, stats := qhorn.LearnQhorn1Parallel(u, pool)
+	if !learned.Equivalent(serial) || stats.Total() != sstats.Total() {
+		t.Errorf("LearnQhorn1Parallel got %s (%d questions), serial %s (%d)",
+			learned, stats.Total(), serial, sstats.Total())
+	}
+	rpSerial, rpsStats := qhorn.LearnRolePreserving(u, qhorn.TargetOracle(target))
+	rp, rpStats := qhorn.LearnRolePreservingParallel(u, pool)
+	if !rp.Equivalent(rpSerial) || rpStats.Total() != rpsStats.Total() {
+		t.Errorf("LearnRolePreservingParallel got %s (%d questions), serial %s (%d)",
+			rp, rpStats.Total(), rpSerial, rpsStats.Total())
+	}
+	res, err := qhorn.VerifyParallel(target, pool)
+	if err != nil || !res.Correct {
+		t.Errorf("VerifyParallel: %+v, %v", res, err)
+	}
+}
