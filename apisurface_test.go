@@ -1,0 +1,116 @@
+package qhorn
+
+// The API-surface guard: the variant matrix (one exported function per
+// cross-cutting feature combination) is frozen at its pre-engine
+// extent. Every *Observed / *Traced / *Parallel export that existed
+// when the composable run engine landed is kept as a thin documented
+// wrapper, and NO new ones may appear — a new cross-cutting dimension
+// is one new run.Option, not a new function per learner and verifier
+// variant (docs/ENGINE.md). CI runs this test explicitly
+// (go test -run TestAPISurfaceFrozen .).
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// frozenVariants is the exhaustive allowlist of variant-matrix exports
+// per package directory. Removing an entry here must accompany a
+// deliberate, documented deprecation; adding one is a design error.
+var frozenVariants = map[string][]string{
+	".": {
+		"LearnQhorn1Observed",
+		"LearnQhorn1Parallel",
+		"LearnQhorn1Traced",
+		"LearnRolePreservingObserved",
+		"LearnRolePreservingParallel",
+		"LearnRolePreservingTraced",
+		"ParallelOracleOf",
+		"VerifyObserved",
+		"VerifyParallel",
+	},
+	"internal/learn": {
+		"Qhorn1Observed",
+		"Qhorn1Parallel",
+		"Qhorn1ParallelObserved",
+		"Qhorn1Traced",
+		"RolePreservingObserved",
+		"RolePreservingParallel",
+		"RolePreservingParallelObserved",
+		"RolePreservingTraced",
+	},
+	"internal/verify": {
+		"RunObserved",
+		"RunParallel",
+		"RunParallelObserved",
+		"VerifyObserved",
+		"VerifyParallel",
+	},
+}
+
+var variantName = regexp.MustCompile(`(Observed|Traced|Parallel)`)
+
+// variantExports parses a package directory and returns every exported
+// function or method whose name matches the variant pattern, excluding
+// test files.
+func variantExports(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		for name, file := range pkg.Files {
+			if len(name) > 8 && name[len(name)-8:] == "_test.go" {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !fn.Name.IsExported() || !variantName.MatchString(fn.Name.Name) {
+					continue
+				}
+				// Option constructors (WithParallel, …) are the
+				// sanctioned mechanism the guard steers toward, not
+				// variant-matrix growth.
+				if strings.HasPrefix(fn.Name.Name, "With") {
+					continue
+				}
+				seen[fn.Name.Name] = true
+			}
+		}
+	}
+	var out []string
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestAPISurfaceFrozen fails when a variant-matrix export appears or
+// disappears in the facade, the learners, or the verifier.
+func TestAPISurfaceFrozen(t *testing.T) {
+	for dir, want := range frozenVariants {
+		got := variantExports(t, dir)
+		allowed := map[string]bool{}
+		for _, name := range want {
+			allowed[name] = true
+		}
+		for _, name := range got {
+			if !allowed[name] {
+				t.Errorf("%s: new variant-matrix export %s — add a run.Option instead (docs/ENGINE.md), or freeze it here with a documented reason", dir, name)
+			}
+			delete(allowed, name)
+		}
+		for name := range allowed {
+			t.Errorf("%s: frozen export %s disappeared — legacy entry points are kept as thin wrappers over the engine", dir, name)
+		}
+	}
+}

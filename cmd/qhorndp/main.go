@@ -27,6 +27,7 @@ import (
 	"qhorn/internal/obs"
 	"qhorn/internal/query"
 	"qhorn/internal/revise"
+	engine "qhorn/internal/run"
 )
 
 func main() {
@@ -171,19 +172,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return report(w, stderr, sys, rres.Revised, ps)
 	}
 
-	// Learning mode. -parallel selects the batch-structured learners;
-	// the DataPlay session still answers serially (see
-	// dataplay.LearnParallel), so counts match the serial run exactly.
-	learnFn := sys.Learn
+	// Learning mode. The run engine composes every flag-driven option
+	// (engine.FromFlags) — except the worker pool: the amendable session
+	// history of §5 replays answers from a serialized transcript and is
+	// not concurrency-safe, so -parallel falls back to the engine's
+	// batch structure over a serial oracle (identical questions,
+	// identical counts).
+	engineFlags := *obsFlags
+	engineFlags.Parallel = 0
+	opts := engine.FromFlags(&engineFlags, session)
 	if obsFlags.Parallel > 0 {
-		learnFn = sys.LearnParallel
+		fmt.Fprintln(w, "parallel unavailable for amendable history: running serial")
+		opts = append(opts, engine.WithBatch())
 	}
-	cl := dataplay.Qhorn1
-	if *class == "rp" {
-		cl = dataplay.RolePreserving
+	cl, err := engine.ParseAlgorithm(*class)
+	if err != nil {
+		return fail(err)
 	}
 	sp := root.StartChild("learn", obs.A("class", *class))
-	learned, err := learnFn(cl, user)
+	learned, err := sys.Learn(cl, user, opts...)
 	sp.End()
 	if err != nil {
 		return fail(err)
@@ -210,7 +217,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(w, "  amended %d response(s)\n", fixed)
 		sp = root.StartChild("learn", obs.A("class", *class), obs.A("after", "amendment"))
-		learned, err = learnFn(cl, dataplay.UserFunc(honest.Classify))
+		learned, err = sys.Learn(cl, dataplay.UserFunc(honest.Classify), opts...)
 		sp.End()
 		if err != nil {
 			return fail(err)

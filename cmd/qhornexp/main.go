@@ -20,6 +20,7 @@ import (
 
 	"qhorn/internal/exp"
 	"qhorn/internal/obs"
+	engine "qhorn/internal/run"
 	"qhorn/internal/stats"
 )
 
@@ -84,7 +85,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer session.Close()
 
-	cfg := exp.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: obsFlags.Parallel}
+	// The harness receives the engine options the flags compose
+	// (engine.FromFlags) and derives its worker sweep from them.
+	cfg := exp.Config{Seed: *seed, Trials: *trials, Quick: *quick,
+		Engine: engine.FromFlags(obsFlags, session)}
 	// runExperiment wraps one experiment in a span, counts it and
 	// produces its machine-readable bench summary.
 	runExperiment := func(e exp.Experiment) (*exp.BenchSummary, []*stats.Table) {

@@ -26,6 +26,7 @@ import (
 	"qhorn/internal/difffuzz"
 	"qhorn/internal/obs"
 	"qhorn/internal/query"
+	engine "qhorn/internal/run"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		corpus   = fs.String("corpus", "", "replay the *.repro corpus in this directory instead of generating cases")
 		reproDir = fs.String("repro-dir", "", "write a .repro file for each (minimized) disagreement to this directory")
 		inject   = fs.Bool("inject", false, "corrupt the learner's output (drop its first expression) to demonstrate detection, minimization, and repro writing")
+		matrix   = fs.Bool("matrix", false, "add the run-engine options-matrix judge: replay each case through every engine option combination (docs/ENGINE.md)")
 		quiet    = fs.Bool("q", false, "suppress the progress line")
 	)
 	obsFlags := obs.BindFlags(fs)
@@ -70,7 +72,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	defer session.Close()
 
 	var opt difffuzz.Options
-	opt.Parallel = obsFlags.Parallel
+	opt.Parallel = engine.New(engine.FromFlags(obsFlags, session)...).Workers
+	opt.EngineMatrix = *matrix
 	if *inject {
 		opt.Warp = dropFirstExpr
 		fmt.Fprintln(stdout, "INJECTING a bug into the learner's output: disagreements below are expected")

@@ -38,6 +38,18 @@ func TestClassRestriction(t *testing.T) {
 	}
 }
 
+// TestMatrixJudge: -matrix replays every case through the engine's
+// option combinations and still finds zero disagreements.
+func TestMatrixJudge(t *testing.T) {
+	out, errb, code := runCLI(t, "-runs", "20", "-seed", "2", "-matrix", "-q")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s%s", code, out, errb)
+	}
+	if !strings.Contains(out, "disagreements: 0") {
+		t.Errorf("output missing clean verdict:\n%s", out)
+	}
+}
+
 // TestUsageErrors: bad flags and classes exit 2.
 func TestUsageErrors(t *testing.T) {
 	if _, _, code := runCLI(t, "-class", "bogus"); code != 2 {

@@ -33,6 +33,7 @@ import (
 	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
+	engine "qhorn/internal/run"
 )
 
 func main() {
@@ -202,40 +203,32 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	// -parallel: answer independent questions concurrently. Only a
 	// simulated user is concurrency-safe — interactive prompts would
-	// interleave — so the flag requires -simulate.
+	// interleave — so the flag requires -simulate. The engine assembles
+	// the worker pool itself (run.WithParallel via engine.FromFlags).
 	if obsFlags.Parallel > 0 {
 		if *simulate == "" {
 			return fail(fmt.Errorf("-parallel requires -simulate (an interactive user cannot answer concurrently)"))
 		}
-		user = oracle.ParallelInto(user, obsFlags.Parallel, session.Metrics)
 		fmt.Fprintf(stdout, "Answering independent questions with %d concurrent workers\n", obsFlags.Parallel)
 	}
-	counter := oracle.CountInto(user, session.Metrics)
 
-	// Learn with full observability (spans, metrics, -explain).
-	ins := learn.Instrumentation{Spans: session.Tracer, Metrics: session.Metrics}
+	// Learn through the run engine with full observability (spans,
+	// metrics, -explain): one option list composes the algorithm, the
+	// counter, the pool and the hooks.
+	alg, err := engine.ParseAlgorithm(*class)
+	if err != nil {
+		return fail(err)
+	}
+	opts := append(engine.FromFlags(obsFlags, session), engine.WithAlgorithm(alg))
 	var learned query.Query
-	switch *class {
-	case "qhorn1":
-		var stats learn.Qhorn1Stats
-		if obsFlags.Parallel > 0 {
-			learned, stats = learn.Qhorn1ParallelObserved(u, counter, ins)
-		} else {
-			learned, stats = learn.Qhorn1Observed(u, counter, ins)
-		}
+	var stats engine.Stats
+	learned, stats = learn.Run(u, user, opts...)
+	if alg == engine.RolePreserving {
+		fmt.Fprintf(stdout, "\nLearned (%d questions: %d head, %d universal, %d existential):\n  %s\n",
+			stats.Total(), stats.HeadQuestions, stats.BodyQuestions, stats.ExistentialQuestions, learned)
+	} else {
 		fmt.Fprintf(stdout, "\nLearned (%d questions: %d head, %d body, %d existential):\n  %s\n",
 			stats.Total(), stats.HeadQuestions, stats.BodyQuestions, stats.ExistentialQuestions, learned)
-	case "rp":
-		var stats learn.RPStats
-		if obsFlags.Parallel > 0 {
-			learned, stats = learn.RolePreservingParallelObserved(u, counter, ins)
-		} else {
-			learned, stats = learn.RolePreservingObserved(u, counter, ins)
-		}
-		fmt.Fprintf(stdout, "\nLearned (%d questions: %d head, %d universal, %d existential):\n  %s\n",
-			stats.Total(), stats.HeadQuestions, stats.UniversalQuestions, stats.ExistentialQuestions, learned)
-	default:
-		return fail(fmt.Errorf("unknown -class %q (want qhorn1 or rp)", *class))
 	}
 	if oracleErr != nil {
 		return fail(oracleErr)

@@ -28,6 +28,7 @@ import (
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
 	"qhorn/internal/revise"
+	engine "qhorn/internal/run"
 	"qhorn/internal/verify"
 )
 
@@ -98,23 +99,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	// -parallel: the verification questions are mutually independent,
 	// so a simulated user answers the whole set as one concurrent
 	// batch. Interactive users (-ask) stay serial, and -first is
-	// inherently sequential.
+	// inherently sequential, so it wins over -parallel. The run engine
+	// assembles the counter, the pool and the hooks from the flags.
 	if obsFlags.Parallel > 0 && *intended == "" {
 		return fail(stderr, fmt.Errorf("-parallel requires -intended (an interactive user cannot answer concurrently)"))
 	}
-	counted := oracle.CountInto(user, session.Metrics)
-	var res verify.Result
-	switch {
-	case *first:
-		res = vs.RunUntilFirst(counted)
-	case obsFlags.Parallel > 0:
-		pool := oracle.ParallelInto(user, obsFlags.Parallel, session.Metrics)
-		counted = oracle.CountInto(pool, session.Metrics)
-		fmt.Fprintf(stdout, "Answering the verification set with %d concurrent workers\n", obsFlags.Parallel)
-		res = vs.RunParallelObserved(counted, session.Tracer, session.Metrics)
-	default:
-		res = vs.RunObserved(counted, session.Tracer, session.Metrics)
+	engineFlags := *obsFlags
+	if *first {
+		engineFlags.Parallel = 0
 	}
+	opts := engine.FromFlags(&engineFlags, session)
+	if *first {
+		opts = append(opts, engine.WithFirstDisagreement())
+	} else if obsFlags.Parallel > 0 {
+		fmt.Fprintf(stdout, "Answering the verification set with %d concurrent workers\n", obsFlags.Parallel)
+	}
+	res := vs.RunWith(user, opts...)
 	if res.Correct {
 		fmt.Fprintln(stdout, "VERIFIED: the user agrees with every question; the query matches her intent.")
 		if err := session.Close(); err != nil {

@@ -32,8 +32,10 @@ func main() {
 		}
 		return a
 	})
+	// A session's amendable history is not concurrency-safe, so engine
+	// runs over it stay serial (docs/ENGINE.md).
 	sess := qhorn.NewSession(liar)
-	first, _ := qhorn.LearnRolePreserving(u, sess)
+	first, _ := qhorn.Learn(u, sess, qhorn.WithAlgorithm(qhorn.AlgorithmRolePreserving))
 	fmt.Printf("   learned with one lie:  %s (equivalent: %v)\n", first, first.Equivalent(intended))
 	for i, e := range sess.Entries() {
 		if truth.Ask(e.Question) != e.Answer {
@@ -44,7 +46,7 @@ func main() {
 		}
 	}
 	sess.ResetRun()
-	fixed, _ := qhorn.LearnRolePreserving(u, sess)
+	fixed, _ := qhorn.Learn(u, sess, qhorn.WithAlgorithm(qhorn.AlgorithmRolePreserving))
 	fmt.Printf("   re-learned:            %s (equivalent: %v, %d new questions)\n",
 		fixed, fixed.Equivalent(intended), sess.LiveQuestions)
 

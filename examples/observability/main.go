@@ -25,16 +25,19 @@ func main() {
 	reg := qhorn.NewMetricsRegistry()
 	user := qhorn.CountingOracleInto(qhorn.TargetOracle(intended), reg)
 
-	learned, stats := qhorn.LearnRolePreservingObserved(u, user, qhorn.Instrumentation{
-		Spans:   tracer,
-		Metrics: reg,
-	})
+	// One instrumentation value threads through learning and
+	// verification alike; the engine options compose it with the
+	// algorithm choice.
+	ins := qhorn.Instrumentation{Spans: tracer, Metrics: reg}
+	learned, stats := qhorn.Learn(u, user,
+		qhorn.WithAlgorithm(qhorn.AlgorithmRolePreserving),
+		qhorn.WithInstrumentation(ins))
 	fmt.Println("learned:          ", learned)
 	fmt.Println("equivalent:        ", learned.Equivalent(intended))
 	fmt.Printf("questions:          %d\n", stats.Total())
 
 	// Verification runs under the same tracer and registry.
-	res, err := qhorn.VerifyObserved(learned, user, tracer, reg)
+	res, err := qhorn.VerifyQ(learned, user, qhorn.WithInstrumentation(ins))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -25,11 +25,16 @@ func main() {
 	// counter and a transcript recorder to inspect the interaction.
 	user := qhorn.RecordingOracle(qhorn.CountingOracle(qhorn.TargetOracle(intended)))
 
-	learned, stats := qhorn.LearnRolePreserving(u, user)
+	// Learn through the run engine: options select the algorithm (and
+	// compose with instrumentation, parallelism, budgets, … — see
+	// docs/ENGINE.md). qhorn.LearnRolePreserving(u, user) is the
+	// equivalent named shorthand.
+	learned, stats := qhorn.Learn(u, user,
+		qhorn.WithAlgorithm(qhorn.AlgorithmRolePreserving))
 	fmt.Println("learned:           ", learned)
 	fmt.Println("equivalent:        ", learned.Equivalent(intended))
 	fmt.Printf("questions:          %d (head %d, universal %d, existential %d)\n",
-		stats.Total(), stats.HeadQuestions, stats.UniversalQuestions, stats.ExistentialQuestions)
+		stats.Total(), stats.HeadQuestions, stats.BodyQuestions, stats.ExistentialQuestions)
 
 	// A few lines of the interaction transcript.
 	fmt.Println("\nfirst questions asked:")
@@ -47,15 +52,17 @@ func main() {
 
 	// Verification (§4): O(k) questions decide whether a written
 	// query matches the user's intent.
-	res, err := qhorn.Verify(learned, qhorn.TargetOracle(intended))
+	res, err := qhorn.VerifyQ(learned, qhorn.TargetOracle(intended))
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("\nverification: correct=%v with %d questions\n", res.Correct, res.QuestionsAsked)
 
-	// A semantically different query is always caught (Theorem 4.2).
+	// A semantically different query is always caught (Theorem 4.2);
+	// WithFirstDisagreement stops at the first conflicting answer.
 	wrong := qhorn.MustParseQuery(u, "∀x1x4 → x6 ∃x2x3")
-	res, err = qhorn.Verify(wrong, qhorn.TargetOracle(intended))
+	res, err = qhorn.VerifyQ(wrong, qhorn.TargetOracle(intended),
+		qhorn.WithFirstDisagreement())
 	if err != nil {
 		panic(err)
 	}

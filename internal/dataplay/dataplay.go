@@ -20,21 +20,24 @@ import (
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
 	"qhorn/internal/revise"
+	"qhorn/internal/run"
 	"qhorn/internal/session"
 	"qhorn/internal/verify"
 )
 
-// Class selects the query class to learn.
-type Class int
+// Class selects the query class to learn. It is the run engine's
+// Algorithm, so a System.Learn call composes directly with engine
+// options.
+type Class = run.Algorithm
 
 // The two exactly-learnable classes.
 const (
 	// Qhorn1 learns with O(n lg n) questions but forbids variable
 	// repetition (§3.1).
-	Qhorn1 Class = iota
+	Qhorn1 = run.Qhorn1
 	// RolePreserving allows repetition with preserved roles and
 	// learns with O(n^(θ+1) + k·n·lg n) questions (§3.2).
-	RolePreserving
+	RolePreserving = run.RolePreserving
 )
 
 // User classifies concrete data objects, the way a person would.
@@ -116,18 +119,19 @@ func (s *System) oracleFor(u User) oracle.Oracle {
 }
 
 // Learn runs the chosen learner against the user and returns the
-// exact query.
-func (s *System) Learn(class Class, u User) (query.Query, error) {
+// exact query. Additional engine options compose onto the run — but
+// note the session constraint below: the amendable history is not
+// concurrency-safe, so run.WithParallel must not be passed here (use
+// run.WithBatch for the serial-degradation batch structure).
+func (s *System) Learn(class Class, u User, opts ...run.Option) (query.Query, error) {
 	switch class {
-	case Qhorn1:
-		q, _ := learn.Qhorn1(s.Universe(), s.oracleFor(u))
-		return q, nil
-	case RolePreserving:
-		q, _ := learn.RolePreserving(s.Universe(), s.oracleFor(u))
-		return q, nil
+	case Qhorn1, RolePreserving:
 	default:
 		return query.Query{}, fmt.Errorf("dataplay: unknown class %d", int(class))
 	}
+	all := append([]run.Option{run.WithAlgorithm(class)}, opts...)
+	q, _ := learn.Run(s.Universe(), s.oracleFor(u), all...)
+	return q, nil
 }
 
 // LearnParallel is Learn through the batch-structured learners of the
@@ -137,16 +141,7 @@ func (s *System) Learn(class Class, u User) (query.Query, error) {
 // serial-degradation path is exercised: identical questions, identical
 // counts, no concurrency against the session.
 func (s *System) LearnParallel(class Class, u User) (query.Query, error) {
-	switch class {
-	case Qhorn1:
-		q, _ := learn.Qhorn1Parallel(s.Universe(), s.oracleFor(u))
-		return q, nil
-	case RolePreserving:
-		q, _ := learn.RolePreservingParallel(s.Universe(), s.oracleFor(u))
-		return q, nil
-	default:
-		return query.Query{}, fmt.Errorf("dataplay: unknown class %d", int(class))
-	}
+	return s.Learn(class, u, run.WithBatch())
 }
 
 // VerifyQuery runs the §4 verification set against the user.

@@ -98,6 +98,11 @@ const (
 	// different question count, or a different verification verdict
 	// than the serial path (docs/PARALLELISM.md).
 	KindParallel Kind = "parallel"
+	// KindEngine: a run-engine option combination (batch, worker pool,
+	// budget, memo, counter, instrumentation) failed to reproduce the
+	// plain serial run — different questions or different per-phase
+	// stats (docs/ENGINE.md).
+	KindEngine Kind = "engine"
 )
 
 // Disagreement is one failed judgment: the case, what fired, and —

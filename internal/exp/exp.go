@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"qhorn/internal/run"
 	"qhorn/internal/stats"
 )
 
@@ -26,6 +27,11 @@ type Config struct {
 	// question engine instead of the experiment's default sweep
 	// (the -parallel flag of cmd/qhornexp).
 	Parallel int
+	// Engine carries the run-engine options the CLI composed
+	// (run.FromFlags); normalize derives Parallel from it when unset,
+	// so the harness honours -parallel through the same path as every
+	// other CLI.
+	Engine []run.Option
 }
 
 // DefaultConfig is used when fields are zero.
@@ -38,6 +44,9 @@ func (c Config) normalize() Config {
 	}
 	if c.Trials <= 0 {
 		c.Trials = DefaultConfig.Trials
+	}
+	if c.Parallel == 0 {
+		c.Parallel = run.New(c.Engine...).Workers
 	}
 	return c
 }

@@ -8,6 +8,7 @@ import (
 	"qhorn/internal/learn"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
+	"qhorn/internal/run"
 	"qhorn/internal/stats"
 )
 
@@ -46,38 +47,20 @@ func runParallel(cfg Config) []*stats.Table {
 	t := stats.NewTable(header(e),
 		"class", "workers", "questions", "serial ms", "parallel ms", "speedup")
 	type learner struct {
-		class    string
-		gen      func(rng *rand.Rand) query.Query
-		serial   func(q query.Query, o oracle.Oracle) query.Query
-		parallel func(q query.Query, o oracle.Oracle) query.Query
+		alg run.Algorithm
+		gen func(rng *rand.Rand) query.Query
 	}
 	learners := []learner{
 		{
-			class: "qhorn1",
-			gen:   func(rng *rand.Rand) query.Query { return query.GenQhorn1(rng, n) },
-			serial: func(q query.Query, o oracle.Oracle) query.Query {
-				got, _ := learn.Qhorn1(q.U, o)
-				return got
-			},
-			parallel: func(q query.Query, o oracle.Oracle) query.Query {
-				got, _ := learn.Qhorn1Parallel(q.U, o)
-				return got
-			},
+			alg: run.Qhorn1,
+			gen: func(rng *rand.Rand) query.Query { return query.GenQhorn1(rng, n) },
 		},
 		{
-			class: "rp",
+			alg: run.RolePreserving,
 			gen: func(rng *rand.Rand) query.Query {
 				return query.GenRolePreserving(rng, n, query.RPOptions{
 					Heads: 3, BodiesPerHead: 2, MaxBodySize: 3, Conjs: 2, MaxConjSize: 4,
 				})
-			},
-			serial: func(q query.Query, o oracle.Oracle) query.Query {
-				got, _ := learn.RolePreserving(q.U, o)
-				return got
-			},
-			parallel: func(q query.Query, o oracle.Oracle) query.Query {
-				got, _ := learn.RolePreservingParallel(q.U, o)
-				return got
 			},
 		},
 	}
@@ -97,12 +80,13 @@ func runParallel(cfg Config) []*stats.Table {
 
 				sc := oracle.Count(slowUser())
 				start := time.Now()
-				sq := l.serial(target, sc)
+				sq, _ := learn.Run(target.U, sc, run.WithAlgorithm(l.alg))
 				serialMS = append(serialMS, float64(time.Since(start).Microseconds())/1000)
 
 				pc := oracle.Count(slowUser())
 				start = time.Now()
-				pq := l.parallel(target, oracle.Parallel(pc, workers))
+				pq, _ := learn.Run(target.U, oracle.Parallel(pc, workers),
+					run.WithAlgorithm(l.alg), run.WithBatch())
 				parallelMS = append(parallelMS, float64(time.Since(start).Microseconds())/1000)
 
 				if !pq.Equivalent(sq) {
@@ -116,7 +100,7 @@ func runParallel(cfg Config) []*stats.Table {
 			qm := stats.Summarize(questions).Mean
 			sm := stats.Summarize(serialMS).Mean
 			pm := stats.Summarize(parallelMS).Mean
-			t.AddRow(l.class, workers, qm, sm, pm, sm/pm)
+			t.AddRow(l.alg.String(), workers, qm, sm, pm, sm/pm)
 		}
 	}
 	t.AddNote("simulated user think time per answer: %v; question counts asserted identical serial vs parallel on every trial", delay)

@@ -5,37 +5,28 @@ import (
 	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
+	"qhorn/internal/run"
 )
 
-// Instrumentation bundles the observability hooks a learning run may
-// carry. Every field is optional; the zero value is completely
-// silent and costs nothing on the question path.
-type Instrumentation struct {
-	// Steps receives one annotated Step per membership question —
-	// the self-explaining interface of the paper's introduction.
-	Steps Tracer
-	// Spans receives the hierarchical span stream: one root span per
-	// run ("learn/qhorn1", "learn/rp"), one child per phase ("heads",
-	// "bodies", "existential") and grandchildren for the subroutines
-	// ("find", "findall", "gethead", "lattice-search", "prune"), with
-	// one "question" event per membership question.
-	Spans *obs.Tracer
-	// Metrics receives the counters of the paper's cost model:
-	// questions by phase and lattice nodes visited/pruned.
-	Metrics *obs.Registry
-}
+// Instrumentation — historically defined here — now lives in
+// internal/run, shared with the verifier so one instrumentation value
+// threads through learning and verification alike; learn/options.go
+// aliases it back into this package.
 
 // Qhorn1Observed is Qhorn1 with full observability: per-question
 // steps, span tracing and metrics, any subset of which may be unset.
+// It is a thin wrapper over the run engine:
+// learn.Run(u, o, run.WithInstrumentation(ins)).
 func Qhorn1Observed(u boolean.Universe, o oracle.Oracle, ins Instrumentation) (query.Query, Qhorn1Stats) {
-	l := &qhorn1Learner{u: u, o: o, in: instr{u: u, ins: ins}}
-	return l.learn()
+	q, s := Run(u, o, run.WithInstrumentation(ins))
+	return q, qhorn1Stats(s)
 }
 
-// RolePreservingObserved is RolePreserving with full observability.
+// RolePreservingObserved is RolePreserving with full observability, a
+// thin wrapper over the run engine.
 func RolePreservingObserved(u boolean.Universe, o oracle.Oracle, ins Instrumentation) (query.Query, RPStats) {
-	l := &rpLearner{u: u, o: o, in: instr{u: u, ins: ins}}
-	return l.learn()
+	q, s := Run(u, o, run.WithAlgorithm(run.RolePreserving), run.WithInstrumentation(ins))
+	return q, rpStats(s)
 }
 
 // instr is the per-run instrumentation state embedded in each

@@ -4,6 +4,7 @@ import (
 	"qhorn/internal/boolean"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
+	"qhorn/internal/run"
 )
 
 // Qhorn1Naive learns a qhorn-1 query with the straightforward serial
@@ -12,9 +13,12 @@ import (
 // candidate variable with its own membership question, using O(n²)
 // questions in total. It exists so the experiments can reproduce the
 // paper's comparison between the serial and the O(n lg n) strategies.
+//
+// Qhorn1Naive is a thin wrapper over the run engine:
+// learn.Run(u, o, run.WithNaiveSearch()).
 func Qhorn1Naive(u boolean.Universe, o oracle.Oracle) (query.Query, Qhorn1Stats) {
-	l := &qhorn1Learner{u: u, o: o, serial: true}
-	return l.learn()
+	q, s := Run(u, o, run.WithNaiveSearch())
+	return q, qhorn1Stats(s)
 }
 
 // serialFindOne scans candidates one at a time, asking one question

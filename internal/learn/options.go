@@ -1,0 +1,85 @@
+package learn
+
+// This file is the learner half of the composable run engine
+// (docs/ENGINE.md): Run composes functional options from internal/run
+// into one Config, assembles the oracle wrapper stack in one place,
+// and constructs the single core learner path from the result. The
+// named entry points of this package (Qhorn1, Qhorn1Naive,
+// Qhorn1Traced, Qhorn1Observed, Qhorn1Parallel, and the RolePreserving
+// family) are thin documented wrappers over Run, pinned bit-identical
+// to their historical behavior by the options-matrix differential
+// tests.
+
+import (
+	"qhorn/internal/boolean"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+	"qhorn/internal/run"
+)
+
+// The cross-cutting run types are shared with the verifier through
+// internal/run; the aliases keep this package's historical names
+// valid.
+type (
+	// Instrumentation bundles the optional observability hooks of a
+	// run; the zero value is silent. See run.Instrumentation.
+	Instrumentation = run.Instrumentation
+	// Step is one annotated membership question. See run.Step.
+	Step = run.Step
+	// Tracer observes learner questions; nil is silent. See
+	// run.Tracer.
+	Tracer = run.Tracer
+	// Ablations disables role-preserving optimizations (E16). See
+	// run.Ablations.
+	Ablations = run.Ablations
+)
+
+// Run learns a query over u through the composable run engine:
+// options select the algorithm, search strategy, ablations,
+// instrumentation, batching and oracle wrappers, composing into one
+// internal config instead of one exported function per combination.
+//
+//	q, st := learn.Run(u, user,
+//	    run.WithAlgorithm(run.RolePreserving),
+//	    run.WithParallel(8),
+//	    run.WithSteps(print))
+//
+// The default (no options) is the serial qhorn-1 learner of §3.1.
+func Run(u boolean.Universe, o oracle.Oracle, opts ...run.Option) (query.Query, run.Stats) {
+	cfg := run.New(opts...)
+	st := cfg.Assemble(o)
+	return runConfigured(u, st.Oracle, cfg)
+}
+
+// runConfigured constructs the configured learner core over an
+// already-assembled oracle stack.
+func runConfigured(u boolean.Universe, o oracle.Oracle, cfg run.Config) (query.Query, run.Stats) {
+	switch cfg.Algorithm {
+	case run.RolePreserving:
+		l := &rpLearner{u: u, o: o, ablations: cfg.Ablations, batch: cfg.Batch, in: instr{u: u, ins: cfg.Ins}}
+		q, s := l.learn()
+		return q, run.Stats{
+			HeadQuestions:        s.HeadQuestions,
+			BodyQuestions:        s.UniversalQuestions,
+			ExistentialQuestions: s.ExistentialQuestions,
+		}
+	default:
+		l := &qhorn1Learner{u: u, o: o, serial: cfg.Naive, batch: cfg.Batch, in: instr{u: u, ins: cfg.Ins}}
+		q, s := l.learn()
+		return q, run.Stats(s)
+	}
+}
+
+// qhorn1Stats converts unified engine stats back to the qhorn-1
+// breakdown the legacy entry points return.
+func qhorn1Stats(s run.Stats) Qhorn1Stats { return Qhorn1Stats(s) }
+
+// rpStats converts unified engine stats back to the role-preserving
+// breakdown: the engine's body phase is the learner's universal phase.
+func rpStats(s run.Stats) RPStats {
+	return RPStats{
+		HeadQuestions:        s.HeadQuestions,
+		UniversalQuestions:   s.BodyQuestions,
+		ExistentialQuestions: s.ExistentialQuestions,
+	}
+}

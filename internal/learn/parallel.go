@@ -28,31 +28,37 @@ import (
 	"qhorn/internal/boolean"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
+	"qhorn/internal/run"
 )
 
 // Qhorn1Parallel is Qhorn1 with the independent question sets issued
 // as batches. Equivalent output and identical question counts to
-// Qhorn1; wall time drops when o answers batches concurrently.
+// Qhorn1; wall time drops when o answers batches concurrently. It is
+// a thin wrapper over the run engine — learn.Run(u, o,
+// run.WithBatch()) — and does not wrap a pool itself: the caller
+// brings the BatchOracle (or use run.WithParallel(n) to have the
+// engine assemble one).
 func Qhorn1Parallel(u boolean.Universe, o oracle.Oracle) (query.Query, Qhorn1Stats) {
-	l := &qhorn1Learner{u: u, o: o, batch: true}
-	return l.learn()
+	q, s := Run(u, o, run.WithBatch())
+	return q, qhorn1Stats(s)
 }
 
 // Qhorn1ParallelObserved is Qhorn1Parallel with observability. All
 // accounting — spans, steps, metrics — happens in the calling
 // goroutine, in deterministic question order.
 func Qhorn1ParallelObserved(u boolean.Universe, o oracle.Oracle, ins Instrumentation) (query.Query, Qhorn1Stats) {
-	l := &qhorn1Learner{u: u, o: o, batch: true, in: instr{u: u, ins: ins}}
-	return l.learn()
+	q, s := Run(u, o, run.WithBatch(), run.WithInstrumentation(ins))
+	return q, qhorn1Stats(s)
 }
 
 // RolePreservingParallel is RolePreserving with the independent
 // question sets issued as batches and the per-head lattice searches
 // run as concurrent question streams. Equivalent output and identical
-// question counts to RolePreserving.
+// question counts to RolePreserving. Thin wrapper over the run
+// engine, like Qhorn1Parallel.
 func RolePreservingParallel(u boolean.Universe, o oracle.Oracle) (query.Query, RPStats) {
-	l := &rpLearner{u: u, o: o, batch: true}
-	return l.learn()
+	q, s := Run(u, o, run.WithAlgorithm(run.RolePreserving), run.WithBatch())
+	return q, rpStats(s)
 }
 
 // RolePreservingParallelObserved is RolePreservingParallel with
@@ -61,6 +67,6 @@ func RolePreservingParallel(u boolean.Universe, o oracle.Oracle) (query.Query, R
 // metric is emitted from the calling goroutine in deterministic
 // order.
 func RolePreservingParallelObserved(u boolean.Universe, o oracle.Oracle, ins Instrumentation) (query.Query, RPStats) {
-	l := &rpLearner{u: u, o: o, batch: true, in: instr{u: u, ins: ins}}
-	return l.learn()
+	q, s := Run(u, o, run.WithAlgorithm(run.RolePreserving), run.WithBatch(), run.WithInstrumentation(ins))
+	return q, rpStats(s)
 }

@@ -30,9 +30,12 @@ func (s Qhorn1Stats) Total() int {
 // equivalent to the target. If the oracle is not consistent with any
 // qhorn-1 query, the result is unspecified (exact learning has no
 // error signal; use verify.Verify to check a result).
+//
+// Qhorn1 is the default configuration of the run engine; it is
+// equivalent to learn.Run(u, o) (docs/ENGINE.md).
 func Qhorn1(u boolean.Universe, o oracle.Oracle) (query.Query, Qhorn1Stats) {
-	l := &qhorn1Learner{u: u, o: o}
-	return l.learn()
+	q, s := Run(u, o)
+	return q, qhorn1Stats(s)
 }
 
 type qhorn1Learner struct {

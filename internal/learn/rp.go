@@ -8,6 +8,7 @@ import (
 	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
+	"qhorn/internal/run"
 )
 
 // RPStats reports the per-phase question counts of the role-
@@ -28,33 +29,23 @@ func (s RPStats) Total() int {
 // RolePreserving learns a role-preserving qhorn query over u exactly
 // (§3.2), returning the query in normal form. Against an oracle
 // backed by a target query in the class, the result is semantically
-// equivalent to the target.
+// equivalent to the target. It is a thin wrapper over the run engine:
+// learn.Run(u, o, run.WithAlgorithm(run.RolePreserving)).
 func RolePreserving(u boolean.Universe, o oracle.Oracle) (query.Query, RPStats) {
-	l := &rpLearner{u: u, o: o}
-	return l.learn()
+	q, s := Run(u, o, run.WithAlgorithm(run.RolePreserving))
+	return q, rpStats(s)
 }
 
-// Ablations disables individual optimizations of the role-preserving
-// learner so their contribution can be measured (experiment E16).
-// Both settings preserve exactness; they only cost questions.
-type Ablations struct {
-	// NoGuaranteeSeeds skips pre-seeding the discovered set with the
-	// guarantee-clause distinguishing tuples (the paper's "do not
-	// search the downset" optimization of §3.2.2); the lattice
-	// descent then rediscovers every guarantee clause from the top.
-	NoGuaranteeSeeds bool
-	// SerialPrune replaces the binary-search pruning of Algorithm 8
-	// with the remove-one-tuple-at-a-time strategy the paper
-	// describes first ("we asked O(n) questions to determine which
-	// tuples to safely prune; we can do better").
-	SerialPrune bool
-}
+// Ablations — historically defined here — now lives in internal/run
+// (see run.Ablations); learn/options.go aliases it back into this
+// package.
 
 // RolePreservingAblated is RolePreserving with selected optimizations
-// disabled.
+// disabled: learn.Run(u, o, run.WithAlgorithm(run.RolePreserving),
+// run.WithAblations(ab)).
 func RolePreservingAblated(u boolean.Universe, o oracle.Oracle, ab Ablations) (query.Query, RPStats) {
-	l := &rpLearner{u: u, o: o, ablations: ab}
-	return l.learn()
+	q, s := Run(u, o, run.WithAlgorithm(run.RolePreserving), run.WithAblations(ab))
+	return q, rpStats(s)
 }
 
 type rpLearner struct {

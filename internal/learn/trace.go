@@ -1,42 +1,28 @@
 package learn
 
+// Step and Tracer — the per-question annotation types this file
+// historically defined — now live in internal/run, shared with the
+// verifier; learn/options.go aliases them back into this package. The
+// traced entry points below are thin wrappers over the run engine:
+// learn.Run(u, o, run.WithSteps(trace), ...).
+
 import (
 	"qhorn/internal/boolean"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
+	"qhorn/internal/run"
 )
-
-// Step describes one membership question at the moment it is asked:
-// which phase of the algorithm produced it, what it is for in plain
-// words, and how the user answered. Interactive interfaces show the
-// purpose next to the example so the user understands why she is
-// being asked — the "human-like interaction" the paper's introduction
-// motivates.
-type Step struct {
-	// Phase is the algorithm phase: "heads", "bodies", "existential".
-	Phase string
-	// Purpose explains the question, e.g. "is x3 a universal head
-	// variable?".
-	Purpose string
-	// Question is the membership question asked.
-	Question boolean.Set
-	// Answer is the user's response.
-	Answer bool
-}
-
-// Tracer observes learner questions as they are asked. A nil Tracer
-// is silent. Tracer is the step-level view; Instrumentation carries
-// it alongside span tracing and metrics.
-type Tracer func(Step)
 
 // Qhorn1Traced is Qhorn1 with a tracer receiving every question
 // annotated with its phase and purpose.
 func Qhorn1Traced(u boolean.Universe, o oracle.Oracle, trace Tracer) (query.Query, Qhorn1Stats) {
-	return Qhorn1Observed(u, o, Instrumentation{Steps: trace})
+	q, s := Run(u, o, run.WithSteps(trace))
+	return q, qhorn1Stats(s)
 }
 
 // RolePreservingTraced is RolePreserving with a tracer receiving
 // every question annotated with its phase and purpose.
 func RolePreservingTraced(u boolean.Universe, o oracle.Oracle, trace Tracer) (query.Query, RPStats) {
-	return RolePreservingObserved(u, o, Instrumentation{Steps: trace})
+	q, s := Run(u, o, run.WithAlgorithm(run.RolePreserving), run.WithSteps(trace))
+	return q, rpStats(s)
 }

@@ -31,6 +31,7 @@ import (
 	"qhorn/internal/learn"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
+	"qhorn/internal/run"
 	"qhorn/internal/verify"
 )
 
@@ -65,9 +66,13 @@ func Revise(given query.Query, o oracle.Oracle) (Result, error) {
 	u := given.U
 
 	// Memoize so questions repeated across passes are counted once
-	// and never re-asked of the user.
+	// and never re-asked of the user. The memo comes from the engine's
+	// wrapper assembly; the counter deliberately sits below it — it
+	// counts what actually reaches the user, not what the passes ask —
+	// which is the inverse of the engine's run-facing Counter, so it is
+	// not a run.WithCounter.
 	counter := oracle.Count(o)
-	memo := oracle.Memo(counter)
+	memo := run.New(run.WithMemo()).Assemble(counter).Oracle
 
 	current := given.Normalize()
 	vres, err := runVerification(current, memo)

@@ -10,6 +10,13 @@
 // a run, Entries exposes the history, Amend flips a recorded
 // response, and the next run replays amended history before asking
 // the live oracle anything new.
+//
+// A Session is NOT concurrency-safe: its history maps serialize the
+// amendment protocol, so it must never sit inside a worker pool
+// (run.WithParallel). Engine runs over a session use run.WithBatch
+// instead — the batch structure degrades to serial asking with
+// identical questions and counts (see docs/ENGINE.md and the
+// qhorndp serial-fallback notice).
 package session
 
 import (

@@ -1,0 +1,196 @@
+package verify
+
+// The verify half of the options-matrix differential test: the same
+// verification set runs through every engine option combination and
+// every legacy entry point, and all of them must reproduce the plain
+// serial run — the same verdict, the same question count, the same
+// disagreement list, and the same user-facing question transcript in
+// set order (docs/ENGINE.md).
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/obs"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+	"qhorn/internal/run"
+)
+
+// verifyMatrixCases pairs a given query with an oracle-backing hidden
+// query: one equivalent (clean verdict) and one different (a
+// disagreement to find).
+func verifyMatrixCases(t *testing.T) []struct {
+	name          string
+	given, hidden query.Query
+} {
+	t.Helper()
+	u := boolean.MustUniverse(4)
+	good := query.MustParse(u, "∀x1 → x2 ∃x3")
+	bad := query.MustParse(u, "∀x1 → x3 ∃x3")
+	return []struct {
+		name          string
+		given, hidden query.Query
+	}{
+		{"equivalent", good, good},
+		{"different", good, bad},
+	}
+}
+
+func transcriptOf(rec *oracle.Transcript) []string {
+	var out []string
+	for _, e := range rec.Copy() {
+		out = append(out, fmt.Sprintf("%s=%v", e.Question.Key(), e.Answer))
+	}
+	return out
+}
+
+func sameResult(t *testing.T, label string, ref, got Result) {
+	t.Helper()
+	if got.Correct != ref.Correct || got.QuestionsAsked != ref.QuestionsAsked {
+		t.Errorf("%s: (correct=%v, %d questions) differs from serial (correct=%v, %d questions)",
+			label, got.Correct, got.QuestionsAsked, ref.Correct, ref.QuestionsAsked)
+		return
+	}
+	if len(got.Disagreements) != len(ref.Disagreements) {
+		t.Errorf("%s: %d disagreements vs %d serial", label, len(got.Disagreements), len(ref.Disagreements))
+		return
+	}
+	for i := range ref.Disagreements {
+		if got.Disagreements[i].Question.Set.Key() != ref.Disagreements[i].Question.Set.Key() {
+			t.Errorf("%s: disagreement %d differs from serial", label, i)
+			return
+		}
+	}
+}
+
+func sameTranscript(t *testing.T, label string, ref, got []string, sorted bool) {
+	t.Helper()
+	if sorted {
+		ref, got = append([]string(nil), ref...), append([]string(nil), got...)
+		sort.Strings(ref)
+		sort.Strings(got)
+	}
+	if len(ref) != len(got) {
+		t.Errorf("%s: %d questions vs %d serial", label, len(got), len(ref))
+		return
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Errorf("%s: question %d is %s, serial asked %s", label, i, got[i], ref[i])
+			return
+		}
+	}
+}
+
+// TestVerifyOptionsMatrix: every option combination reproduces the
+// serial run on both the clean and the disagreeing case. The
+// verification set has a fixed question order, and the run-facing
+// accounting preserves it in every mode; the user-side transcript
+// below a worker pool records in completion order, so the pooled
+// combinations compare it as a multiset.
+func TestVerifyOptionsMatrix(t *testing.T) {
+	for _, tc := range verifyMatrixCases(t) {
+		vs, err := Build(tc.given)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect := func(opts ...run.Option) ([]string, Result) {
+			rec := oracle.Record(oracle.Target(tc.hidden))
+			res := vs.RunWith(rec, opts...)
+			return transcriptOf(rec), res
+		}
+		var refTr []string
+		var refRes Result
+		{
+			rec := oracle.Record(oracle.Target(tc.hidden))
+			refRes = vs.Run(rec)
+			refTr = transcriptOf(rec)
+		}
+		combos := []struct {
+			name   string
+			opts   []run.Option
+			sorted bool
+		}{
+			{name: "plain"},
+			{name: "batch", opts: []run.Option{run.WithBatch()}},
+			{name: "parallel-2", opts: []run.Option{run.WithParallel(2)}, sorted: true},
+			{name: "parallel-8", opts: []run.Option{run.WithParallel(8)}, sorted: true},
+			{name: "budget", opts: []run.Option{run.WithBudget(refRes.QuestionsAsked)}},
+			{name: "memo", opts: []run.Option{run.WithMemo()}},
+			{name: "counter", opts: []run.Option{run.WithCounter()}},
+			{name: "steps", opts: []run.Option{run.WithSteps(func(run.Step) {})}},
+			{name: "observed", opts: []run.Option{run.WithInstrumentation(Instrumentation{
+				Spans:   obs.NewTracer(obs.NewTreeSink()),
+				Metrics: obs.NewRegistry(),
+			})}},
+		}
+		for _, combo := range combos {
+			label := tc.name + " " + combo.name
+			tr, res := collect(combo.opts...)
+			sameResult(t, label, refRes, res)
+			sameTranscript(t, label, refTr, tr, combo.sorted)
+		}
+	}
+}
+
+// TestVerifyLegacyEntryPointsPinned: the named entry points reproduce
+// the engine run their documentation promises.
+func TestVerifyLegacyEntryPointsPinned(t *testing.T) {
+	for _, tc := range verifyMatrixCases(t) {
+		vs, err := Build(tc.given)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ask := func() oracle.Oracle { return oracle.Target(tc.hidden) }
+		ref := vs.Run(ask())
+		tracer := obs.NewTracer(obs.NewTreeSink())
+		reg := obs.NewRegistry()
+		for _, v := range []struct {
+			name string
+			got  Result
+		}{
+			{"RunParallel", vs.RunParallel(ask())},
+			{"RunObserved", vs.RunObserved(ask(), tracer, reg)},
+			{"RunParallelObserved", vs.RunParallelObserved(ask(), tracer, reg)},
+			{"RunWith-zero", vs.RunWith(ask())},
+		} {
+			sameResult(t, tc.name+" "+v.name, ref, v.got)
+		}
+		if res, err := Verify(tc.given, ask()); err != nil {
+			t.Errorf("%s Verify: %v", tc.name, err)
+		} else {
+			sameResult(t, tc.name+" Verify", ref, res)
+		}
+		if res, err := VerifyObserved(tc.given, ask(), Instrumentation{Spans: tracer, Metrics: reg}); err != nil {
+			t.Errorf("%s VerifyObserved: %v", tc.name, err)
+		} else {
+			sameResult(t, tc.name+" VerifyObserved", ref, res)
+		}
+		if res, err := VerifyParallel(tc.given, ask()); err != nil {
+			t.Errorf("%s VerifyParallel: %v", tc.name, err)
+		} else {
+			sameResult(t, tc.name+" VerifyParallel", ref, res)
+		}
+		if res, err := Run(tc.given, ask()); err != nil {
+			t.Errorf("%s Run: %v", tc.name, err)
+		} else {
+			sameResult(t, tc.name+" Run", ref, res)
+		}
+
+		// RunUntilFirst pins to the engine's first-disagreement mode.
+		first := vs.RunUntilFirst(ask())
+		withFirst := vs.RunWith(ask(), run.WithFirstDisagreement())
+		sameResult(t, tc.name+" RunUntilFirst", withFirst, first)
+		if !ref.Correct && first.QuestionsAsked >= ref.QuestionsAsked && len(vs.Questions) > 1 {
+			// A wrong query with a mid-set disagreement must stop early.
+			if first.QuestionsAsked == ref.QuestionsAsked && len(first.Disagreements) > 0 &&
+				first.Disagreements[0].Question.Set.Key() != vs.Questions[len(vs.Questions)-1].Set.Key() {
+				t.Errorf("%s: RunUntilFirst asked the full set (%d questions) past the first disagreement",
+					tc.name, first.QuestionsAsked)
+			}
+		}
+	}
+}

@@ -6,49 +6,28 @@ import (
 	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
+	"qhorn/internal/run"
 )
 
 // RunObserved is Run with observability: one root "verify" span, one
 // child span per question named after its family ("verify/A1" …
 // "verify/N2"), and kind-labeled question/disagreement counters. Both
-// tr and reg may be nil (independently); nil hooks are silent.
+// tr and reg may be nil (independently); nil hooks are silent. Thin
+// wrapper over the engine core — equivalent to
+// vs.RunWith(o, run.WithInstrumentation(Instrumentation{Spans: tr,
+// Metrics: reg})).
 func (vs Set) RunObserved(o oracle.Oracle, tr *obs.Tracer, reg *obs.Registry) Result {
-	root := tr.StartSpan("verify",
-		obs.A("query", vs.Query.String()),
-		obs.Af("questions", "%d", len(vs.Questions)))
-	defer root.End()
-
-	res := Result{Correct: true, QuestionsAsked: len(vs.Questions)}
-	for _, q := range vs.Questions {
-		sp := root.StartChild("verify/"+string(q.Kind),
-			obs.A("about", q.About),
-			obs.Af("expect", "%v", q.Expect))
-		got := o.Ask(q.Set)
-		if reg != nil {
-			reg.Counter(obs.MetricVerifyQuestions, "kind", string(q.Kind)).Inc()
-		}
-		if got != q.Expect {
-			res.Correct = false
-			res.Disagreements = append(res.Disagreements, Disagreement{Question: q, Got: got})
-			sp.Event("disagreement",
-				obs.A("about", q.About),
-				obs.Af("expect", "%v", q.Expect),
-				obs.Af("got", "%v", got))
-			if reg != nil {
-				reg.Counter(obs.MetricVerifyDisagreements, "kind", string(q.Kind)).Inc()
-			}
-		}
-		sp.End()
-	}
-	root.Annotate(obs.Af("correct", "%v", res.Correct))
-	return res
+	return vs.runConfigured(o, run.Config{Ins: Instrumentation{Spans: tr, Metrics: reg}})
 }
 
 // VerifyObserved is Verify with observability (see Set.RunObserved).
-func VerifyObserved(qg query.Query, o oracle.Oracle, tr *obs.Tracer, reg *obs.Registry) (Result, error) {
+// The hooks arrive as the engine's shared Instrumentation struct — the
+// same type the learners take — so one instrumentation value threads
+// through learning and verification alike.
+func VerifyObserved(qg query.Query, o oracle.Oracle, ins Instrumentation) (Result, error) {
 	vs, err := Build(qg)
 	if err != nil {
 		return Result{}, fmt.Errorf("verify: %w", err)
 	}
-	return vs.RunObserved(o, tr, reg), nil
+	return vs.runConfigured(o, run.Config{Ins: ins}), nil
 }

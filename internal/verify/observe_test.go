@@ -77,7 +77,7 @@ func TestRunObservedCountsDisagreements(t *testing.T) {
 func TestRunObservedNilHooks(t *testing.T) {
 	u := boolean.MustUniverse(3)
 	qg := query.MustParse(u, "∀x1 → x2 ∃x3")
-	res, err := verify.VerifyObserved(qg, oracle.Target(qg), nil, nil)
+	res, err := verify.VerifyObserved(qg, oracle.Target(qg), verify.Instrumentation{})
 	if err != nil || !res.Correct {
 		t.Fatalf("nil hooks broke verification: %v %+v", err, res)
 	}

@@ -1,0 +1,149 @@
+package verify
+
+// This file is the verifier's face of the composable run engine
+// (internal/run, docs/ENGINE.md): the option-driven entry points, the
+// shared Instrumentation alias, and the one configured core that every
+// exported Run* variant delegates to. The legacy entry points — Run,
+// RunObserved, RunParallel, RunParallelObserved, RunUntilFirst — are
+// thin wrappers fixing one Config each; their behavior (questions,
+// spans, counters, results) is pinned bit-identical by the options
+// matrix tests.
+
+import (
+	"qhorn/internal/obs"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+	"qhorn/internal/run"
+)
+
+// Instrumentation bundles the observability hooks of a verification
+// run. It is the engine's shared instrumentation type — the same value
+// threads through learning (learn.Instrumentation) and verification.
+type Instrumentation = run.Instrumentation
+
+// Run builds the verification set of qg and runs it against o under
+// the given engine options: run.WithInstrumentation for spans and
+// metrics, run.WithSteps for per-question steps, run.WithParallel or
+// run.WithBatch for batched asking, run.WithFirstDisagreement to stop
+// at the first disagreement, and the oracle wrapper options
+// (run.WithBudget, run.WithMemo, …) for the question stack.
+func Run(qg query.Query, o oracle.Oracle, opts ...run.Option) (Result, error) {
+	vs, err := Build(qg)
+	if err != nil {
+		return Result{}, err
+	}
+	return vs.RunWith(o, opts...), nil
+}
+
+// RunWith runs an already-built verification set under engine options
+// (see Run). The oracle wrapper stack is assembled by the engine; the
+// set is asked exactly once, in its deterministic order.
+func (vs Set) RunWith(o oracle.Oracle, opts ...run.Option) Result {
+	cfg := run.New(opts...)
+	st := cfg.Assemble(o)
+	return vs.runConfigured(st.Oracle, cfg)
+}
+
+// runConfigured is the single verification core. Every exported run
+// variant is a fixed Config over this one path:
+//
+//	Run                  → Config{}
+//	RunObserved          → Config{Ins: {Spans, Metrics}}
+//	RunParallel          → Config{Batch: true}
+//	RunParallelObserved  → Config{Batch: true, Ins: {Spans, Metrics}}
+//	RunUntilFirst        → Config{FirstOnly: true}
+//
+// In batch mode the whole set is answered first (the questions are
+// mutually independent), then spans, steps and counters are emitted in
+// set order from the calling goroutine; serial mode opens each
+// question's span before asking, so span durations cover the ask.
+func (vs Set) runConfigured(o oracle.Oracle, cfg run.Config) Result {
+	if cfg.FirstOnly {
+		return vs.runFirst(o, cfg)
+	}
+	attrs := []obs.Attr{
+		obs.A("query", vs.Query.String()),
+		obs.Af("questions", "%d", len(vs.Questions)),
+	}
+	if cfg.Batch {
+		attrs = append(attrs, obs.A("mode", "parallel"))
+	}
+	root := cfg.Ins.Spans.StartSpan("verify", attrs...)
+	defer root.End()
+
+	var answers []bool
+	if cfg.Batch {
+		answers = oracle.AskAll(o, vs.questions())
+	}
+	res := Result{Correct: true, QuestionsAsked: len(vs.Questions)}
+	for i, q := range vs.Questions {
+		sp := root.StartChild("verify/"+string(q.Kind),
+			obs.A("about", q.About),
+			obs.Af("expect", "%v", q.Expect))
+		var got bool
+		if cfg.Batch {
+			got = answers[i]
+		} else {
+			got = o.Ask(q.Set)
+		}
+		vs.observe(cfg, q, got, &res, sp)
+		sp.End()
+	}
+	root.Annotate(obs.Af("correct", "%v", res.Correct))
+	return res
+}
+
+// runFirst is the FirstOnly core: questions are asked serially only
+// until the first disagreement, and QuestionsAsked reflects the
+// questions actually posed. Batch mode is ignored — stopping early is
+// the point.
+func (vs Set) runFirst(o oracle.Oracle, cfg run.Config) Result {
+	root := cfg.Ins.Spans.StartSpan("verify",
+		obs.A("query", vs.Query.String()),
+		obs.Af("questions", "%d", len(vs.Questions)),
+		obs.A("mode", "first"))
+	defer root.End()
+
+	res := Result{Correct: true}
+	for _, q := range vs.Questions {
+		res.QuestionsAsked++
+		sp := root.StartChild("verify/"+string(q.Kind),
+			obs.A("about", q.About),
+			obs.Af("expect", "%v", q.Expect))
+		got := o.Ask(q.Set)
+		vs.observe(cfg, q, got, &res, sp)
+		sp.End()
+		if !res.Correct {
+			break
+		}
+	}
+	root.Annotate(obs.Af("correct", "%v", res.Correct))
+	return res
+}
+
+// observe records one answered question: the step, the kind-labeled
+// counters, and — on disagreement — the result entry and span event.
+func (vs Set) observe(cfg run.Config, q Question, got bool, res *Result, sp *obs.Span) {
+	if cfg.Ins.Steps != nil {
+		cfg.Ins.Steps(run.Step{
+			Phase:    "verify/" + string(q.Kind),
+			Purpose:  q.About,
+			Question: q.Set,
+			Answer:   got,
+		})
+	}
+	if cfg.Ins.Metrics != nil {
+		cfg.Ins.Metrics.Counter(obs.MetricVerifyQuestions, "kind", string(q.Kind)).Inc()
+	}
+	if got != q.Expect {
+		res.Correct = false
+		res.Disagreements = append(res.Disagreements, Disagreement{Question: q, Got: got})
+		sp.Event("disagreement",
+			obs.A("about", q.About),
+			obs.Af("expect", "%v", q.Expect),
+			obs.Af("got", "%v", got))
+		if cfg.Ins.Metrics != nil {
+			cfg.Ins.Metrics.Counter(obs.MetricVerifyDisagreements, "kind", string(q.Kind)).Inc()
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
+	"qhorn/internal/run"
 )
 
 // questions collects the membership questions of the set in its
@@ -26,17 +27,10 @@ func (vs Set) questions() []boolean.Set {
 // e.g. oracle.Parallel around a simulated user — answers them
 // concurrently. The result is identical to Run's: same questions,
 // same QuestionsAsked, and disagreements in the set's deterministic
-// order regardless of answer arrival order.
+// order regardless of answer arrival order. Thin wrapper over the
+// engine core — equivalent to vs.RunWith(o, run.WithBatch()).
 func (vs Set) RunParallel(o oracle.Oracle) Result {
-	answers := oracle.AskAll(o, vs.questions())
-	res := Result{Correct: true, QuestionsAsked: len(vs.Questions)}
-	for i, q := range vs.Questions {
-		if answers[i] != q.Expect {
-			res.Correct = false
-			res.Disagreements = append(res.Disagreements, Disagreement{Question: q, Got: answers[i]})
-		}
-	}
-	return res
+	return vs.runConfigured(o, run.Config{Batch: true})
 }
 
 // RunParallelObserved is RunParallel with observability: the batch is
@@ -45,39 +39,10 @@ func (vs Set) RunParallel(o oracle.Oracle) Result {
 // calling goroutine, exactly as RunObserved emits them. Spans carry a
 // "mode: parallel" attribute so traces distinguish batched runs; the
 // per-question span durations are not meaningful in this mode (the
-// answers arrived before the spans opened).
+// answers arrived before the spans opened). Thin wrapper over the
+// engine core.
 func (vs Set) RunParallelObserved(o oracle.Oracle, tr *obs.Tracer, reg *obs.Registry) Result {
-	root := tr.StartSpan("verify",
-		obs.A("query", vs.Query.String()),
-		obs.Af("questions", "%d", len(vs.Questions)),
-		obs.A("mode", "parallel"))
-	defer root.End()
-
-	answers := oracle.AskAll(o, vs.questions())
-	res := Result{Correct: true, QuestionsAsked: len(vs.Questions)}
-	for i, q := range vs.Questions {
-		got := answers[i]
-		sp := root.StartChild("verify/"+string(q.Kind),
-			obs.A("about", q.About),
-			obs.Af("expect", "%v", q.Expect))
-		if reg != nil {
-			reg.Counter(obs.MetricVerifyQuestions, "kind", string(q.Kind)).Inc()
-		}
-		if got != q.Expect {
-			res.Correct = false
-			res.Disagreements = append(res.Disagreements, Disagreement{Question: q, Got: got})
-			sp.Event("disagreement",
-				obs.A("about", q.About),
-				obs.Af("expect", "%v", q.Expect),
-				obs.Af("got", "%v", got))
-			if reg != nil {
-				reg.Counter(obs.MetricVerifyDisagreements, "kind", string(q.Kind)).Inc()
-			}
-		}
-		sp.End()
-	}
-	root.Annotate(obs.Af("correct", "%v", res.Correct))
-	return res
+	return vs.runConfigured(o, run.Config{Batch: true, Ins: Instrumentation{Spans: tr, Metrics: reg}})
 }
 
 // VerifyParallel is Verify with the verification set run as one batch

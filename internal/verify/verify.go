@@ -14,6 +14,7 @@ import (
 	"qhorn/internal/boolean"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
+	"qhorn/internal/run"
 )
 
 // Kind identifies the question family of Fig. 6.
@@ -264,34 +265,20 @@ func Verify(qg query.Query, o oracle.Oracle) (Result, error) {
 	return vs.Run(o), nil
 }
 
-// Run asks every question of the set and collects disagreements.
+// Run asks every question of the set and collects disagreements. It is
+// a thin wrapper over the run engine's configured core (options.go)
+// with a zero configuration: serial, silent, full set.
 func (vs Set) Run(o oracle.Oracle) Result {
-	res := Result{Correct: true, QuestionsAsked: len(vs.Questions)}
-	for _, q := range vs.Questions {
-		got := o.Ask(q.Set)
-		if got != q.Expect {
-			res.Correct = false
-			res.Disagreements = append(res.Disagreements, Disagreement{Question: q, Got: got})
-		}
-	}
-	return res
+	return vs.runConfigured(o, run.Config{})
 }
 
 // RunUntilFirst asks questions only until the first disagreement —
 // the cheap interactive mode when a yes/no verdict is all that is
-// needed. QuestionsAsked reflects the questions actually posed.
+// needed. QuestionsAsked reflects the questions actually posed. Thin
+// wrapper over the engine core with FirstOnly set (the
+// run.WithFirstDisagreement option).
 func (vs Set) RunUntilFirst(o oracle.Oracle) Result {
-	res := Result{Correct: true}
-	for _, q := range vs.Questions {
-		res.QuestionsAsked++
-		got := o.Ask(q.Set)
-		if got != q.Expect {
-			res.Correct = false
-			res.Disagreements = []Disagreement{{Question: q, Got: got}}
-			return res
-		}
-	}
-	return res
+	return vs.runConfigured(o, run.Config{FirstOnly: true})
 }
 
 // SelfConsistent reports whether the given query classifies every

@@ -49,6 +49,7 @@ import (
 	"qhorn/internal/pac"
 	"qhorn/internal/query"
 	"qhorn/internal/revise"
+	"qhorn/internal/run"
 	"qhorn/internal/session"
 	"qhorn/internal/verify"
 )
@@ -316,10 +317,12 @@ func LearnRolePreservingObserved(u Universe, o Oracle, ins Instrumentation) (Que
 	return learn.RolePreservingObserved(u, o, ins)
 }
 
-// VerifyObserved is Verify with span tracing and metrics; tr and reg
-// may each be nil.
-func VerifyObserved(q Query, o Oracle, tr *SpanTracer, reg *MetricsRegistry) (VerificationResult, error) {
-	return verify.VerifyObserved(q, o, tr, reg)
+// VerifyObserved is Verify with observability hooks — the same
+// Instrumentation struct the learners take, so one instrumentation
+// value threads through learning and verification. Any subset of the
+// hooks may be unset.
+func VerifyObserved(q Query, o Oracle, ins Instrumentation) (VerificationResult, error) {
+	return verify.VerifyObserved(q, o, ins)
 }
 
 // CountingOracleInto is CountingOracle additionally mirroring its
@@ -393,3 +396,93 @@ func Classify(q Query) query.ClassReport { return q.Classify() }
 
 // ClassReport is the result of Classify.
 type ClassReport = query.ClassReport
+
+// The composable run engine (docs/ENGINE.md): Learn and VerifyQ are
+// the option-driven entry points every named variant above delegates
+// to. One call site composes the algorithm, the observability hooks,
+// the batching strategy and the oracle wrapper stack instead of
+// picking from a matrix of exported variants:
+//
+//	q, stats := qhorn.Learn(u, user,
+//	    qhorn.WithAlgorithm(qhorn.AlgorithmRolePreserving),
+//	    qhorn.WithParallel(8),
+//	    qhorn.WithInstrumentation(ins))
+type (
+	// RunOption configures one dimension of a learning or
+	// verification run.
+	RunOption = run.Option
+	// RunStats is the engine's unified per-phase question counts; the
+	// qhorn-1 body phase and the role-preserving universal phase both
+	// land in BodyQuestions.
+	RunStats = run.Stats
+	// Algorithm selects the learning algorithm of a run.
+	Algorithm = run.Algorithm
+	// Ablations disables individual role-preserving optimizations.
+	Ablations = learn.Ablations
+)
+
+// The two exactly-learnable classes, as engine algorithms.
+const (
+	// AlgorithmQhorn1 learns qhorn-1 queries (§3.1).
+	AlgorithmQhorn1 = run.Qhorn1
+	// AlgorithmRolePreserving learns role-preserving qhorn queries
+	// (§3.2).
+	AlgorithmRolePreserving = run.RolePreserving
+)
+
+// ParseAlgorithm reads the CLI spelling of an algorithm ("qhorn1" or
+// "rp").
+func ParseAlgorithm(s string) (Algorithm, error) { return run.ParseAlgorithm(s) }
+
+// Learn learns a query exactly under the given engine options
+// (default: qhorn-1, serial, silent). Every LearnXxx variant above is
+// a fixed option set over this call.
+func Learn(u Universe, o Oracle, opts ...RunOption) (Query, RunStats) {
+	return learn.Run(u, o, opts...)
+}
+
+// VerifyQ verifies q against the user under the given engine options
+// (default: serial, silent, full set). Verify, VerifyObserved and
+// VerifyParallel are fixed option sets over this call.
+func VerifyQ(q Query, o Oracle, opts ...RunOption) (VerificationResult, error) {
+	return verify.Run(q, o, opts...)
+}
+
+// WithAlgorithm selects the learning algorithm.
+func WithAlgorithm(a Algorithm) RunOption { return run.WithAlgorithm(a) }
+
+// WithNaiveSearch selects the qhorn-1 one-question-per-variable
+// baseline of §3.1.2.
+func WithNaiveSearch() RunOption { return run.WithNaiveSearch() }
+
+// WithAblations disables selected role-preserving optimizations.
+func WithAblations(ab Ablations) RunOption { return run.WithAblations(ab) }
+
+// WithSteps adds a per-question step tracer to the run.
+func WithSteps(t Tracer) RunOption { return run.WithSteps(t) }
+
+// WithInstrumentation overlays the non-nil hooks of ins onto the
+// run's instrumentation.
+func WithInstrumentation(ins Instrumentation) RunOption { return run.WithInstrumentation(ins) }
+
+// WithParallel answers independent question batches with n concurrent
+// workers (the engine assembles the worker pool).
+func WithParallel(n int) RunOption { return run.WithParallel(n) }
+
+// WithBatch selects the batch question structure without wrapping a
+// pool — bring your own BatchOracle, or accept serial degradation.
+func WithBatch() RunOption { return run.WithBatch() }
+
+// WithBudget caps the questions reaching the user at limit.
+func WithBudget(limit int) RunOption { return run.WithBudget(limit) }
+
+// WithMemo deduplicates repeated questions before they reach the
+// user.
+func WithMemo() RunOption { return run.WithMemo() }
+
+// WithNoise flips each of the user's answers with probability p.
+func WithNoise(p float64, rng *rand.Rand) RunOption { return run.WithNoise(p, rng) }
+
+// WithFirstDisagreement stops a verification run at the first
+// disagreement.
+func WithFirstDisagreement() RunOption { return run.WithFirstDisagreement() }

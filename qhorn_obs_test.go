@@ -48,18 +48,21 @@ func TestVerifyObservedThroughFacade(t *testing.T) {
 	u := qhorn.MustUniverse(5)
 	q := qhorn.MustParseQuery(u, "∀x1 → x2 ∃x3x4 ∃x5")
 	reg := qhorn.NewMetricsRegistry()
-	res, err := qhorn.VerifyObserved(q, qhorn.TargetOracle(q), qhorn.NewSpanTracer(qhorn.NewTreeSink()), reg)
+	res, err := qhorn.VerifyObserved(q, qhorn.TargetOracle(q), qhorn.Instrumentation{
+		Spans:   qhorn.NewSpanTracer(qhorn.NewTreeSink()),
+		Metrics: reg,
+	})
 	if err != nil || !res.Correct {
 		t.Fatalf("self-verify: correct=%v err=%v", res.Correct, err)
 	}
 	if got := reg.SumCounter("qhorn_verify_questions_total"); got != int64(res.QuestionsAsked) {
 		t.Errorf("metrics counted %d verify questions, result says %d", got, res.QuestionsAsked)
 	}
-	if res, err := qhorn.VerifyObserved(q, qhorn.TargetOracle(q), nil, nil); err != nil || !res.Correct {
+	if res, err := qhorn.VerifyObserved(q, qhorn.TargetOracle(q), qhorn.Instrumentation{}); err != nil || !res.Correct {
 		t.Errorf("nil hooks: correct=%v err=%v", res.Correct, err)
 	}
 	wrong := qhorn.MustParseQuery(u, "∀x1 → x3 ∃x5")
-	if res, err := qhorn.VerifyObserved(wrong, qhorn.TargetOracle(q), nil, reg); err != nil || res.Correct {
+	if res, err := qhorn.VerifyObserved(wrong, qhorn.TargetOracle(q), qhorn.Instrumentation{Metrics: reg}); err != nil || res.Correct {
 		t.Errorf("wrong query verified: correct=%v err=%v", res.Correct, err)
 	}
 }
