@@ -20,6 +20,7 @@ import (
 	"qhorn/internal/pac"
 	"qhorn/internal/query"
 	"qhorn/internal/revise"
+	"qhorn/internal/run"
 	"qhorn/internal/session"
 	"qhorn/internal/verify"
 )
@@ -536,4 +537,118 @@ func BenchmarkExecuteIndexedVsDirect(b *testing.B) {
 			}
 		}
 	})
+}
+
+// sessionQuestions records the membership questions one qhorn1
+// learning session asks its simulated user at n variables — the
+// evaluation workload the compiled kernel exists for: every question
+// of every simulated session passes through Target's evaluator.
+func sessionQuestions(n int) (query.Query, []boolean.Set) {
+	u := boolean.MustUniverse(n)
+	target := query.GenQhorn1(rand.New(rand.NewSource(7)), n)
+	tr := oracle.Record(oracle.Target(target))
+	learn.Run(u, tr, run.WithAlgorithm(run.Qhorn1))
+	qs := make([]boolean.Set, len(tr.Entries))
+	for i, e := range tr.Entries {
+		qs[i] = e.Question
+	}
+	return target, qs
+}
+
+// BenchmarkEvalInterpreted replays a recorded qhorn1 session's
+// questions (n=24) through the tree-walking Query.Eval — the
+// before side of the kernel comparison.
+func BenchmarkEvalInterpreted(b *testing.B) {
+	target, qs := sessionQuestions(24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range qs {
+			target.Eval(s)
+		}
+	}
+	b.ReportMetric(float64(len(qs)), "questions/op")
+}
+
+// BenchmarkEvalCompiled replays the identical question workload
+// through the compiled kernel. The CI bench-smoke job compares the two
+// benchmarks; the kernel must be at least 2× faster and
+// allocation-free (also gated by TestCompiledEvalZeroAllocs).
+func BenchmarkEvalCompiled(b *testing.B) {
+	target, qs := sessionQuestions(24)
+	c := query.Compile(target)
+	for _, s := range qs {
+		if c.Eval(s) != target.Eval(s) {
+			b.Fatal("compiled kernel disagrees with interpreter on a session question")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range qs {
+			c.Eval(s)
+		}
+	}
+	b.ReportMetric(float64(len(qs)), "questions/op")
+}
+
+// bruteBenchFixture is the E2-size harness the brute benchmarks share:
+// the full candidate space over n=3 and the exhaustive question pool.
+func bruteBenchFixture() (candidates []query.Query, pool []boolean.Set, targets []query.Query) {
+	u := boolean.MustUniverse(3)
+	candidates = query.AllQueries(u)
+	pool = boolean.AllObjects(u)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 8; i++ {
+		targets = append(targets, candidates[rng.Intn(len(candidates))])
+	}
+	return candidates, pool, targets
+}
+
+// BenchmarkBruteLearnGreedySerial is the direct-evaluation baseline:
+// every step re-evaluates each remaining candidate on each unused pool
+// question through the interpreter.
+func BenchmarkBruteLearnGreedySerial(b *testing.B) {
+	candidates, pool, targets := bruteBenchFixture()
+	questions := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := brute.LearnGreedySerial(candidates, oracle.Target(targets[i%len(targets)]), pool)
+		if err != nil {
+			b.Fatal(err)
+		}
+		questions = res.Questions
+	}
+	b.ReportMetric(float64(questions), "questions/op")
+}
+
+// BenchmarkBruteLearnMatrix runs the same greedy learns over the bitset
+// answer matrix, built once and reused across runs — the designed usage
+// for experiments sweeping many targets over one candidate set. Must be
+// ≥5× faster than BenchmarkBruteLearnGreedySerial while asking exactly
+// the same questions (TestMatrixBitIdentical pins the identity).
+func BenchmarkBruteLearnMatrix(b *testing.B) {
+	candidates, pool, targets := bruteBenchFixture()
+	m := brute.NewMatrix(candidates, pool, 0)
+	questions := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.LearnGreedy(oracle.Target(targets[i%len(targets)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		questions = res.Questions
+	}
+	b.ReportMetric(float64(questions), "questions/op")
+}
+
+// BenchmarkBruteMatrixBuild prices the one-time matrix construction the
+// reuse pattern amortises: |candidates|·|pool| compiled evaluations
+// fanned across the worker pool.
+func BenchmarkBruteMatrixBuild(b *testing.B) {
+	candidates, pool, _ := bruteBenchFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		brute.NewMatrix(candidates, pool, 0)
+	}
 }

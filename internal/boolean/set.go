@@ -1,9 +1,10 @@
 package boolean
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Set is a set of Boolean tuples: the Boolean-domain image of an
@@ -15,6 +16,17 @@ import (
 // NewSet or the mutating helpers; do not sort or append by hand.
 type Set struct {
 	tuples []Tuple
+	// kc caches the canonical Key, computed at most once per
+	// constructed set and shared by every copy of the value — the
+	// memo-oracle hot path asks the same question sets repeatedly. A
+	// nil cache (the zero-value empty set) computes the key directly.
+	kc *keyCache
+}
+
+// keyCache holds the lazily built canonical key of one set.
+type keyCache struct {
+	once sync.Once
+	key  string
 }
 
 // NewSet builds a canonical set from the given tuples, deduplicating
@@ -32,7 +44,7 @@ func NewSet(tuples ...Tuple) Set {
 			out = append(out, t)
 		}
 	}
-	return Set{tuples: out}
+	return Set{tuples: out, kc: &keyCache{}}
 }
 
 // Size returns the number of distinct tuples in the set. The paper
@@ -72,7 +84,7 @@ func (s Set) Without(t Tuple) Set {
 			out = append(out, u)
 		}
 	}
-	return Set{tuples: out}
+	return Set{tuples: out, kc: &keyCache{}}
 }
 
 // Union returns the union of s and other.
@@ -113,17 +125,33 @@ func (s Set) AnyContains(conj Tuple) bool {
 
 // Key returns a canonical comparable key for the set, usable as a map
 // key when memoizing oracle answers. The encoding is the sorted tuple
-// list, which is unique per set.
+// list in lowercase hex, which is unique per set. The key is built at
+// most once per constructed set — every value copy shares the cache —
+// so repeated memo-oracle lookups on the same question pay only the
+// first encoding.
 func (s Set) Key() string {
-	var b strings.Builder
-	b.Grow(len(s.tuples) * 17)
-	for i, t := range s.tuples {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, "%x", uint64(t))
+	if s.kc == nil {
+		// Zero-value (empty) or hand-literal set: no cache to fill.
+		return buildKey(s.tuples)
 	}
-	return b.String()
+	s.kc.once.Do(func() { s.kc.key = buildKey(s.tuples) })
+	return s.kc.key
+}
+
+// buildKey encodes the sorted tuple list as comma-separated lowercase
+// hex, matching fmt's %x for each uint64 but without the fmt machinery.
+func buildKey(tuples []Tuple) string {
+	if len(tuples) == 0 {
+		return ""
+	}
+	buf := make([]byte, 0, len(tuples)*17)
+	for i, t := range tuples {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendUint(buf, uint64(t), 16)
+	}
+	return string(buf)
 }
 
 // Format renders the set in the paper's notation over universe u, e.g.

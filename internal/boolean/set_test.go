@@ -1,7 +1,9 @@
 package boolean
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -177,5 +179,101 @@ func TestAllTuples(t *testing.T) {
 		if tp != Tuple(i) {
 			t.Fatalf("AllTuples[%d] = %v", i, tp)
 		}
+	}
+}
+
+// TestSetKeyEncoding pins the key encoding to what the old fmt-based
+// builder produced: comma-separated lowercase hex of the sorted tuples.
+// Session persistence files store keys, so the encoding is a contract.
+func TestSetKeyEncoding(t *testing.T) {
+	s := NewSet(Tuple(0), Tuple(10), Tuple(255), Tuple(1<<40))
+	want := fmt.Sprintf("%x,%x,%x,%x", 0, 10, 255, uint64(1)<<40)
+	if got := s.Key(); got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+	if got := (Set{}).Key(); got != "" {
+		t.Fatalf("zero-value Key() = %q, want empty", got)
+	}
+	if got := NewSet().Key(); got != "" {
+		t.Fatalf("NewSet().Key() = %q, want empty", got)
+	}
+}
+
+// TestSetKeyCached: every copy of a constructed set shares the cached
+// key, and derived sets (With/Without/Union) carry independent caches
+// that do not corrupt the original's.
+func TestSetKeyCached(t *testing.T) {
+	s := NewSet(Tuple(3), Tuple(9))
+	k := s.Key()
+	cp := s
+	if cp.Key() != k {
+		t.Fatal("copy disagrees with original key")
+	}
+	grown := s.With(Tuple(1))
+	if grown.Key() == k {
+		t.Fatal("With returned the parent's key")
+	}
+	shrunk := grown.Without(Tuple(1))
+	if shrunk.Key() != k {
+		t.Fatalf("Without key %q, want %q", shrunk.Key(), k)
+	}
+	if s.Key() != k {
+		t.Fatal("original key mutated by derivation")
+	}
+	u := s.Union(NewSet(Tuple(70)))
+	if u.Key() == k || !s.Equal(NewSet(Tuple(3), Tuple(9))) {
+		t.Fatal("Union corrupted the receiver")
+	}
+}
+
+// TestSetKeyConcurrent exercises the first-use cache fill from many
+// goroutines; run with -race this proves the memo-oracle hot path can
+// share one Set across the worker pool.
+func TestSetKeyConcurrent(t *testing.T) {
+	s := NewSet(Tuple(1), Tuple(2), Tuple(1<<30))
+	want := s.Key()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if s.Key() != want {
+					t.Error("concurrent Key mismatch")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkSetKey measures the memo-oracle hot path: repeated Key()
+// calls on one set, which after the first call are a cache hit.
+func BenchmarkSetKey(b *testing.B) {
+	tuples := make([]Tuple, 32)
+	for i := range tuples {
+		tuples[i] = Tuple(i * 37)
+	}
+	s := NewSet(tuples...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Key()
+	}
+}
+
+// BenchmarkSetKeyBuild measures the uncached encoder itself, the cost
+// paid once per constructed set (previously paid on every call through
+// fmt.Fprintf).
+func BenchmarkSetKeyBuild(b *testing.B) {
+	tuples := make([]Tuple, 32)
+	for i := range tuples {
+		tuples[i] = Tuple(i * 37)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = buildKey(tuples)
 	}
 }

@@ -42,7 +42,24 @@ type Result struct {
 // least one candidate always survives; if the oracle is not backed by
 // a query in the class, the survivor is simply wrong
 // (garbage-in-garbage-out, as for any exact learner).
+//
+// Learn runs on the bitset answer matrix (see Matrix); it asks exactly
+// the questions LearnSerial asks, in the same order. Callers running
+// several experiments over one candidate set should build the Matrix
+// once and call its Learn method directly.
 func Learn(candidates []query.Query, o oracle.Oracle, pool []boolean.Set) (Result, error) {
+	if len(candidates) == 0 {
+		return Result{}, ErrNoCandidates
+	}
+	return NewMatrix(candidates, pool, 0).Learn(o)
+}
+
+// LearnSerial is the direct-evaluation reference implementation of
+// Learn: it re-evaluates every remaining candidate on every pool
+// question per step. The matrix path is pinned bit-identical to it in
+// tests; it survives as the baseline the kernel experiment measures
+// against.
+func LearnSerial(candidates []query.Query, o oracle.Oracle, pool []boolean.Set) (Result, error) {
 	if len(candidates) == 0 {
 		return Result{}, ErrNoCandidates
 	}
@@ -88,7 +105,21 @@ func Learn(candidates []query.Query, o oracle.Oracle, pool []boolean.Set) (Resul
 // the target in about lg |candidates| questions; against the paper's
 // adversarial classes it degrades to the same lower bounds as Learn,
 // which is the point of Theorem 2.1.
+//
+// LearnGreedy runs on the bitset answer matrix (see Matrix); question
+// selection — including the lowest-pool-index tie-break between
+// equal splits — is bit-identical to LearnGreedySerial.
 func LearnGreedy(candidates []query.Query, o oracle.Oracle, pool []boolean.Set) (Result, error) {
+	if len(candidates) == 0 {
+		return Result{}, ErrNoCandidates
+	}
+	return NewMatrix(candidates, pool, 0).LearnGreedy(o)
+}
+
+// LearnGreedySerial is the direct-evaluation reference implementation
+// of LearnGreedy, kept as the bit-identity baseline and benchmark
+// comparison point.
+func LearnGreedySerial(candidates []query.Query, o oracle.Oracle, pool []boolean.Set) (Result, error) {
 	if len(candidates) == 0 {
 		return Result{}, ErrNoCandidates
 	}

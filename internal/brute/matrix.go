@@ -1,0 +1,293 @@
+package brute
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+)
+
+// This file implements the bitset answer-matrix engine behind Learn
+// and LearnGreedy (docs/PERFORMANCE.md). The serial learners
+// re-evaluate every remaining candidate against every pool question on
+// every elimination step — O(remaining·pool) interpreted Eval calls per
+// question — and allEquivalent re-normalizes candidate pairs per round.
+// The matrix precomputes every candidate's answer to every pool
+// question exactly once through the compiled kernel, after which split
+// counting, elimination and greedy selection are word-wise AND plus
+// popcount over packed rows. The question sequence is bit-identical to
+// the serial path: TestMatrixBitIdentical pins questions, counts and
+// outcomes against LearnSerial/LearnGreedySerial on every target.
+
+// Matrix is a precomputed candidates×pool answer matrix: row j packs
+// candidate answers to pool question j, one bit per candidate. It is
+// immutable after NewMatrix and safe for concurrent use; one matrix
+// can drive any number of Learn/LearnGreedy runs against different
+// oracles (the elimination state lives in the run, not the matrix).
+type Matrix struct {
+	candidates []query.Query
+	compiled   []*query.Compiled
+	pool       []boolean.Set
+	// rows[j][w] holds bit i of word w set iff candidate 64w+i answers
+	// yes to pool question j (question-major, for split counting).
+	rows [][]uint64
+	// candRows[i][w] holds bit j of word w set iff candidate i answers
+	// yes to pool question 64w+j (candidate-major, the equivalence
+	// prefilter: differing rows certify inequivalence).
+	candRows [][]uint64
+	words    int // words per question-major row
+}
+
+// NewMatrix builds the answer matrix for the candidate set over the
+// question pool, evaluating each candidate through the compiled
+// kernel. The build fans out across a worker pool of the given size
+// (<= 0 selects oracle.DefaultWorkers, the PR-3 engine's sizing), one
+// candidate row per task: coarse tasks keep the |C|·|P| evaluations
+// free of per-question synchronization.
+func NewMatrix(candidates []query.Query, pool []boolean.Set, workers int) *Matrix {
+	m := &Matrix{
+		candidates: candidates,
+		compiled:   make([]*query.Compiled, len(candidates)),
+		pool:       pool,
+		words:      (len(candidates) + 63) / 64,
+	}
+	poolWords := (len(pool) + 63) / 64
+	m.candRows = make([][]uint64, len(candidates))
+	if workers <= 0 {
+		workers = oracle.DefaultWorkers()
+	}
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	// Each worker claims candidate indices and fills that candidate's
+	// row; rows are disjoint, so the build needs no locking.
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(candidates) {
+					return
+				}
+				c := query.Compile(candidates[i])
+				m.compiled[i] = c
+				row := make([]uint64, poolWords)
+				for j, q := range pool {
+					if c.Eval(q) {
+						row[j>>6] |= 1 << (uint(j) & 63)
+					}
+				}
+				m.candRows[i] = row
+			}
+		}()
+	}
+	wg.Wait()
+	// Transpose into question-major rows for split counting.
+	m.rows = make([][]uint64, len(pool))
+	for j := range m.rows {
+		m.rows[j] = make([]uint64, m.words)
+	}
+	for i, row := range m.candRows {
+		for j := range pool {
+			if row[j>>6]&(1<<(uint(j)&63)) != 0 {
+				m.rows[j][i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+	return m
+}
+
+// Candidates returns the candidate slice the matrix was built over.
+func (m *Matrix) Candidates() []query.Query { return m.candidates }
+
+// Pool returns the question pool the matrix was built over.
+func (m *Matrix) Pool() []boolean.Set { return m.pool }
+
+// Answer reports the precomputed answer of candidate i to pool
+// question j.
+func (m *Matrix) Answer(i, j int) bool {
+	return m.rows[j][i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Learn runs the sequential elimination learner over the matrix; see
+// Learn for the contract. Question selection, counts and the learned
+// query are bit-identical to LearnSerial.
+func (m *Matrix) Learn(o oracle.Oracle) (Result, error) {
+	if len(m.candidates) == 0 {
+		return Result{}, ErrNoCandidates
+	}
+	rem := m.fullRem()
+	count := len(m.candidates)
+	res := Result{}
+	for j := range m.pool {
+		if m.allEquivalentRem(rem, count) {
+			break
+		}
+		yes := andCount(rem, m.rows[j])
+		no := count - yes
+		if yes == 0 || no == 0 {
+			continue // uninformative
+		}
+		res.Questions++
+		if o.Ask(m.pool[j]) {
+			andInto(rem, m.rows[j])
+			count = yes
+		} else {
+			andNotInto(rem, m.rows[j])
+			count = no
+		}
+	}
+	res.Remaining = count
+	res.Learned = m.candidates[firstBit(rem)]
+	if !m.allEquivalentRem(rem, count) {
+		return res, ErrAmbiguous
+	}
+	return res, nil
+}
+
+// LearnGreedy runs the halving learner over the matrix; see
+// LearnGreedy for the contract. Ties between equal-split questions
+// break to the lowest pool index, exactly as in LearnGreedySerial.
+func (m *Matrix) LearnGreedy(o oracle.Oracle) (Result, error) {
+	if len(m.candidates) == 0 {
+		return Result{}, ErrNoCandidates
+	}
+	rem := m.fullRem()
+	count := len(m.candidates)
+	used := make([]bool, len(m.pool))
+	res := Result{}
+	for !m.allEquivalentRem(rem, count) {
+		// Pick the unused question with the most balanced split: the
+		// strict > keeps the lowest index among equal splits.
+		best, bestMin := -1, 0
+		for j := range m.pool {
+			if used[j] {
+				continue
+			}
+			yes := andCount(rem, m.rows[j])
+			no := count - yes
+			min := yes
+			if no < min {
+				min = no
+			}
+			if min > bestMin {
+				bestMin, best = min, j
+			}
+		}
+		if best == -1 {
+			res.Remaining = count
+			res.Learned = m.candidates[firstBit(rem)]
+			return res, ErrAmbiguous
+		}
+		used[best] = true
+		res.Questions++
+		yes := andCount(rem, m.rows[best])
+		if o.Ask(m.pool[best]) {
+			andInto(rem, m.rows[best])
+			count = yes
+		} else {
+			andNotInto(rem, m.rows[best])
+			count -= yes
+		}
+	}
+	res.Remaining = count
+	res.Learned = m.candidates[firstBit(rem)]
+	return res, nil
+}
+
+// fullRem returns the remaining-candidate bitset with every candidate
+// bit set and the trailing word bits clear.
+func (m *Matrix) fullRem() []uint64 {
+	rem := make([]uint64, m.words)
+	for i := range rem {
+		rem[i] = ^uint64(0)
+	}
+	if tail := uint(len(m.candidates)) & 63; tail != 0 {
+		rem[m.words-1] = (1 << tail) - 1
+	}
+	if len(m.candidates) == 0 {
+		rem = nil
+	}
+	return rem
+}
+
+// allEquivalentRem reports whether every remaining candidate is
+// semantically equivalent to the first. Candidates whose matrix rows
+// differ are separated by a pool question, hence certainly
+// inequivalent; only candidates with identical rows fall through to
+// the pairwise semantic check, which reuses the kernels' cached normal
+// forms. The decision is exactly allEquivalent's over the remaining
+// candidates.
+func (m *Matrix) allEquivalentRem(rem []uint64, count int) bool {
+	if count <= 1 {
+		return true
+	}
+	first := -1
+	for w, word := range rem {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if first == -1 {
+				first = i
+				continue
+			}
+			if !equalWords(m.candRows[first], m.candRows[i]) {
+				return false
+			}
+			if !m.compiled[first].Equivalent(m.compiled[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// andCount returns popcount(a & b).
+func andCount(a, b []uint64) int {
+	n := 0
+	for w, x := range a {
+		n += bits.OnesCount64(x & b[w])
+	}
+	return n
+}
+
+// andInto folds a &= b.
+func andInto(a, b []uint64) {
+	for w := range a {
+		a[w] &= b[w]
+	}
+}
+
+// andNotInto folds a &^= b.
+func andNotInto(a, b []uint64) {
+	for w := range a {
+		a[w] &^= b[w]
+	}
+}
+
+// equalWords reports element-wise equality of two equal-length rows.
+func equalWords(a, b []uint64) bool {
+	for w, x := range a {
+		if x != b[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// firstBit returns the index of the lowest set bit (the first
+// surviving candidate, matching remaining[0] of the serial path).
+func firstBit(rem []uint64) int {
+	for w, word := range rem {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,253 @@
+package brute
+
+import (
+	"math/rand"
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+)
+
+// recordingOracle wraps an oracle and records the exact question
+// sequence, for pinning the matrix path's questions against serial.
+type recordingOracle struct {
+	inner oracle.Oracle
+	asked []boolean.Set
+}
+
+func (r *recordingOracle) Ask(s boolean.Set) bool {
+	r.asked = append(r.asked, s)
+	return r.inner.Ask(s)
+}
+
+func sameQuestions(a, b []boolean.Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMatrixBitIdentical pins the matrix-backed Learn and LearnGreedy
+// against the serial reference paths on every role-preserving target
+// over 2 variables: same questions in the same order, same counts,
+// same learned query.
+func TestMatrixBitIdentical(t *testing.T) {
+	u := boolean.MustUniverse(2)
+	candidates := query.AllQueries(u)
+	pool := boolean.AllObjects(u)
+	m := NewMatrix(candidates, pool, 2)
+	for _, target := range candidates {
+		for _, path := range []struct {
+			name   string
+			serial func([]query.Query, oracle.Oracle, []boolean.Set) (Result, error)
+			matrix func(oracle.Oracle) (Result, error)
+		}{
+			{"Learn", LearnSerial, m.Learn},
+			{"LearnGreedy", LearnGreedySerial, m.LearnGreedy},
+		} {
+			rs := &recordingOracle{inner: oracle.Target(target)}
+			rm := &recordingOracle{inner: oracle.Target(target)}
+			resS, errS := path.serial(candidates, rs, pool)
+			resM, errM := path.matrix(rm)
+			if errS != errM {
+				t.Fatalf("%s target %s: serial err %v, matrix err %v", path.name, target, errS, errM)
+			}
+			if !sameQuestions(rs.asked, rm.asked) {
+				t.Fatalf("%s target %s: question sequences differ (%d vs %d)",
+					path.name, target, len(rs.asked), len(rm.asked))
+			}
+			if resS.Questions != resM.Questions || resS.Remaining != resM.Remaining {
+				t.Fatalf("%s target %s: serial %+v, matrix %+v", path.name, target, resS, resM)
+			}
+			if !resS.Learned.Equal(resM.Learned) {
+				t.Fatalf("%s target %s: serial learned %s, matrix learned %s",
+					path.name, target, resS.Learned, resM.Learned)
+			}
+		}
+	}
+}
+
+// TestMatrixBitIdenticalAdversary repeats the identity check against
+// the alias adversary, whose answers depend on the exact question
+// sequence — any divergence would change the count.
+func TestMatrixBitIdenticalAdversary(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		u := boolean.MustUniverse(n)
+		class := oracle.AliasClass(u)
+		pool := oracle.AliasQuestions(u)
+		for name, fns := range map[string][2]func() (Result, error){
+			"Learn": {
+				func() (Result, error) { return LearnSerial(class, oracle.NewAdversary(class), pool) },
+				func() (Result, error) { return Learn(class, oracle.NewAdversary(class), pool) },
+			},
+			"LearnGreedy": {
+				func() (Result, error) { return LearnGreedySerial(class, oracle.NewAdversary(class), pool) },
+				func() (Result, error) { return LearnGreedy(class, oracle.NewAdversary(class), pool) },
+			},
+		} {
+			resS, errS := fns[0]()
+			resM, errM := fns[1]()
+			if errS != errM || resS.Questions != resM.Questions || resS.Remaining != resM.Remaining {
+				t.Fatalf("%s n=%d: serial (%+v, %v), matrix (%+v, %v)", name, n, resS, errS, resM, errM)
+			}
+			if !resS.Learned.Equal(resM.Learned) {
+				t.Fatalf("%s n=%d: learned queries differ", name, n)
+			}
+		}
+	}
+}
+
+// TestLearnGreedyTieBreakDeterminism: among equal-split questions the
+// greedy learner must pick the lowest pool index, on both paths.
+func TestLearnGreedyTieBreakDeterminism(t *testing.T) {
+	u := boolean.MustUniverse(2)
+	candidates := []query.Query{
+		query.MustParse(u, "∃x1"),
+		query.MustParse(u, "∃x2"),
+	}
+	// Both questions split the two candidates 1/1; the learner must
+	// take index 0 ({10}) first, on both paths, every run.
+	pool := []boolean.Set{
+		boolean.MustParseSet(u, "{10}"),
+		boolean.MustParseSet(u, "{01}"),
+	}
+	want := pool[0]
+	for run := 0; run < 3; run++ {
+		rs := &recordingOracle{inner: oracle.Target(candidates[0])}
+		if _, err := LearnGreedySerial(candidates, rs, pool); err != nil {
+			t.Fatal(err)
+		}
+		rm := &recordingOracle{inner: oracle.Target(candidates[0])}
+		if _, err := LearnGreedy(candidates, rm, pool); err != nil {
+			t.Fatal(err)
+		}
+		if len(rs.asked) == 0 || !rs.asked[0].Equal(want) {
+			t.Fatalf("serial first question %v, want lowest pool index %v", rs.asked, want)
+		}
+		if !sameQuestions(rs.asked, rm.asked) {
+			t.Fatalf("run %d: tie-break diverged: serial %v, matrix %v", run, rs.asked, rm.asked)
+		}
+	}
+}
+
+// TestAllEquivalentFallback: when the pool cannot distinguish the
+// candidates their matrix rows are identical, so the equivalence
+// prefilter is inconclusive and the semantic check decides — stopping
+// immediately for equivalent candidates, ErrAmbiguous otherwise.
+func TestAllEquivalentFallback(t *testing.T) {
+	u := boolean.MustUniverse(3)
+
+	// Syntactically different but semantically equivalent candidates:
+	// rows identical, semantic fallback says stop without a question.
+	equivalent := []query.Query{
+		query.MustParse(u, "∃x1x2x3 ∃x1x2"),
+		query.MustParse(u, "∃x1x2x3"),
+	}
+	c := oracle.Count(oracle.Target(equivalent[0]))
+	res, err := NewMatrix(equivalent, boolean.AllObjects(u), 0).Learn(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Questions != 0 || c.Questions != 0 {
+		t.Errorf("equivalent candidates cost %d questions, want 0", res.Questions)
+	}
+
+	// Semantically distinct candidates over a pool that cannot separate
+	// them: rows identical, fallback must detect inequivalence and both
+	// paths report ErrAmbiguous with both candidates remaining.
+	distinct := []query.Query{
+		query.MustParse(u, "∃x1"),
+		query.MustParse(u, "∃x2"),
+	}
+	blind := []boolean.Set{boolean.MustParseSet(u, "{110}"), boolean.MustParseSet(u, "{111}")}
+	m := NewMatrix(distinct, blind, 0)
+	if m.Answer(0, 0) != m.Answer(1, 0) || m.Answer(0, 1) != m.Answer(1, 1) {
+		t.Fatal("pool unexpectedly distinguishes the candidates")
+	}
+	for name, f := range map[string]func(oracle.Oracle) (Result, error){
+		"Learn": m.Learn, "LearnGreedy": m.LearnGreedy,
+	} {
+		res, err := f(oracle.Target(distinct[0]))
+		if err != ErrAmbiguous {
+			t.Errorf("%s: err = %v, want ErrAmbiguous", name, err)
+		}
+		if res.Remaining != 2 {
+			t.Errorf("%s: remaining = %d, want 2", name, res.Remaining)
+		}
+	}
+	serialRes, serialErr := LearnSerial(distinct, oracle.Target(distinct[0]), blind)
+	if serialErr != ErrAmbiguous || serialRes.Remaining != 2 {
+		t.Errorf("serial: (%+v, %v), want ErrAmbiguous with 2 remaining", serialRes, serialErr)
+	}
+}
+
+// TestMatrixReuse: one matrix drives multiple runs against different
+// oracles without cross-talk (the elimination state is per-run).
+func TestMatrixReuse(t *testing.T) {
+	u := boolean.MustUniverse(2)
+	candidates := query.AllQueries(u)
+	m := NewMatrix(candidates, boolean.AllObjects(u), 0)
+	if len(m.Candidates()) != len(candidates) || len(m.Pool()) != len(boolean.AllObjects(u)) {
+		t.Fatal("matrix accessors disagree with inputs")
+	}
+	for _, target := range candidates {
+		res, err := m.LearnGreedy(oracle.Target(target))
+		if err != nil {
+			t.Fatalf("target %s: %v", target, err)
+		}
+		if !res.Learned.Equivalent(target) {
+			t.Fatalf("target %s learned as %s", target, res.Learned)
+		}
+	}
+}
+
+// TestMatrixLargeCandidateSet crosses the one-word boundary (>64
+// candidates) so multi-word rem/row handling is exercised, and pins a
+// sampled run against serial.
+func TestMatrixLargeCandidateSet(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	candidates := query.AllQueries(u)
+	if len(candidates) <= 64 {
+		t.Fatalf("want >64 candidates, got %d", len(candidates))
+	}
+	pool := boolean.AllObjects(u)
+	m := NewMatrix(candidates, pool, 4)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 12; trial++ {
+		target := candidates[rng.Intn(len(candidates))]
+		rs := &recordingOracle{inner: oracle.Target(target)}
+		rm := &recordingOracle{inner: oracle.Target(target)}
+		resS, errS := LearnGreedySerial(candidates, rs, pool)
+		resM, errM := m.LearnGreedy(rm)
+		if errS != errM || resS.Questions != resM.Questions || !resS.Learned.Equal(resM.Learned) {
+			t.Fatalf("target %s: serial (%+v, %v), matrix (%+v, %v)", target, resS, errS, resM, errM)
+		}
+		if !sameQuestions(rs.asked, rm.asked) {
+			t.Fatalf("target %s: question sequences diverged", target)
+		}
+	}
+}
+
+// TestMatrixEmptyInputs covers the degenerate corners.
+func TestMatrixEmptyInputs(t *testing.T) {
+	u := boolean.MustUniverse(2)
+	m := NewMatrix(nil, boolean.AllObjects(u), 0)
+	if _, err := m.Learn(oracle.Func(func(boolean.Set) bool { return false })); err != ErrNoCandidates {
+		t.Errorf("Learn on empty candidates: err = %v", err)
+	}
+	if _, err := m.LearnGreedy(oracle.Func(func(boolean.Set) bool { return false })); err != ErrNoCandidates {
+		t.Errorf("LearnGreedy on empty candidates: err = %v", err)
+	}
+	// Empty pool with equivalent candidates: immediate success.
+	one := []query.Query{query.MustParse(u, "∃x1")}
+	res, err := NewMatrix(one, nil, 0).Learn(oracle.Target(one[0]))
+	if err != nil || res.Questions != 0 || res.Remaining != 1 {
+		t.Errorf("empty pool: (%+v, %v)", res, err)
+	}
+}

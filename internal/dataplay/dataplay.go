@@ -57,8 +57,9 @@ func (f UserFunc) Classify(o nested.Object) bool { return f(o) }
 // SimulatedUser returns a user whose intent is the given query,
 // evaluated over the system's propositions.
 func SimulatedUser(ps nested.Propositions, intended query.Query) User {
+	c := query.Compile(intended)
 	return UserFunc(func(o nested.Object) bool {
-		return intended.Eval(ps.AbstractObject(o))
+		return c.Eval(ps.AbstractObject(o))
 	})
 }
 

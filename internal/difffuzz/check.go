@@ -120,6 +120,11 @@ func checkLearn(c Case, opt Options) CaseResult {
 		})
 	}
 
+	// Judge 0 (always on): the compiled evaluation kernel must agree
+	// with the interpreted evaluator on both the hidden and the learned
+	// query.
+	judgeKernel(&res, c, opt, c.Hidden, learned)
+
 	// Judge 1: the learner must stay inside its advertised class.
 	if c.Class == ClassQhorn1 && !learned.IsQhorn1() {
 		fail(KindClass, Witness{}, false, "learned %s is not qhorn-1", learned)
@@ -239,6 +244,9 @@ func checkVerify(c Case, opt Options) CaseResult {
 			Detail: fmt.Sprintf(format, args...),
 		})
 	}
+	// Kernel judge (always on): compiled vs interpreted evaluation of
+	// both queries of the case.
+	judgeKernel(&res, c, opt, c.Given, c.Hidden)
 	vs, err := verify.Build(c.Given)
 	if err != nil {
 		fail(KindVerifyBuild, Witness{}, false, "verify.Build(%s): %v", c.Given, err)
@@ -396,30 +404,90 @@ func SemanticWitness(a, b query.Query, opt Options) (Witness, bool) {
 	rng := rand.New(rand.NewSource(witnessSeed(a, b)))
 	anchors := witnessAnchors(a, b)
 	for i := 0; i < opt.EvalSamples; i++ {
-		var tuples []boolean.Tuple
-		for j := 1 + rng.Intn(3); j > 0; j-- {
-			var t boolean.Tuple
-			if len(anchors) > 0 && rng.Intn(2) == 0 {
-				t = anchors[rng.Intn(len(anchors))]
-				for f := rng.Intn(3); f > 0; f-- {
-					v := rng.Intn(u.N())
-					if t.Has(v) {
-						t = t.Without(v)
-					} else {
-						t = t.With(v)
-					}
-				}
-			} else {
-				t = boolean.Tuple(rng.Int63()).Intersect(u.All())
-			}
-			tuples = append(tuples, t)
-		}
-		o := boolean.NewSet(tuples...)
+		o := probeObject(rng, u, anchors)
 		if a.Eval(o) != b.Eval(o) {
 			return ShrinkWitness(a, b, o), true
 		}
 	}
 	return Witness{}, false
+}
+
+// probeObject draws one random object: each tuple is either a
+// perturbed structural anchor or uniform over the universe.
+func probeObject(rng *rand.Rand, u boolean.Universe, anchors []boolean.Tuple) boolean.Set {
+	var tuples []boolean.Tuple
+	for j := 1 + rng.Intn(3); j > 0; j-- {
+		var t boolean.Tuple
+		if len(anchors) > 0 && rng.Intn(2) == 0 {
+			t = anchors[rng.Intn(len(anchors))]
+			for f := rng.Intn(3); f > 0; f-- {
+				v := rng.Intn(u.N())
+				if t.Has(v) {
+					t = t.Without(v)
+				} else {
+					t = t.With(v)
+				}
+			}
+		} else {
+			t = boolean.Tuple(rng.Int63()).Intersect(u.All())
+		}
+		tuples = append(tuples, t)
+	}
+	return boolean.NewSet(tuples...)
+}
+
+// KernelWitness searches for an object the compiled kernel
+// (query.Compile) and the interpreted Query.Eval classify differently
+// — by construction there should be none; any hit is a kernel bug. The
+// search mirrors SemanticWitness: exhaustive on small universes, then
+// the query's own verification questions (evaluation differences
+// concentrate on distinguishing tuples), then seeded anchor-perturbed
+// samples, plus the empty object. It is a pure function of q.
+func KernelWitness(q query.Query, opt Options) (Witness, bool) {
+	opt = opt.withDefaults()
+	c := query.Compile(q)
+	u := q.U
+	if c.Eval(boolean.Set{}) != q.Eval(boolean.Set{}) {
+		return Witness{}, true
+	}
+	if u.N() <= opt.ExhaustiveVars {
+		for _, o := range boolean.AllObjects(u) {
+			if c.Eval(o) != q.Eval(o) {
+				return o, true
+			}
+		}
+		return Witness{}, false
+	}
+	if vs, err := verify.Build(q); err == nil {
+		for _, question := range vs.Questions {
+			if c.Eval(question.Set) != q.Eval(question.Set) {
+				return question.Set, true
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(witnessSeed(q, q)))
+	anchors := witnessAnchors(q, q)
+	for i := 0; i < opt.EvalSamples; i++ {
+		o := probeObject(rng, u, anchors)
+		if c.Eval(o) != q.Eval(o) {
+			return o, true
+		}
+	}
+	return Witness{}, false
+}
+
+// judgeKernel runs the compiled-vs-interpreted evaluation judge over
+// every query the case touches. It is part of the default judge set:
+// every generated case exercises it.
+func judgeKernel(res *CaseResult, c Case, opt Options, queries ...query.Query) {
+	for _, q := range queries {
+		if w, found := KernelWitness(q, opt); found {
+			res.Disagreements = append(res.Disagreements, Disagreement{
+				Kind: KindKernel, Case: c, Learned: q, Witness: w, HasWitness: true,
+				Detail: fmt.Sprintf("compiled and interpreted Eval of %s disagree", q),
+			})
+		}
+	}
 }
 
 // ShrinkWitness drops tuples from a separating object while it still

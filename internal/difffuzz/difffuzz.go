@@ -103,6 +103,11 @@ const (
 	// plain serial run — different questions or different per-phase
 	// stats (docs/ENGINE.md).
 	KindEngine Kind = "engine"
+	// KindKernel: the compiled evaluation kernel (query.Compile)
+	// classified an object differently from the interpreted Query.Eval
+	// — the two evaluators must be bit-identical on every object
+	// (docs/PERFORMANCE.md). This judge is always on.
+	KindKernel Kind = "kernel"
 )
 
 // Disagreement is one failed judgment: the case, what fired, and —

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"regexp"
 	"strconv"
 	"strings"
@@ -28,14 +29,25 @@ type GrowthExponent struct {
 	Value float64 `json:"value"`
 }
 
-// QuestionCount is one question-count measurement extracted from a
-// table row: the sweep parameter (first column) and the value of the
-// first "questions" column.
+// QuestionCount is one aggregated question-count measurement: all
+// rows of a table sharing the same sweep-parameter value (first
+// column) collapse into one entry with the mean and standard deviation
+// of their "questions" column. Tables whose rows vary a second
+// dimension (e.g. the worker count of E22) previously emitted one
+// identical entry per row; aggregation keeps exactly one per
+// (table, param, param_value).
 type QuestionCount struct {
-	Table     string  `json:"table"`
-	Param     string  `json:"param"`       // first column header, e.g. "n"
-	ParamVal  string  `json:"param_value"` // e.g. "32"
+	Table    string `json:"table"`
+	Param    string `json:"param"`       // first column header, e.g. "n"
+	ParamVal string `json:"param_value"` // e.g. "32"
+	// Questions is the mean over the aggregated rows.
 	Questions float64 `json:"questions"`
+	// Stddev is the population standard deviation over the aggregated
+	// rows; 0 when every row agrees (the common case: the question
+	// count is a determinism invariant across the second dimension).
+	Stddev float64 `json:"stddev"`
+	// Samples is the number of table rows aggregated into this entry.
+	Samples int `json:"samples"`
 }
 
 // BenchSummary is the machine-readable result of one experiment run,
@@ -122,6 +134,19 @@ func Summarize(e Experiment, cfg Config, tables []*stats.Table, wall time.Durati
 		if qCol < 0 {
 			continue
 		}
+		param := ""
+		if len(t.Columns) > 0 {
+			param = t.Columns[0]
+		}
+		// Aggregate per parameter value: rows differing only in a
+		// second sweep dimension (workers, options, …) collapse into
+		// one entry with mean and stddev.
+		type agg struct {
+			sum, sumSq float64
+			n          int
+		}
+		byVal := map[string]*agg{}
+		var order []string
 		for _, row := range t.Rows {
 			if qCol >= len(row) || len(row) == 0 {
 				continue
@@ -130,15 +155,30 @@ func Summarize(e Experiment, cfg Config, tables []*stats.Table, wall time.Durati
 			if err != nil {
 				continue
 			}
-			param := ""
-			if len(t.Columns) > 0 {
-				param = t.Columns[0]
+			a := byVal[row[0]]
+			if a == nil {
+				a = &agg{}
+				byVal[row[0]] = a
+				order = append(order, row[0])
+			}
+			a.sum += v
+			a.sumSq += v * v
+			a.n++
+		}
+		for _, val := range order {
+			a := byVal[val]
+			mean := a.sum / float64(a.n)
+			variance := a.sumSq/float64(a.n) - mean*mean
+			if variance < 0 {
+				variance = 0 // float rounding
 			}
 			s.QuestionCounts = append(s.QuestionCounts, QuestionCount{
 				Table:     t.Title,
 				Param:     param,
-				ParamVal:  row[0],
-				Questions: v,
+				ParamVal:  val,
+				Questions: mean,
+				Stddev:    math.Sqrt(variance),
+				Samples:   a.n,
 			})
 		}
 	}

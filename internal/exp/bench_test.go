@@ -42,8 +42,40 @@ func TestSummarizeExtractsMeasurements(t *testing.T) {
 	if qc.Param != "n" || qc.ParamVal != "8" || qc.Questions != 24.5 {
 		t.Errorf("first question count %+v", qc)
 	}
+	if qc.Stddev != 0 || qc.Samples != 1 {
+		t.Errorf("single-row aggregate %+v, want stddev 0 and 1 sample", qc)
+	}
 	if s.FileName() != "BENCH_bench-fixture.json" {
 		t.Errorf("file name %q", s.FileName())
+	}
+}
+
+// TestSummarizeAggregatesQuestionCounts pins the BENCH_parallel.json
+// duplication fix: rows repeating a parameter value across a second
+// sweep dimension (E22's worker counts) collapse into one entry per
+// (table, param, param_value), with mean and stddev over the rows.
+func TestSummarizeAggregatesQuestionCounts(t *testing.T) {
+	e := Experiment{ID: "E98", Name: "agg-fixture"}
+	tbl := stats.NewTable("sweep", "class", "workers", "questions")
+	tbl.AddRow("qhorn1", 1, 34.45)
+	tbl.AddRow("qhorn1", 2, 34.45)
+	tbl.AddRow("qhorn1", 4, 34.45)
+	tbl.AddRow("rp", 1, 100.0)
+	tbl.AddRow("rp", 2, 104.0)
+
+	s := Summarize(e, Config{}, []*stats.Table{tbl}, time.Millisecond)
+	if len(s.QuestionCounts) != 2 {
+		t.Fatalf("question counts = %+v, want one per param value", s.QuestionCounts)
+	}
+	q1, rp := s.QuestionCounts[0], s.QuestionCounts[1]
+	if q1.ParamVal != "qhorn1" || q1.Questions != 34.45 || q1.Stddev != 0 || q1.Samples != 3 {
+		t.Errorf("qhorn1 aggregate %+v", q1)
+	}
+	if rp.ParamVal != "rp" || rp.Questions != 102.0 || rp.Samples != 2 {
+		t.Errorf("rp aggregate %+v", rp)
+	}
+	if rp.Stddev < 1.99 || rp.Stddev > 2.01 {
+		t.Errorf("rp stddev %v, want 2.0", rp.Stddev)
 	}
 }
 

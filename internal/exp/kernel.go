@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/brute"
+	"qhorn/internal/learn"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+	"qhorn/internal/run"
+	"qhorn/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E23",
+		Name:  "kernel",
+		Paper: "engineering (docs/PERFORMANCE.md)",
+		Claim: "the compiled evaluation kernel and the bitset answer matrix cut evaluation and brute-force learning wall time without changing a single question",
+		Run:   runKernel,
+	})
+}
+
+// runKernel measures the two perf layers this repo ships on top of the
+// paper's algorithms: the compiled query-evaluation kernel against the
+// tree-walking interpreter, and the bitset answer-matrix brute learner
+// against the serial greedy scan. Both comparisons assert bit-identical
+// behaviour inside the run — every evaluation verdict and every asked
+// question must match — so the speedup columns never trade correctness
+// for wall time. `qhornexp -exp kernel -json` writes the result as
+// BENCH_kernel.json.
+func runKernel(cfg Config) []*stats.Table {
+	cfg = cfg.normalize()
+	e, _ := ByName("kernel")
+	return []*stats.Table{evalTable(e, cfg), bruteTable(e, cfg)}
+}
+
+// evalTable times interpreted vs compiled evaluation on the workload
+// the kernel exists for: the membership questions a qhorn1 learning
+// session asks its simulated user, recorded once and replayed through
+// both evaluators, with wall time and allocations per call.
+func evalTable(e Experiment, cfg Config) *stats.Table {
+	t := stats.NewTable(header(e)+" — evaluation (recorded session questions)",
+		"n", "questions", "evals", "interp ms", "compiled ms", "speedup",
+		"interp allocs/op", "compiled allocs/op")
+
+	sweep := []int{12, 16, 24}
+	reps := 50
+	if cfg.Quick {
+		sweep = []int{12}
+		reps = 10
+	}
+	for _, n := range sweep {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		u := boolean.MustUniverse(n)
+		var nq, interpMS, compiledMS, interpAllocs, compiledAllocs []float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			target := query.GenQhorn1(rng, n)
+			tr := oracle.Record(oracle.TargetInterpreted(target))
+			learn.Run(u, tr, run.WithAlgorithm(run.Qhorn1))
+			qs := make([]boolean.Set, len(tr.Entries))
+			for i, entry := range tr.Entries {
+				qs[i] = entry.Question
+			}
+			comp := query.Compile(target)
+			// In-run identity assert: the kernel must agree with the
+			// interpreter on every question before either is timed.
+			for _, s := range qs {
+				if comp.Eval(s) != target.Eval(s) {
+					panic("exp: compiled kernel diverged from interpreter")
+				}
+			}
+			ops := len(qs) * reps
+			ms, allocs := timeAllocs(ops, func() {
+				for r := 0; r < reps; r++ {
+					for _, s := range qs {
+						target.Eval(s)
+					}
+				}
+			})
+			interpMS = append(interpMS, ms)
+			interpAllocs = append(interpAllocs, allocs)
+			ms, allocs = timeAllocs(ops, func() {
+				for r := 0; r < reps; r++ {
+					for _, s := range qs {
+						comp.Eval(s)
+					}
+				}
+			})
+			compiledMS = append(compiledMS, ms)
+			compiledAllocs = append(compiledAllocs, allocs)
+			nq = append(nq, float64(len(qs)))
+		}
+		im := stats.Summarize(interpMS).Mean
+		cm := stats.Summarize(compiledMS).Mean
+		t.AddRow(n, stats.Summarize(nq).Mean, int(stats.Summarize(nq).Mean)*reps, im, cm, im/cm,
+			stats.Summarize(interpAllocs).Mean, stats.Summarize(compiledAllocs).Mean)
+	}
+	t.AddNote("workload: every membership question of a recorded qhorn1 session, replayed %d×; identity asserted on every question before timing; compiled allocs/op must be 0 (gated by TestCompiledEvalZeroAllocs)", reps)
+	return t
+}
+
+// bruteTable times the serial greedy brute learner against the answer
+// matrix on the full candidate space of small universes, asserting the
+// question-count contract on every trial.
+func bruteTable(e Experiment, cfg Config) *stats.Table {
+	t := stats.NewTable(header(e)+" — brute learner",
+		"n", "candidates", "pool", "questions",
+		"serial ms", "matrix ms", "speedup", "build ms")
+
+	sweep := []int{2, 3}
+	if cfg.Quick {
+		sweep = []int{2}
+	}
+	trials := cfg.Trials
+	if trials > 8 {
+		trials = 8 // the serial baseline is the slow side; cap the repeats
+	}
+	for _, n := range sweep {
+		u := boolean.MustUniverse(n)
+		candidates := query.AllQueries(u)
+		pool := boolean.AllObjects(u)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+
+		// The matrix is target-independent: built once per candidate
+		// set and reused across every learn, the designed usage for
+		// experiment sweeps. Its one-time cost is the build ms column.
+		start := time.Now()
+		m := brute.NewMatrix(candidates, pool, cfg.Parallel)
+		buildMS := float64(time.Since(start).Microseconds()) / 1000
+
+		var questions, serialMS, matrixMS []float64
+		for trial := 0; trial < trials; trial++ {
+			target := candidates[rng.Intn(len(candidates))]
+
+			sc := oracle.Count(oracle.Target(target))
+			start := time.Now()
+			sres, serr := brute.LearnGreedySerial(candidates, sc, pool)
+			serialMS = append(serialMS, float64(time.Since(start).Microseconds())/1000)
+
+			mc := oracle.Count(oracle.Target(target))
+			start = time.Now()
+			mres, merr := m.LearnGreedy(mc)
+			matrixMS = append(matrixMS, float64(time.Since(start).Microseconds())/1000)
+
+			// In-run identity asserts: same outcome, same questions.
+			if (serr == nil) != (merr == nil) {
+				panic("exp: matrix brute learner changed the error outcome")
+			}
+			if sc.Questions != mc.Questions || sres.Questions != mres.Questions {
+				panic("exp: matrix brute learner broke the question-count contract")
+			}
+			if serr == nil && !sres.Learned.Equivalent(mres.Learned) {
+				panic("exp: matrix brute learner diverged from serial output")
+			}
+			questions = append(questions, float64(sres.Questions))
+		}
+		qm := stats.Summarize(questions).Mean
+		sm := stats.Summarize(serialMS).Mean
+		mm := stats.Summarize(matrixMS).Mean
+		t.AddRow(n, len(candidates), len(pool), qm, sm, mm, sm/mm, buildMS)
+	}
+	t.AddNote("matrix built once per candidate set (build ms) and reused across learns; question counts and learned queries asserted identical serial vs matrix on every trial")
+	return t
+}
+
+// timeAllocs runs f, returning its wall time in milliseconds and the
+// heap allocations per operation over ops operations.
+func timeAllocs(ops int, f func()) (ms, allocsPerOp float64) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	f()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(elapsed.Microseconds()) / 1000,
+		float64(after.Mallocs-before.Mallocs) / float64(ops)
+}

@@ -14,6 +14,7 @@ import (
 //	-metrics      print the Prometheus exposition on stdout at exit
 //	-profile P    write P.cpu.pprof and P.heap.pprof around the run
 //	-parallel N   answer independent questions with N workers
+//	-interpreted-eval  force simulated users off the compiled kernel
 type Flags struct {
 	Trace    bool
 	TraceOut string
@@ -22,6 +23,10 @@ type Flags struct {
 	// Parallel is the worker count of the parallel batched question
 	// engine (docs/PARALLELISM.md); 0 keeps every CLI fully serial.
 	Parallel int
+	// InterpretedEval forces simulated-user oracles onto the
+	// interpreted Query.Eval instead of the compiled kernel
+	// (docs/PERFORMANCE.md) — the diagnostic escape hatch.
+	InterpretedEval bool
 }
 
 // BindFlags registers the shared observability flags on fs.
@@ -32,6 +37,7 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.Metrics, "metrics", false, "print the metrics exposition (Prometheus text format) at exit")
 	fs.StringVar(&f.Profile, "profile", "", "write CPU and heap profiles with this file prefix")
 	fs.IntVar(&f.Parallel, "parallel", 0, "answer independent membership questions with this many concurrent workers (0 = serial)")
+	fs.BoolVar(&f.InterpretedEval, "interpreted-eval", false, "evaluate simulated users with the interpreted evaluator instead of the compiled kernel")
 	return f
 }
 

@@ -44,7 +44,20 @@ func (f Func) Ask(s boolean.Set) bool { return f(s) }
 // query — the simulated user of every learning experiment. The
 // substitution is exact: the paper's question counts are worst-case
 // over users consistent with some query in the class.
+//
+// Answers are computed by the compiled evaluation kernel
+// (query.Compile), which the difffuzz kernel judge pins bit-identical
+// to the interpreted evaluator; TargetInterpreted is the escape hatch
+// forcing the interpreted path (run.WithInterpretedEval and the CLIs'
+// -interpreted-eval flag reach it).
 func Target(q query.Query) Oracle {
+	return Func(query.Compile(q).Eval)
+}
+
+// TargetInterpreted is Target evaluating through the interpreted
+// Query.Eval instead of the compiled kernel — the reference path for
+// differential tests and for diagnosing a suspected kernel bug.
+func TargetInterpreted(q query.Query) Oracle {
 	return Func(q.Eval)
 }
 

@@ -60,11 +60,14 @@ func (q Query) DominantConjunctions() []boolean.Tuple {
 // qhorn queries, two queries are semantically equivalent iff their
 // normal forms are syntactically equal (Proposition 4.1).
 func (q Query) Normalize() Query {
+	if q.normal {
+		return q
+	}
 	exprs := q.DominantUniversals()
 	for _, c := range q.DominantConjunctions() {
 		exprs = append(exprs, Conjunction(c))
 	}
-	return Query{U: q.U, Exprs: exprs}
+	return Query{U: q.U, Exprs: exprs, normal: true}
 }
 
 // Equivalent reports whether two role-preserving qhorn queries are

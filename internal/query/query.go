@@ -148,6 +148,12 @@ type Query struct {
 	// Exprs are the conjoined expressions. Guarantee clauses are
 	// implicit and enforced by evaluation; they are never stored.
 	Exprs []Expr
+	// normal marks a query produced by Normalize, whose expression
+	// list is already the canonical normal form. Normalize returns such
+	// queries unchanged, so Equivalent and Implies never re-derive a
+	// normal form they already hold; literal construction clears the
+	// flag, which only ever costs a recomputation.
+	normal bool
 }
 
 // New builds a validated query. It returns an error if any expression
@@ -266,6 +272,19 @@ func (q Query) String() string {
 func (q Query) Equal(other Query) bool {
 	if q.U.N() != other.U.N() {
 		return false
+	}
+	if q.normal && other.normal {
+		// Normal forms are deduplicated and deterministically ordered,
+		// so equality is element-wise — no key strings needed.
+		if len(q.Exprs) != len(other.Exprs) {
+			return false
+		}
+		for i, e := range q.Exprs {
+			if other.Exprs[i] != e {
+				return false
+			}
+		}
+		return true
 	}
 	key := func(qq Query) string {
 		parts := make([]string, len(qq.Exprs))

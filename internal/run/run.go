@@ -30,6 +30,7 @@ import (
 	"qhorn/internal/boolean"
 	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
+	"qhorn/internal/query"
 )
 
 // Algorithm selects the learning algorithm of a run.
@@ -194,6 +195,23 @@ type Config struct {
 	// FirstOnly stops a verify run at the first disagreement
 	// (ignored by learning runs).
 	FirstOnly bool
+	// InterpretedEval forces simulated users built through this Config
+	// onto the interpreted Query.Eval. The zero value selects the
+	// compiled kernel (query.Compile) — compiled evaluation is on by
+	// default; WithInterpretedEval is the escape hatch.
+	InterpretedEval bool
+}
+
+// SimulatedUser returns the simulated-user oracle for target under
+// this Config's evaluation mode: the compiled kernel by default, the
+// interpreted evaluator under WithInterpretedEval. Both answer
+// identically (the difffuzz kernel judge enforces it); only the cost
+// per question differs.
+func (c Config) SimulatedUser(target query.Query) oracle.Oracle {
+	if c.InterpretedEval {
+		return oracle.TargetInterpreted(target)
+	}
+	return oracle.Target(target)
 }
 
 // Option mutates one dimension of a run's Config.
@@ -293,6 +311,21 @@ func WithFirstDisagreement() Option {
 	return func(c *Config) { c.FirstOnly = true }
 }
 
+// WithCompiledEval makes simulated users evaluate through the
+// compiled kernel. This is the default; the option exists so call
+// sites can state the choice explicitly and undo an earlier
+// WithInterpretedEval.
+func WithCompiledEval() Option {
+	return func(c *Config) { c.InterpretedEval = false }
+}
+
+// WithInterpretedEval forces simulated users onto the interpreted
+// Query.Eval — the escape hatch for diagnosing the kernel or measuring
+// it (the qhornexp kernel experiment runs both modes).
+func WithInterpretedEval() Option {
+	return func(c *Config) { c.InterpretedEval = true }
+}
+
 // Stack is the assembled oracle wrapper stack of one run. Oracle is
 // the learner-facing top; the named wrappers are non-nil only when the
 // Config requested them.
@@ -360,6 +393,9 @@ func FromFlags(f *obs.Flags, s *obs.Session) []Option {
 	}
 	if f.Parallel > 0 {
 		opts = append(opts, WithParallel(f.Parallel))
+	}
+	if f.InterpretedEval {
+		opts = append(opts, WithInterpretedEval())
 	}
 	return opts
 }

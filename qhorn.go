@@ -166,8 +166,26 @@ func BuildVerificationSet(q Query) (VerificationSet, error) { return verify.Buil
 // semantic difference from her intended query surfaces here).
 func Verify(q Query, o Oracle) (VerificationResult, error) { return verify.Verify(q, o) }
 
-// TargetOracle simulates a user whose intended query is q.
+// TargetOracle simulates a user whose intended query is q. Answers
+// come from the compiled evaluation kernel (see Compile); use
+// TargetOracleInterpreted to force the interpreted evaluator.
 func TargetOracle(q Query) Oracle { return oracle.Target(q) }
+
+// TargetOracleInterpreted is TargetOracle evaluating through the
+// interpreted Query.Eval — the reference path for differential
+// testing and kernel diagnosis.
+func TargetOracleInterpreted(q Query) Oracle { return oracle.TargetInterpreted(q) }
+
+// CompiledQuery is the compiled evaluation form of a Query
+// (docs/PERFORMANCE.md): expressions flattened into machine-word
+// masks so Eval is a single allocation-free pass over the object, with
+// the normal form computed once and cached for Equivalent/Implies.
+type CompiledQuery = query.Compiled
+
+// Compile flattens q into its compiled evaluation form. Compile once,
+// evaluate many times: the kernel is immutable and safe for concurrent
+// use.
+func Compile(q Query) *CompiledQuery { return query.Compile(q) }
 
 // NoisyOracle flips each of o's responses with probability p.
 func NoisyOracle(o Oracle, p float64, rng *rand.Rand) Oracle { return oracle.Noisy(o, p, rng) }
@@ -486,3 +504,11 @@ func WithNoise(p float64, rng *rand.Rand) RunOption { return run.WithNoise(p, rn
 // WithFirstDisagreement stops a verification run at the first
 // disagreement.
 func WithFirstDisagreement() RunOption { return run.WithFirstDisagreement() }
+
+// WithCompiledEval makes the run's simulated users evaluate through
+// the compiled kernel (the default; see Compile).
+func WithCompiledEval() RunOption { return run.WithCompiledEval() }
+
+// WithInterpretedEval forces the run's simulated users onto the
+// interpreted evaluator — the kernel's escape hatch.
+func WithInterpretedEval() RunOption { return run.WithInterpretedEval() }

@@ -265,3 +265,38 @@ func TestFacadeParallel(t *testing.T) {
 		t.Errorf("VerifyParallel: %+v, %v", res, err)
 	}
 }
+
+// TestFacadeCompiledKernel covers the compiled-kernel facade: Compile,
+// the two target-oracle flavors, and the engine's evaluation-mode
+// options.
+func TestFacadeCompiledKernel(t *testing.T) {
+	u := qhorn.MustUniverse(4)
+	q := qhorn.MustParseQuery(u, "∀x1x2 → x3 ∃x4")
+	c := qhorn.Compile(q)
+	compiled := qhorn.TargetOracle(q)
+	interpreted := qhorn.TargetOracleInterpreted(q)
+	for i, o := range []qhorn.Set{
+		qhorn.MustParseSet(u, "{1110, 0001}"),
+		qhorn.MustParseSet(u, "{1100}"),
+		{},
+	} {
+		want := q.Eval(o)
+		if c.Eval(o) != want || compiled.Ask(o) != want || interpreted.Ask(o) != want {
+			t.Fatalf("object %d: kernel/oracle answers diverge from Query.Eval", i)
+		}
+	}
+	if !c.Equivalent(qhorn.Compile(qhorn.MustParseQuery(u, "∃x4 ∀x1x2 → x3"))) {
+		t.Error("compiled Equivalent missed a reordering")
+	}
+
+	// Both evaluation modes drive a full engine learn run to the same
+	// query.
+	for _, opt := range []qhorn.RunOption{qhorn.WithCompiledEval(), qhorn.WithInterpretedEval()} {
+		target := qhorn.MustParseQuery(u, "∀x1 → x2 ∀x3 → x4")
+		learned, _ := qhorn.Learn(u, qhorn.TargetOracle(target),
+			qhorn.WithAlgorithm(qhorn.AlgorithmQhorn1), opt)
+		if !learned.Equivalent(target) {
+			t.Errorf("engine learned %s, want %s", learned, target)
+		}
+	}
+}
