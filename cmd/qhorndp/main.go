@@ -11,6 +11,10 @@
 //	qhorndp -given "∀x1 ∃x2" -simulate "∀x1 ∃x2x3"  # verify + revise a written query
 //
 // Without -simulate the questions are asked interactively on stdin.
+//
+// The shared observability flags apply: -obs-addr serves /metrics,
+// /spans, /progress, /healthz and /debug/pprof live during the
+// session (docs/OBSERVABILITY.md).
 package main
 
 import (

@@ -8,6 +8,12 @@
 //	qhornexp -exp qhorn1-scaling [-seed 1] [-trials 20] [-format text|markdown|csv]
 //	qhornexp -exp all -quick
 //	qhornexp -exp summary          # hard pass/fail reproduction gate
+//	qhornexp -exp kernel -obs-addr :6060   # watch /metrics, /spans, /progress live
+//
+// With -obs-addr the run serves its metrics registry, span flight
+// recorder and runtime profiles over HTTP while experiments execute;
+// -obs-wait keeps the server up after the run so a finished sweep can
+// still be inspected (docs/OBSERVABILITY.md).
 package main
 
 import (

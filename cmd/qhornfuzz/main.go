@@ -14,7 +14,9 @@
 //
 // Exit status is 0 when every judgment agreed, 1 on any disagreement,
 // 2 on usage errors. The shared observability flags (-trace,
-// -metrics, -trace-out, -profile) report where the questions went.
+// -metrics, -trace-out, -profile) report where the questions went;
+// -obs-addr serves /metrics, /spans, /progress, /healthz and
+// /debug/pprof live while the fuzzer runs (docs/OBSERVABILITY.md).
 package main
 
 import (

@@ -16,6 +16,10 @@
 // With the default chocolate schema, the three propositions are
 // x1: isDark, x2: hasFilling, x3: origin = Madagascar (Fig 1 of the
 // paper).
+//
+// The shared observability flags apply: -obs-addr serves /metrics,
+// /spans, /progress, /healthz and /debug/pprof live during the
+// session (docs/OBSERVABILITY.md).
 package main
 
 import (

@@ -15,6 +15,10 @@
 // Theorem 4.2 a semantically wrong query always disagrees somewhere.
 // With -revise, an incorrect query is then corrected with further
 // questions (§6) and the semantic edits are printed.
+//
+// The shared observability flags apply: -obs-addr serves /metrics,
+// /spans, /progress, /healthz and /debug/pprof live during the run
+// (docs/OBSERVABILITY.md).
 package main
 
 import (

@@ -1,13 +1,16 @@
 // Observability: trace a learning run as a span tree, collect its
-// metrics, and print a Prometheus exposition — all through the public
-// qhorn API (see docs/OBSERVABILITY.md).
+// metrics, print a Prometheus exposition, and serve it all live over
+// HTTP — all through the public qhorn API (see docs/OBSERVABILITY.md).
 //
 //	go run ./examples/observability
 package main
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 
 	"qhorn"
 )
@@ -24,6 +27,18 @@ func main() {
 	tracer := qhorn.NewSpanTracer(tree)
 	reg := qhorn.NewMetricsRegistry()
 	user := qhorn.CountingOracleInto(qhorn.TargetOracle(intended), reg)
+
+	// The observability server makes the same registry and span stream
+	// browsable while the run executes: /metrics, /spans, /progress,
+	// /healthz and /debug/pprof. Port 0 picks a free port; a flight
+	// recorder attached to our tracer feeds /spans. CLIs get the same
+	// server with -obs-addr.
+	srv := qhorn.NewObsServer(reg, tracer, qhorn.NewFlightRecorder(256))
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer srv.Close()
 
 	// One instrumentation value threads through learning and
 	// verification alike; the engine options compose it with the
@@ -53,4 +68,30 @@ func main() {
 	// equals every question the oracle answered, learning + verification.
 	fmt.Println("\nmetrics exposition:")
 	reg.WritePrometheus(os.Stdout)
+
+	// The same data is live over HTTP: the metrics page carries the
+	// question counters, and the /spans flight-recorder dump holds the
+	// completed learning and verification spans as JSON lines.
+	fmt.Println("\nlive observability server:")
+	fmt.Println("  /healthz:", strings.TrimSpace(fetch(srv.URL()+"/healthz")))
+	fmt.Println("  /metrics serves qhorn_questions_total:",
+		strings.Contains(fetch(srv.URL()+"/metrics"), "qhorn_questions_total"))
+	spanLines := strings.Count(strings.TrimSpace(fetch(srv.URL()+"/spans")), "\n") + 1
+	fmt.Println("  /spans JSONL records:", spanLines > 0)
+}
+
+// fetch GETs a URL from the example's own observability server.
+func fetch(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return string(body)
 }

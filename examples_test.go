@@ -21,7 +21,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/chocolates", []string{"equivalent to intent: true", "match the query"}},
 		{"./examples/verification", []string{"correct=true", "caught by [A3]"}},
 		{"./examples/adversary", []string{"2^n − 1", "4095"}},
-		{"./examples/observability", []string{"equivalent:         true", "learn/rp", "lattice-search", "verify/A1", "qhorn_questions_total"}},
+		{"./examples/observability", []string{"equivalent:         true", "learn/rp", "lattice-search", "verify/A1", "qhorn_questions_total", "/healthz: ok", "/metrics serves qhorn_questions_total: true", "/spans JSONL records: true"}},
 		{"./examples/future", []string{"equivalent: true, ", "error 0.000", "depth 1 → 4, depth 2 → 12"}},
 		{"./examples/fuzzing", []string{"disagreements: 0", "caught: learn-equiv", "minimized: 1 vars, 1 parts"}},
 	}

@@ -4,8 +4,10 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"qhorn/internal/boolean"
+	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
 )
@@ -39,6 +41,9 @@ type Matrix struct {
 	// prefilter: differing rows certify inequivalence).
 	candRows [][]uint64
 	words    int // words per question-major row
+	// reg receives the matrix's engine metrics (build and learn wall
+	// times); nil is silent.
+	reg *obs.Registry
 }
 
 // NewMatrix builds the answer matrix for the candidate set over the
@@ -48,11 +53,21 @@ type Matrix struct {
 // candidate row per task: coarse tasks keep the |C|·|P| evaluations
 // free of per-question synchronization.
 func NewMatrix(candidates []query.Query, pool []boolean.Set, workers int) *Matrix {
+	return NewMatrixInto(candidates, pool, workers, nil)
+}
+
+// NewMatrixInto is NewMatrix with engine metrics recorded into reg: the
+// build's wall time lands in qhorn_brute_matrix_build_seconds, and the
+// matrix's Learn/LearnGreedy runs observe qhorn_brute_learn_seconds
+// (labeled by algorithm). A nil registry degrades to NewMatrix.
+func NewMatrixInto(candidates []query.Query, pool []boolean.Set, workers int, reg *obs.Registry) *Matrix {
+	buildStart := time.Now()
 	m := &Matrix{
 		candidates: candidates,
 		compiled:   make([]*query.Compiled, len(candidates)),
 		pool:       pool,
 		words:      (len(candidates) + 63) / 64,
+		reg:        reg,
 	}
 	poolWords := (len(pool) + 63) / 64
 	m.candRows = make([][]uint64, len(candidates))
@@ -100,7 +115,19 @@ func NewMatrix(candidates []query.Query, pool []boolean.Set, workers int) *Matri
 			}
 		}
 	}
+	m.reg.Histogram(obs.MetricBruteBuildSeconds, obs.LatencyBuckets).Observe(time.Since(buildStart).Seconds())
 	return m
+}
+
+// timeLearn observes one Learn/LearnGreedy run's wall time, labeled by
+// algorithm ("sequential" or "greedy"); a no-op without a registry.
+func (m *Matrix) timeLearn(algo string) func() {
+	if m.reg == nil {
+		return func() {}
+	}
+	h := m.reg.Histogram(obs.MetricBruteLearnSeconds, obs.LatencyBuckets, "algo", algo)
+	begun := time.Now()
+	return func() { h.Observe(time.Since(begun).Seconds()) }
 }
 
 // Candidates returns the candidate slice the matrix was built over.
@@ -122,6 +149,7 @@ func (m *Matrix) Learn(o oracle.Oracle) (Result, error) {
 	if len(m.candidates) == 0 {
 		return Result{}, ErrNoCandidates
 	}
+	defer m.timeLearn("sequential")()
 	rem := m.fullRem()
 	count := len(m.candidates)
 	res := Result{}
@@ -158,6 +186,7 @@ func (m *Matrix) LearnGreedy(o oracle.Oracle) (Result, error) {
 	if len(m.candidates) == 0 {
 		return Result{}, ErrNoCandidates
 	}
+	defer m.timeLearn("greedy")()
 	rem := m.fullRem()
 	count := len(m.candidates)
 	used := make([]bool, len(m.pool))

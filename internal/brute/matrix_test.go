@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"qhorn/internal/boolean"
+	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
 )
@@ -249,5 +250,45 @@ func TestMatrixEmptyInputs(t *testing.T) {
 	res, err := NewMatrix(one, nil, 0).Learn(oracle.Target(one[0]))
 	if err != nil || res.Questions != 0 || res.Remaining != 1 {
 		t.Errorf("empty pool: (%+v, %v)", res, err)
+	}
+}
+
+// TestMatrixIntoTimingMetrics checks the registry-threaded constructor
+// records the build and per-algorithm learn durations, and that the
+// plain constructor stays metric-silent.
+func TestMatrixIntoTimingMetrics(t *testing.T) {
+	u := boolean.MustUniverse(2)
+	candidates := query.AllQueries(u)
+	pool := boolean.AllObjects(u)
+	reg := obs.NewRegistry()
+	m := NewMatrixInto(candidates, pool, 2, reg)
+	if got := reg.Histogram(obs.MetricBruteBuildSeconds, obs.LatencyBuckets).Count(); got != 1 {
+		t.Errorf("build observations = %d, want 1", got)
+	}
+
+	target := oracle.Target(candidates[0])
+	if _, err := m.Learn(target); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LearnGreedy(target); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Learn(target); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Histogram(obs.MetricBruteLearnSeconds, obs.LatencyBuckets, "algo", "sequential").Count(); got != 2 {
+		t.Errorf("sequential learn observations = %d, want 2", got)
+	}
+	if got := reg.Histogram(obs.MetricBruteLearnSeconds, obs.LatencyBuckets, "algo", "greedy").Count(); got != 1 {
+		t.Errorf("greedy learn observations = %d, want 1", got)
+	}
+
+	// NewMatrix (no registry) must not panic and must record nothing.
+	bare := NewMatrix(candidates, pool, 2)
+	if _, err := bare.Learn(target); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Histogram(obs.MetricBruteLearnSeconds, obs.LatencyBuckets, "algo", "sequential").Count(); got != 2 {
+		t.Errorf("bare matrix leaked observations into the registry: %d", got)
 	}
 }

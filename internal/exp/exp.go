@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"qhorn/internal/obs"
 	"qhorn/internal/run"
 	"qhorn/internal/stats"
 )
@@ -49,6 +50,16 @@ func (c Config) normalize() Config {
 		c.Parallel = run.New(c.Engine...).Workers
 	}
 	return c
+}
+
+// registry returns the metrics registry the CLI's engine options carry
+// (run.FromFlags threads the session registry through
+// run.WithInstrumentation), or nil when the harness runs bare — the
+// experiments' hand-built oracle stacks record their engine metrics
+// (ask latency, memo hits, batch sizes) into it so a live -obs-addr
+// server shows them mid-run.
+func (c Config) registry() *obs.Registry {
+	return run.New(c.Engine...).Ins.Metrics
 }
 
 // Experiment is one reproducible row of the evaluation.

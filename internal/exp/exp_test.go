@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"verification-cost", "fig7", "fig8", "worked-example",
 		"learn-vs-verify", "data-domain",
 		"revision", "pac-learning", "noisy-amendment", "ablation", "deep-nesting", "summary", "teaching-sets", "fig5", "partial-verification", "noise-sensitivity",
-		"parallel", "kernel",
+		"parallel", "kernel", "obs",
 	}
 	for _, name := range want {
 		e, ok := ByName(name)
@@ -142,6 +142,36 @@ func TestHeaderFormat(t *testing.T) {
 		if !strings.Contains(h, want) {
 			t.Errorf("header %q missing %q", h, want)
 		}
+	}
+}
+
+// TestObsOverheadExperiment checks E24 produces the session-overhead
+// gate table plus the per-instrument micro table, with real samples in
+// both. The <5% gate itself is enforced inside the experiment (it
+// panics on breach), so a clean run here is the gate passing.
+func TestObsOverheadExperiment(t *testing.T) {
+	e, _ := ByName("obs")
+	tables := e.Run(quickCfg())
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2 (session overhead + micro costs)", len(tables))
+	}
+	session, micro := tables[0], tables[1]
+	if !strings.Contains(session.Title, "session overhead") {
+		t.Errorf("first table title = %q", session.Title)
+	}
+	if len(session.Rows) == 0 {
+		t.Fatal("session table has no rows")
+	}
+	for _, row := range session.Rows {
+		if len(row) != len(session.Columns) {
+			t.Errorf("session row width %d, want %d", len(row), len(session.Columns))
+		}
+	}
+	if !strings.Contains(micro.Title, "instrument micro-costs") {
+		t.Errorf("second table title = %q", micro.Title)
+	}
+	if len(micro.Rows) < 4 {
+		t.Errorf("micro table rows = %d, want the per-instrument breakdown", len(micro.Rows))
 	}
 }
 

@@ -46,6 +46,7 @@ func evalTable(e Experiment, cfg Config) *stats.Table {
 	t := stats.NewTable(header(e)+" — evaluation (recorded session questions)",
 		"n", "questions", "evals", "interp ms", "compiled ms", "speedup",
 		"interp allocs/op", "compiled allocs/op")
+	reg := cfg.registry()
 
 	sweep := []int{12, 16, 24}
 	reps := 50
@@ -59,7 +60,7 @@ func evalTable(e Experiment, cfg Config) *stats.Table {
 		var nq, interpMS, compiledMS, interpAllocs, compiledAllocs []float64
 		for trial := 0; trial < cfg.Trials; trial++ {
 			target := query.GenQhorn1(rng, n)
-			tr := oracle.Record(oracle.TargetInterpreted(target))
+			tr := oracle.Record(oracle.CountInto(oracle.TargetInterpreted(target), reg))
 			learn.Run(u, tr, run.WithAlgorithm(run.Qhorn1))
 			qs := make([]boolean.Set, len(tr.Entries))
 			for i, entry := range tr.Entries {
@@ -110,6 +111,7 @@ func bruteTable(e Experiment, cfg Config) *stats.Table {
 	t := stats.NewTable(header(e)+" — brute learner",
 		"n", "candidates", "pool", "questions",
 		"serial ms", "matrix ms", "speedup", "build ms")
+	reg := cfg.registry()
 
 	sweep := []int{2, 3}
 	if cfg.Quick {
@@ -129,19 +131,19 @@ func bruteTable(e Experiment, cfg Config) *stats.Table {
 		// set and reused across every learn, the designed usage for
 		// experiment sweeps. Its one-time cost is the build ms column.
 		start := time.Now()
-		m := brute.NewMatrix(candidates, pool, cfg.Parallel)
+		m := brute.NewMatrixInto(candidates, pool, cfg.Parallel, reg)
 		buildMS := float64(time.Since(start).Microseconds()) / 1000
 
 		var questions, serialMS, matrixMS []float64
 		for trial := 0; trial < trials; trial++ {
 			target := candidates[rng.Intn(len(candidates))]
 
-			sc := oracle.Count(oracle.Target(target))
+			sc := oracle.CountInto(oracle.Target(target), reg)
 			start := time.Now()
 			sres, serr := brute.LearnGreedySerial(candidates, sc, pool)
 			serialMS = append(serialMS, float64(time.Since(start).Microseconds())/1000)
 
-			mc := oracle.Count(oracle.Target(target))
+			mc := oracle.CountInto(oracle.Target(target), reg)
 			start = time.Now()
 			mres, merr := m.LearnGreedy(mc)
 			matrixMS = append(matrixMS, float64(time.Since(start).Microseconds())/1000)

@@ -31,6 +31,7 @@ func init() {
 // time.
 func runParallel(cfg Config) []*stats.Table {
 	cfg = cfg.normalize()
+	reg := cfg.registry()
 	e, _ := ByName("parallel")
 
 	const n = 10
@@ -78,14 +79,14 @@ func runParallel(cfg Config) []*stats.Table {
 					})
 				}
 
-				sc := oracle.Count(slowUser())
+				sc := oracle.CountInto(slowUser(), reg)
 				start := time.Now()
 				sq, _ := learn.Run(target.U, sc, run.WithAlgorithm(l.alg))
 				serialMS = append(serialMS, float64(time.Since(start).Microseconds())/1000)
 
-				pc := oracle.Count(slowUser())
+				pc := oracle.CountInto(slowUser(), reg)
 				start = time.Now()
-				pq, _ := learn.Run(target.U, oracle.Parallel(pc, workers),
+				pq, _ := learn.Run(target.U, oracle.ParallelInto(pc, workers, reg),
 					run.WithAlgorithm(l.alg), run.WithBatch())
 				parallelMS = append(parallelMS, float64(time.Since(start).Microseconds())/1000)
 

@@ -1,6 +1,8 @@
 package learn
 
 import (
+	"time"
+
 	"qhorn/internal/boolean"
 	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
@@ -42,22 +44,43 @@ type instr struct {
 }
 
 // start opens the run's root span; close it with the returned func.
+// When metrics are configured the phase-duration histogram
+// (qhorn_phase_seconds{phase=name}) observes the span's wall time.
 func (in *instr) start(name string, attrs ...obs.Attr) func() {
 	root := in.ins.Spans.StartSpan(name, attrs...)
 	in.cur = root
-	return func() { root.End() }
+	done := in.timePhase(name)
+	return func() {
+		root.End()
+		done()
+	}
 }
 
 // begin opens a child span of the current span and makes it current;
-// the returned func ends it and restores the parent.
+// the returned func ends it, restores the parent and observes the
+// phase-duration histogram.
 func (in *instr) begin(name string, attrs ...obs.Attr) func() {
 	parent := in.cur
 	sp := parent.StartChild(name, attrs...)
 	in.cur = sp
+	done := in.timePhase(name)
 	return func() {
 		sp.End()
 		in.cur = parent
+		done()
 	}
+}
+
+// timePhase returns a func observing the phase's wall time into
+// qhorn_phase_seconds, or a no-op when metrics are off — the clock is
+// only read when someone is listening.
+func (in *instr) timePhase(name string) func() {
+	if in.ins.Metrics == nil {
+		return func() {}
+	}
+	h := in.ins.Metrics.Histogram(obs.MetricPhaseSeconds, obs.LatencyBuckets, "phase", name)
+	begun := time.Now()
+	return func() { h.Observe(time.Since(begun).Seconds()) }
 }
 
 // note annotates the next question(s) with their phase and purpose.

@@ -150,6 +150,38 @@ func TestRolePreservingObservedSpansAndMetrics(t *testing.T) {
 	}
 }
 
+// TestPhaseDurationHistograms checks an observed run feeds the
+// engine-wide qhorn_phase_seconds histogram: one observation for the
+// root span, at least one per paper phase, and none without metrics.
+func TestPhaseDurationHistograms(t *testing.T) {
+	u := boolean.MustUniverse(6)
+	target := query.MustParse(u, "∀x1x2 → x4 ∃x1x2 → x5 ∃x3 → x6")
+	reg := obs.NewRegistry()
+	learned, _ := Qhorn1Observed(u, oracle.Target(target), Instrumentation{Metrics: reg})
+	if !learned.Equivalent(target) {
+		t.Fatalf("learned %s", learned)
+	}
+
+	if got := reg.Histogram(obs.MetricPhaseSeconds, obs.LatencyBuckets, "phase", "learn/qhorn1").Count(); got != 1 {
+		t.Errorf("root phase observations = %d, want 1", got)
+	}
+	for _, phase := range []string{"heads", "bodies", "existential"} {
+		if got := reg.Histogram(obs.MetricPhaseSeconds, obs.LatencyBuckets, "phase", phase).Count(); got == 0 {
+			t.Errorf("phase %q never observed a duration", phase)
+		}
+	}
+
+	// The role-preserving learner reports under its own root phase.
+	reg = obs.NewRegistry()
+	rpTarget := query.MustParse(u, "∀x1x4 → x5 ∃x2x3")
+	if learned, _ := RolePreservingObserved(u, oracle.Target(rpTarget), Instrumentation{Metrics: reg}); !learned.Equivalent(rpTarget) {
+		t.Fatalf("rp learned %s", learned)
+	}
+	if got := reg.Histogram(obs.MetricPhaseSeconds, obs.LatencyBuckets, "phase", "learn/rp").Count(); got != 1 {
+		t.Errorf("rp root phase observations = %d, want 1", got)
+	}
+}
+
 func containsString(ss []string, want string) bool {
 	for _, s := range ss {
 		if s == want {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // Flags is the shared observability flag bundle every CLI binds:
@@ -15,6 +16,10 @@ import (
 //	-profile P    write P.cpu.pprof and P.heap.pprof around the run
 //	-parallel N   answer independent questions with N workers
 //	-interpreted-eval  force simulated users off the compiled kernel
+//	-obs-addr A   serve /metrics, /spans, /progress, /healthz and
+//	              /debug/pprof live on this address during the run
+//	-obs-spans N  flight-recorder capacity (last N completed spans)
+//	-obs-wait D   keep serving for D after the run completes
 type Flags struct {
 	Trace    bool
 	TraceOut string
@@ -27,6 +32,18 @@ type Flags struct {
 	// interpreted Query.Eval instead of the compiled kernel
 	// (docs/PERFORMANCE.md) — the diagnostic escape hatch.
 	InterpretedEval bool
+	// ObsAddr, when non-empty, serves the live observability plane
+	// (obs.Server) on this host:port for the life of the session; port
+	// 0 picks a free port. It forces the tracer on: the server's span
+	// flight recorder consumes the span stream.
+	ObsAddr string
+	// ObsSpans is the flight recorder's completed-span ring capacity;
+	// <= 0 selects DefaultFlightSpans.
+	ObsSpans int
+	// ObsWait keeps the observability server up for this long after
+	// Close has rendered the run's outputs — the window CI smoke jobs
+	// (and humans) use to curl a finished run.
+	ObsWait time.Duration
 }
 
 // BindFlags registers the shared observability flags on fs.
@@ -38,6 +55,9 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Profile, "profile", "", "write CPU and heap profiles with this file prefix")
 	fs.IntVar(&f.Parallel, "parallel", 0, "answer independent membership questions with this many concurrent workers (0 = serial)")
 	fs.BoolVar(&f.InterpretedEval, "interpreted-eval", false, "evaluate simulated users with the interpreted evaluator instead of the compiled kernel")
+	fs.StringVar(&f.ObsAddr, "obs-addr", "", "serve /metrics, /spans, /progress, /healthz and /debug/pprof live on this host:port (port 0 picks a free port)")
+	fs.IntVar(&f.ObsSpans, "obs-spans", 0, "flight-recorder capacity: keep the last N completed spans (0 = default)")
+	fs.DurationVar(&f.ObsWait, "obs-wait", 0, "keep the -obs-addr server up this long after the run completes")
 	return f
 }
 
@@ -58,6 +78,7 @@ type Session struct {
 	jsonl   *JSONLSink
 	jsonlF  *os.File
 	profile *Profile
+	server  *Server
 	closed  bool
 }
 
@@ -81,13 +102,26 @@ func (f *Flags) Start(out io.Writer, extra ...SpanSink) (*Session, error) {
 		sinks = append(sinks, s.jsonl)
 	}
 	sinks = append(sinks, extra...)
-	if len(sinks) > 0 {
+	if len(sinks) > 0 || f.ObsAddr != "" {
+		// -obs-addr forces the tracer on even without -trace: the
+		// server's flight recorder (attached by NewServer) consumes the
+		// span stream.
 		s.Tracer = NewTracer(sinks...)
+	}
+	if f.ObsAddr != "" {
+		srv := NewServer(s.Metrics, s.Tracer, NewFlightRecorder(f.ObsSpans))
+		if err := srv.Start(f.ObsAddr); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		s.server = srv
+		fmt.Fprintf(out, "obs: serving /metrics /spans /progress /healthz /debug/pprof on %s\n", srv.URL())
 	}
 	if f.Profile != "" {
 		p, err := StartProfile(f.Profile)
 		if err != nil {
 			s.closeFiles()
+			s.closeServer()
 			return nil, err
 		}
 		s.profile = p
@@ -99,6 +133,13 @@ func (s *Session) closeFiles() {
 	if s.jsonlF != nil {
 		s.jsonlF.Close()
 		s.jsonlF = nil
+	}
+}
+
+func (s *Session) closeServer() {
+	if s.server != nil {
+		s.server.Close()
+		s.server = nil
 	}
 }
 
@@ -134,9 +175,18 @@ func (s *Session) Close() error {
 		s.jsonlF = nil
 	}
 	keep(s.profile.Stop())
+	if s.server != nil && s.flags.ObsWait > 0 {
+		fmt.Fprintf(s.out, "obs: run complete; serving %s for another %s\n", s.server.URL(), s.flags.ObsWait)
+		time.Sleep(s.flags.ObsWait)
+	}
+	s.closeServer()
 	return first
 }
 
 // Tree returns the collected tree sink, or nil when -trace is off;
 // tests use it to assert span coverage without parsing output.
 func (s *Session) Tree() *TreeSink { return s.tree }
+
+// Server returns the live observability server, or nil when -obs-addr
+// is unset. It serves until the session closes (plus -obs-wait).
+func (s *Session) Server() *Server { return s.server }

@@ -3,6 +3,7 @@ package obs
 import (
 	"flag"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -119,4 +120,65 @@ func TestFlagsBadTraceOutPath(t *testing.T) {
 	if _, err := f.Start(io.Discard); err == nil {
 		t.Error("bad trace-out path accepted")
 	}
+}
+
+func TestFlagsObsAddrServesSession(t *testing.T) {
+	f := parseFlags(t, "-obs-addr", "127.0.0.1:0", "-obs-spans", "32")
+	var out strings.Builder
+	s, err := f.Start(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Server() == nil {
+		t.Fatal("no server despite -obs-addr")
+	}
+	if s.Tracer == nil {
+		t.Error("-obs-addr did not force the tracer on")
+	}
+	if got := s.Server().Flight().Capacity(); got != 32 {
+		t.Errorf("flight capacity = %d, want 32 from -obs-spans", got)
+	}
+	if !strings.Contains(out.String(), s.Server().URL()) {
+		t.Errorf("startup banner does not announce %s:\n%s", s.Server().URL(), out.String())
+	}
+
+	// A run instrumented with the session's tracer and registry is
+	// visible at the live endpoints.
+	s.Tracer.StartSpan("learn/qhorn1").End()
+	s.Metrics.Counter(MetricQuestions).Add(5)
+	url := s.Server().URL()
+	if body := httpGet(t, url+"/metrics"); !strings.Contains(body, "qhorn_questions_total 5") {
+		t.Errorf("live /metrics missing counter:\n%s", body)
+	}
+	if body := httpGet(t, url+"/spans"); !strings.Contains(body, `"name":"learn/qhorn1"`) {
+		t.Errorf("live /spans missing span:\n%s", body)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Server() != nil {
+		t.Error("server still referenced after Close")
+	}
+}
+
+func TestFlagsObsAddrBadAddrFailsStart(t *testing.T) {
+	f := parseFlags(t, "-obs-addr", "256.256.256.256:99999")
+	if _, err := f.Start(io.Discard); err == nil {
+		t.Error("bogus -obs-addr accepted")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
 }

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderDefaultCapacity(t *testing.T) {
+	if got := NewFlightRecorder(0).Capacity(); got != DefaultFlightSpans {
+		t.Errorf("default capacity = %d, want %d", got, DefaultFlightSpans)
+	}
+	if got := NewFlightRecorder(-3).Capacity(); got != DefaultFlightSpans {
+		t.Errorf("negative capacity = %d, want %d", got, DefaultFlightSpans)
+	}
+	if got := NewFlightRecorder(7).Capacity(); got != 7 {
+		t.Errorf("capacity = %d, want 7", got)
+	}
+}
+
+func TestFlightRecorderOpenAndCompleted(t *testing.T) {
+	f := NewFlightRecorder(8)
+	tr := NewTracer(f)
+
+	root := tr.StartSpan("learn/qhorn1", A("n", "6"))
+	child := root.StartChild("heads")
+	child.Event("question", A("phase", "heads"))
+	child.Event("question", A("phase", "heads"))
+
+	open, completed, dropped := f.Snapshot()
+	if len(open) != 2 || len(completed) != 0 || dropped != 0 {
+		t.Fatalf("open=%d completed=%d dropped=%d, want 2/0/0", len(open), len(completed), dropped)
+	}
+	// Oldest (root) first; both marked open.
+	if open[0].Name != "learn/qhorn1" || open[1].Name != "heads" {
+		t.Errorf("open order = %s, %s", open[0].Name, open[1].Name)
+	}
+	for _, fs := range open {
+		if !fs.Open || !fs.Ended.IsZero() || fs.DurationUS != 0 {
+			t.Errorf("open span %s carries completion state: %+v", fs.Name, fs)
+		}
+	}
+	if open[1].Events != 2 {
+		t.Errorf("child events = %d, want 2", open[1].Events)
+	}
+	if open[1].Parent != open[0].ID {
+		t.Error("child does not reference the root as parent")
+	}
+
+	child.End()
+	root.End()
+	open, completed, dropped = f.Snapshot()
+	if len(open) != 0 || len(completed) != 2 || dropped != 0 {
+		t.Fatalf("after End: open=%d completed=%d dropped=%d, want 0/2/0", len(open), len(completed), dropped)
+	}
+	// The event count carries over from the open phase.
+	var childDone *FlightSpan
+	for i := range completed {
+		if completed[i].Name == "heads" {
+			childDone = &completed[i]
+		}
+	}
+	if childDone == nil || childDone.Events != 2 {
+		t.Fatalf("completed child = %+v, want 2 events", childDone)
+	}
+	if childDone.Open || childDone.Ended.IsZero() {
+		t.Error("completed span still marked open")
+	}
+}
+
+func TestFlightRecorderRingEviction(t *testing.T) {
+	f := NewFlightRecorder(4)
+	tr := NewTracer(f)
+	for i := 0; i < 10; i++ {
+		tr.StartSpan(fmt.Sprintf("s%d", i)).End()
+	}
+	open, completed, dropped := f.Snapshot()
+	if len(open) != 0 {
+		t.Errorf("open = %d, want 0", len(open))
+	}
+	if len(completed) != 4 || dropped != 6 {
+		t.Fatalf("completed=%d dropped=%d, want 4/6", len(completed), dropped)
+	}
+	// The ring keeps the newest spans, unrolled oldest-first.
+	for i, fs := range completed {
+		if want := fmt.Sprintf("s%d", 6+i); fs.Name != want {
+			t.Errorf("completed[%d] = %s, want %s", i, fs.Name, want)
+		}
+	}
+}
+
+func TestFlightRecorderWriteJSONL(t *testing.T) {
+	f := NewFlightRecorder(8)
+	tr := NewTracer(f)
+	tr.StartSpan("done", A("k", "v")).End()
+	still := tr.StartSpan("still-open")
+
+	var b strings.Builder
+	if err := f.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	var lines []FlightSpan
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		var fs FlightSpan
+		if err := json.Unmarshal(sc.Bytes(), &fs); err != nil {
+			t.Fatalf("line not JSON: %v\n%s", err, sc.Text())
+		}
+		lines = append(lines, fs)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("JSONL lines = %d, want 2", len(lines))
+	}
+	// Completed first, then open.
+	if lines[0].Name != "done" || lines[0].Open {
+		t.Errorf("first line = %+v, want completed 'done'", lines[0])
+	}
+	if lines[1].Name != "still-open" || !lines[1].Open {
+		t.Errorf("second line = %+v, want open 'still-open'", lines[1])
+	}
+	if len(lines[0].Attrs) != 1 || lines[0].Attrs[0].Key != "k" {
+		t.Errorf("attrs not preserved: %+v", lines[0].Attrs)
+	}
+	still.End()
+}
+
+// TestFlightRecorderConcurrent hammers one recorder from several
+// tracers at once — the -obs-addr topology, where the session tracer
+// and any embedded servers share the recorder — while concurrently
+// dumping it. Run under -race this is the recorder's safety proof.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(64)
+	const tracers, spansPer = 4, 200
+	var wg sync.WaitGroup
+	for i := 0; i < tracers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := NewTracer(f)
+			for j := 0; j < spansPer; j++ {
+				sp := tr.StartSpan("work")
+				sp.Event("question", A("phase", "heads"))
+				child := sp.StartChild("inner")
+				child.End()
+				sp.End()
+			}
+		}()
+	}
+	// Concurrent dumps must see a consistent snapshot at every point.
+	dumpDone := make(chan struct{})
+	go func() {
+		defer close(dumpDone)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := f.WriteJSONL(&b); err != nil {
+				t.Errorf("dump: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-dumpDone
+
+	open, completed, dropped := f.Snapshot()
+	if len(open) != 0 {
+		t.Errorf("open = %d after all spans ended", len(open))
+	}
+	total := dropped + uint64(len(completed))
+	if want := uint64(tracers * spansPer * 2); total != want {
+		t.Errorf("completed total = %d, want %d", total, want)
+	}
+	if len(completed) != 64 {
+		t.Errorf("ring holds %d, want capacity 64", len(completed))
+	}
+}

@@ -235,6 +235,54 @@ func (h *Histogram) snapshot() ([]float64, []uint64, float64, uint64) {
 	return append([]float64{}, h.buckets...), cum, h.sum, h.count
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation within the bucket containing
+// the target rank — the same estimator as Prometheus's
+// histogram_quantile. It returns NaN on an empty histogram; samples
+// beyond the last finite bucket clamp to that bucket's upper bound
+// (the estimator cannot see past its buckets). Use it to report
+// p50/p95/p99 ask latency from exit dumps and /progress.
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds, cum, _, count := h.snapshot()
+	return quantile(q, bounds, cum, count)
+}
+
+// quantile is the shared bucket-interpolation estimator over a
+// cumulative snapshot.
+func quantile(q float64, bounds []float64, cum []uint64, count uint64) float64 {
+	if count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	for i, ub := range bounds {
+		c := float64(cum[i])
+		if c < rank {
+			continue
+		}
+		lower, below := 0.0, 0.0
+		if i > 0 {
+			lower, below = bounds[i-1], float64(cum[i-1])
+		}
+		inBucket := c - below
+		if inBucket == 0 {
+			return ub
+		}
+		return lower + (ub-lower)*((rank-below)/inBucket)
+	}
+	// The rank falls in the implicit +Inf bucket: clamp to the largest
+	// finite bound (or NaN when the histogram has no finite buckets).
+	if len(bounds) == 0 {
+		return math.NaN()
+	}
+	return bounds[len(bounds)-1]
+}
+
 // WritePrometheus renders every metric in the Prometheus text
 // exposition format (families sorted by name, label variants in
 // first-registration order).
@@ -350,17 +398,94 @@ func (r *Registry) SumCounter(name string) int64 {
 
 // PublishExpvar exposes the registry under the given expvar name as a
 // JSON map of "metric{labels}" to value (histograms expose _sum and
-// _count). Publishing the same name twice replaces nothing and does
-// not panic; the first registry wins for the lifetime of the process,
-// matching expvar's append-only model.
-func (r *Registry) PublishExpvar(name string) {
+// _count). It reports whether the registry was published: expvar is
+// append-only per process, so publishing a name that is already taken
+// — by an earlier registry or any other expvar — changes nothing and
+// returns false, letting callers (and the obs server) detect the
+// double registration instead of silently serving stale metrics.
+func (r *Registry) PublishExpvar(name string) bool {
 	if r == nil {
-		return
+		return false
 	}
+	expvarPublishMu.Lock()
+	defer expvarPublishMu.Unlock()
 	if expvar.Get(name) != nil {
-		return
+		return false
 	}
 	expvar.Publish(name, expvar.Func(func() interface{} { return r.expvarMap() }))
+	return true
+}
+
+// expvarPublishMu serializes the Get-then-Publish pair so two
+// registries racing on one name cannot both pass the duplicate check
+// (expvar.Publish panics on duplicates; the check must be atomic).
+var expvarPublishMu sync.Mutex
+
+// Point is one metric instance in a registry snapshot: a counter or
+// gauge with its value, or a histogram with its cumulative snapshot.
+type Point struct {
+	// Name is the metric family name.
+	Name string `json:"name"`
+	// Labels are the instance's label pairs, sorted by key.
+	Labels []Attr `json:"labels,omitempty"`
+	// Type is "counter", "gauge" or "histogram".
+	Type string `json:"type"`
+	// Value is the counter or gauge value (0 for histograms).
+	Value float64 `json:"value"`
+	// Hist is the histogram snapshot (nil for counters and gauges).
+	Hist *HistogramSnapshot `json:"hist,omitempty"`
+}
+
+// HistogramSnapshot is a consistent point-in-time view of one
+// histogram: bucket upper bounds, cumulative counts, sum and count.
+type HistogramSnapshot struct {
+	Buckets []float64 `json:"buckets"`
+	// Cumulative[i] counts samples ≤ Buckets[i]; Count covers the
+	// implicit +Inf bucket.
+	Cumulative []uint64 `json:"cumulative"`
+	Sum        float64  `json:"sum"`
+	Count      uint64   `json:"count"`
+}
+
+// Quantile estimates the q-quantile of the snapshot (see
+// Histogram.Quantile).
+func (h *HistogramSnapshot) Quantile(q float64) float64 {
+	return quantile(q, h.Buckets, h.Cumulative, h.Count)
+}
+
+// Snapshot returns every metric instance in the registry — families
+// sorted by name, label variants in first-registration order — as a
+// flat point list. The obs server's /progress endpoint is built on it;
+// a nil registry snapshots empty.
+func (r *Registry) Snapshot() []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Point
+	for _, name := range names {
+		f := r.families[name]
+		for _, key := range f.order {
+			p := Point{Name: name, Labels: f.labels[key], Type: f.typ}
+			switch m := f.metrics[key].(type) {
+			case *Counter:
+				p.Value = float64(m.Value())
+			case *Gauge:
+				p.Value = m.Value()
+			case *Histogram:
+				bounds, cum, sum, count := m.snapshot()
+				p.Hist = &HistogramSnapshot{Buckets: bounds, Cumulative: cum, Sum: sum, Count: count}
+			}
+			out = append(out, p)
+		}
+	}
+	r.mu.Unlock()
+	return out
 }
 
 // expvarMap flattens the registry into a string-keyed map for expvar.

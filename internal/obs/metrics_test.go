@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"expvar"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -113,7 +114,12 @@ func TestNilRegistryDiscards(t *testing.T) {
 	r.Gauge("g").Set(1)
 	r.Histogram("h", []float64{1}).Observe(1)
 	r.Describe("c", "x")
-	r.PublishExpvar("nil-registry-test")
+	if r.PublishExpvar("nil-registry-test") {
+		t.Error("nil registry claimed to publish an expvar")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry returned a non-nil snapshot")
+	}
 	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
 		t.Fatal(err)
 	}
@@ -127,10 +133,15 @@ func TestExpvarBridge(t *testing.T) {
 	r.Counter("qhorn_questions_total").Add(9)
 	h := r.Histogram("lat", []float64{1})
 	h.Observe(0.5)
-	r.PublishExpvar("qhorn-test-metrics")
-	// Publishing a second registry under the same name must not panic
-	// and must not displace the first.
-	NewRegistry().PublishExpvar("qhorn-test-metrics")
+	if !r.PublishExpvar("qhorn-test-metrics") {
+		t.Error("first PublishExpvar reported failure")
+	}
+	// Publishing a second registry under the same name must not panic,
+	// must not displace the first, and must report the refusal instead
+	// of silently dropping the registry.
+	if NewRegistry().PublishExpvar("qhorn-test-metrics") {
+		t.Error("duplicate PublishExpvar reported success")
+	}
 
 	v := expvar.Get("qhorn-test-metrics")
 	if v == nil {
@@ -145,6 +156,74 @@ func TestExpvarBridge(t *testing.T) {
 	}
 	if m["lat_count"].(float64) != 1 {
 		t.Errorf("expvar lat_count = %v", m["lat_count"])
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("lat", []float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile is not NaN")
+	}
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{0.125, 0.5}, // half-way into the first bucket [0,1]
+		{0.25, 1},    // exactly the first bucket's upper bound
+		{0.5, 2},     // exactly the second bucket's upper bound
+		{0.75, 4},    // exactly the third bucket's upper bound
+		{0.99, 4},    // +Inf bucket clamps to the last finite bound
+		{1, 4},
+		{-3, 0}, // q clamps into [0,1]
+		{7, 4},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(h.Quantile(math.NaN())) {
+		t.Error("Quantile(NaN) is not NaN")
+	}
+
+	// Uniform interpolation inside one bucket.
+	u := NewRegistry().Histogram("u", []float64{10})
+	for i := 0; i < 4; i++ {
+		u.Observe(5)
+	}
+	if got := u.Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("uniform Quantile(0.5) = %v, want 5", got)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "phase", "heads").Add(3)
+	r.Gauge("a_gauge").Set(2.5)
+	h := r.Histogram("c_lat", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+
+	pts := r.Snapshot()
+	if len(pts) != 3 {
+		t.Fatalf("snapshot has %d points, want 3", len(pts))
+	}
+	// Families come sorted by name.
+	if pts[0].Name != "a_gauge" || pts[1].Name != "b_total" || pts[2].Name != "c_lat" {
+		t.Fatalf("snapshot order = %s, %s, %s", pts[0].Name, pts[1].Name, pts[2].Name)
+	}
+	if pts[0].Type != "gauge" || pts[0].Value != 2.5 {
+		t.Errorf("gauge point = %+v", pts[0])
+	}
+	if pts[1].Type != "counter" || pts[1].Value != 3 || len(pts[1].Labels) != 1 || pts[1].Labels[0].Value != "heads" {
+		t.Errorf("counter point = %+v", pts[1])
+	}
+	hist := pts[2].Hist
+	if hist == nil || hist.Count != 2 || hist.Sum != 2 {
+		t.Fatalf("histogram snapshot = %+v", hist)
+	}
+	if got := hist.Quantile(0.5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("snapshot Quantile(0.5) = %v, want 1", got)
 	}
 }
 

@@ -51,9 +51,12 @@ const (
 	// MetricTuplesPerQuestion is the distribution of tuples per
 	// question (Lemma 3.4 bounds cost when this is constant).
 	MetricTuplesPerQuestion = "qhorn_tuples_per_question"
-	// MetricOracleSeconds is the distribution of oracle answer
-	// latency in seconds.
-	MetricOracleSeconds = "qhorn_oracle_answer_seconds"
+	// MetricOracleAskSeconds is the distribution of per-question oracle
+	// answer latency in seconds. Serial asks are timed at the counting
+	// adapter (oracle.CountInto); batched asks are timed worker-side by
+	// the pool (oracle.ParallelInto), where individual answers overlap
+	// but each inner ask is still bounded on its own.
+	MetricOracleAskSeconds = "qhorn_oracle_ask_seconds"
 	// MetricQuestionsByPhase counts questions per algorithm phase
 	// (label "phase": heads, bodies, existential).
 	MetricQuestionsByPhase = "qhorn_questions_by_phase_total"
@@ -86,6 +89,28 @@ const (
 	// MetricBatchSeconds is the distribution of wall time per batch in
 	// seconds.
 	MetricBatchSeconds = "qhorn_oracle_batch_seconds"
+	// MetricMemoHits counts questions the Memo wrapper answered from
+	// its cache (or by joining another asker's in-flight question)
+	// without consulting the inner oracle.
+	MetricMemoHits = "qhorn_oracle_memo_hits_total"
+	// MetricMemoMisses counts questions the Memo wrapper had to forward
+	// to the inner oracle.
+	MetricMemoMisses = "qhorn_oracle_memo_misses_total"
+	// MetricBudgetSheds counts questions refused by an exhausted Budget
+	// — the load-shedding signal of an admission-controlled service.
+	MetricBudgetSheds = "qhorn_oracle_budget_shed_total"
+	// MetricPhaseSeconds is the distribution of per-phase wall time:
+	// one observation per phase/subroutine span of a learning run
+	// (label "phase": learn/qhorn1, heads, find, lattice-search, …) and
+	// per question family of a verification run (verify, verify/A1 …).
+	MetricPhaseSeconds = "qhorn_phase_seconds"
+	// MetricBruteBuildSeconds is the distribution of brute answer-
+	// matrix build wall time (brute.NewMatrixInto).
+	MetricBruteBuildSeconds = "qhorn_brute_matrix_build_seconds"
+	// MetricBruteLearnSeconds is the distribution of per-learn wall
+	// time through the brute answer matrix (label "algo": greedy or
+	// exhaustive).
+	MetricBruteLearnSeconds = "qhorn_brute_learn_seconds"
 )
 
 // TuplesPerQuestionBuckets are the fixed histogram buckets for
@@ -94,8 +119,9 @@ const (
 var TuplesPerQuestionBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
 
 // LatencyBuckets are the fixed histogram buckets for
-// MetricOracleSeconds, from microseconds (simulated oracles) to
-// seconds (interactive users).
+// MetricOracleAskSeconds, MetricPhaseSeconds and the other wall-time
+// distributions, from microseconds (simulated oracles) to seconds
+// (interactive users).
 var LatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60}
 
 // BatchSizeBuckets are the fixed histogram buckets for

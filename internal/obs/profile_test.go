@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileWritesBothFiles(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run")
+	p, err := StartProfile(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".cpu.pprof", ".heap.pprof"} {
+		info, err := os.Stat(prefix + suffix)
+		if err != nil {
+			t.Fatalf("%s: %v", suffix, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", suffix)
+		}
+	}
+}
+
+func TestProfileStartErrorOnBadPrefix(t *testing.T) {
+	if _, err := StartProfile(filepath.Join(t.TempDir(), "no-such-dir", "run")); err == nil {
+		t.Fatal("StartProfile into a missing directory did not error")
+	}
+}
+
+func TestProfileStopNilIsNoop(t *testing.T) {
+	var p *Profile
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+)
+
+// Server is the live observability plane of a running process: one
+// embeddable HTTP endpoint serving the metrics registry, the span
+// flight recorder and the runtime profiler while learners, verifiers
+// and experiments are still in flight. Every CLI mounts one with
+// -obs-addr (obs.Flags); the qhornd session server of the ROADMAP
+// mounts its sessions onto the same skeleton.
+//
+// Endpoints:
+//
+//	/            plain-text index of the endpoints below
+//	/healthz     liveness probe ("ok")
+//	/metrics     live Prometheus text exposition of the Registry
+//	/spans       flight-recorder dump as JSONL (completed then open)
+//	/progress    JSON snapshot: open spans, span totals, counters and
+//	             histogram quantiles (p50/p95/p99)
+//	/debug/pprof the standard runtime profiler (goroutine, heap,
+//	             profile, trace, …)
+type Server struct {
+	reg    *Registry
+	tracer *Tracer
+	flight *FlightRecorder
+	mux    *http.ServeMux
+	start  time.Time
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewServer builds an observability server over the given registry,
+// tracer and flight recorder, creating any nil piece: a nil flight
+// recorder becomes NewFlightRecorder(0), a nil registry a fresh one,
+// and a nil tracer a fresh tracer. Either way the flight recorder is
+// attached to the tracer as a sink, so the span stream of every run
+// instrumented with the tracer is dumpable at /spans. The server is
+// inert until Start (or until its Handler is mounted elsewhere).
+func NewServer(reg *Registry, tracer *Tracer, flight *FlightRecorder) *Server {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	if flight == nil {
+		flight = NewFlightRecorder(0)
+	}
+	if tracer == nil {
+		tracer = NewTracer(flight)
+	} else {
+		tracer.AddSink(flight)
+	}
+	s := &Server{reg: reg, tracer: tracer, flight: flight, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/spans", s.handleSpans)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// Registry returns the registry the server exposes at /metrics.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// SpanTracer returns the tracer whose span stream feeds the flight
+// recorder; instrument runs with it (run.WithObsServer does) to make
+// them visible at /spans and /progress.
+func (s *Server) SpanTracer() *Tracer { return s.tracer }
+
+// Flight returns the server's flight recorder.
+func (s *Server) Flight() *FlightRecorder { return s.flight }
+
+// Handler returns the server's HTTP handler, for mounting into an
+// existing server or an httptest harness.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (host:port; an empty host binds all
+// interfaces, port 0 picks a free port) and serves in a background
+// goroutine until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: server: %w", err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return nil
+}
+
+// Addr returns the listening address ("127.0.0.1:6060"), or "" before
+// Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the server's base URL, or "" before Start.
+func (s *Server) URL() string {
+	if s.ln == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Close stops the listener. Closing an unstarted or already-closed
+// server is a no-op.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	return srv.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "qhorn observability endpoint (up %s)\n\n", time.Since(s.start).Round(time.Second))
+	fmt.Fprintln(w, "/healthz      liveness probe")
+	fmt.Fprintln(w, "/metrics      Prometheus text exposition")
+	fmt.Fprintln(w, "/spans        flight-recorder dump (JSONL)")
+	fmt.Fprintln(w, "/progress     JSON progress snapshot")
+	fmt.Fprintln(w, "/debug/pprof  runtime profiles")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck // the write error is the client's disconnect
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.flight.WriteJSONL(w) //nolint:errcheck // the write error is the client's disconnect
+}
+
+// Progress is the JSON document /progress serves: what is in flight
+// right now and how the run's distributions look, computed live from
+// the flight recorder and the metrics registry.
+type Progress struct {
+	// Now is the server's clock at snapshot time; UptimeSeconds counts
+	// from server construction.
+	Now           time.Time `json:"now"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	// OpenSpans are the currently-open spans, oldest first — the
+	// in-flight sessions and phases.
+	OpenSpans []FlightSpan `json:"open_spans"`
+	// CompletedSpans counts spans the flight recorder has seen end;
+	// DroppedSpans of them have been evicted from the ring.
+	CompletedSpans uint64 `json:"completed_spans"`
+	DroppedSpans   uint64 `json:"dropped_spans"`
+	// Counters holds every counter and gauge, keyed "name{labels}".
+	Counters map[string]float64 `json:"counters,omitempty"`
+	// Histograms summarizes every histogram, keyed "name{labels}".
+	Histograms map[string]ProgressHistogram `json:"histograms,omitempty"`
+}
+
+// ProgressHistogram is the /progress summary of one histogram:
+// count, sum and interpolated quantiles (Histogram.Quantile).
+type ProgressHistogram struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// ProgressSnapshot builds the /progress document (exported so embedded
+// servers and tests can render it without HTTP).
+func (s *Server) ProgressSnapshot() Progress {
+	open, completed, dropped := s.flight.Snapshot()
+	p := Progress{
+		Now:            time.Now(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		OpenSpans:      open,
+		CompletedSpans: dropped + uint64(len(completed)),
+		DroppedSpans:   dropped,
+	}
+	if p.OpenSpans == nil {
+		p.OpenSpans = []FlightSpan{}
+	}
+	for _, pt := range s.reg.Snapshot() {
+		key := pointKey(pt)
+		switch {
+		case pt.Hist != nil:
+			if p.Histograms == nil {
+				p.Histograms = map[string]ProgressHistogram{}
+			}
+			p.Histograms[key] = ProgressHistogram{
+				Count: pt.Hist.Count,
+				Sum:   pt.Hist.Sum,
+				P50:   jsonSafe(pt.Hist.Quantile(0.50)),
+				P95:   jsonSafe(pt.Hist.Quantile(0.95)),
+				P99:   jsonSafe(pt.Hist.Quantile(0.99)),
+			}
+		default:
+			if p.Counters == nil {
+				p.Counters = map[string]float64{}
+			}
+			p.Counters[key] = pt.Value
+		}
+	}
+	return p
+}
+
+// pointKey renders a snapshot point as "name{k="v",…}", matching the
+// exposition spelling.
+func pointKey(pt Point) string {
+	if len(pt.Labels) == 0 {
+		return pt.Name
+	}
+	parts := make([]string, len(pt.Labels))
+	for i, a := range pt.Labels {
+		parts[i] = fmt.Sprintf("%s=%q", a.Key, a.Value)
+	}
+	sort.Strings(parts)
+	key := pt.Name + "{"
+	for i, p := range parts {
+		if i > 0 {
+			key += ","
+		}
+		key += p
+	}
+	return key + "}"
+}
+
+// jsonSafe maps NaN/Inf (empty-histogram quantiles) to 0, which
+// encoding/json cannot represent.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.ProgressSnapshot()) //nolint:errcheck // the write error is the client's disconnect
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// serverFixture builds a server with one completed learning span, one
+// open span and a few metrics — enough for every endpoint to have
+// content.
+func serverFixture() (*Server, *Span) {
+	reg := NewRegistry()
+	reg.Counter(MetricQuestions).Add(12)
+	h := reg.Histogram(MetricOracleAskSeconds, LatencyBuckets)
+	h.Observe(0.002)
+	h.Observe(0.004)
+
+	srv := NewServer(reg, nil, NewFlightRecorder(16))
+	tr := srv.SpanTracer()
+	tr.StartSpan("learn/qhorn1").End()
+	open := tr.StartSpan("verify")
+	return srv, open
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string, http.Header) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String(), rec.Header()
+}
+
+func TestServerHealthz(t *testing.T) {
+	srv, _ := serverFixture()
+	code, body, _ := get(t, srv.Handler(), "/healthz")
+	if code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+}
+
+func TestServerIndex(t *testing.T) {
+	srv, _ := serverFixture()
+	code, body, _ := get(t, srv.Handler(), "/")
+	if code != 200 {
+		t.Fatalf("index = %d", code)
+	}
+	for _, want := range []string{"/healthz", "/metrics", "/spans", "/progress", "/debug/pprof"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %s", want)
+		}
+	}
+	if code, _, _ := get(t, srv.Handler(), "/no-such-page"); code != 404 {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestServerMetrics(t *testing.T) {
+	srv, _ := serverFixture()
+	code, body, hdr := get(t, srv.Handler(), "/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	for _, want := range []string{
+		"qhorn_questions_total 12",
+		"# TYPE qhorn_oracle_ask_seconds histogram",
+		"qhorn_oracle_ask_seconds_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestServerSpans(t *testing.T) {
+	srv, _ := serverFixture()
+	code, body, hdr := get(t, srv.Handler(), "/spans")
+	if code != 200 {
+		t.Fatalf("spans = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("spans content type = %q", ct)
+	}
+	var names []string
+	var opens []bool
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		var fs FlightSpan
+		if err := json.Unmarshal(sc.Bytes(), &fs); err != nil {
+			t.Fatalf("spans line not JSON: %v", err)
+		}
+		names = append(names, fs.Name)
+		opens = append(opens, fs.Open)
+	}
+	if len(names) != 2 || names[0] != "learn/qhorn1" || names[1] != "verify" {
+		t.Fatalf("spans = %v", names)
+	}
+	if opens[0] || !opens[1] {
+		t.Errorf("open flags = %v, want [false true]", opens)
+	}
+}
+
+func TestServerProgress(t *testing.T) {
+	srv, openSpan := serverFixture()
+	code, body, hdr := get(t, srv.Handler(), "/progress")
+	if code != 200 {
+		t.Fatalf("progress = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("progress content type = %q", ct)
+	}
+	var p Progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("progress not JSON: %v", err)
+	}
+	if len(p.OpenSpans) != 1 || p.OpenSpans[0].Name != "verify" {
+		t.Fatalf("open spans = %+v", p.OpenSpans)
+	}
+	if p.CompletedSpans != 1 || p.DroppedSpans != 0 {
+		t.Errorf("completed=%d dropped=%d, want 1/0", p.CompletedSpans, p.DroppedSpans)
+	}
+	if p.Counters[MetricQuestions] != 12 {
+		t.Errorf("counters = %v", p.Counters)
+	}
+	hist, ok := p.Histograms[MetricOracleAskSeconds]
+	if !ok || hist.Count != 2 {
+		t.Fatalf("histograms = %v", p.Histograms)
+	}
+	if hist.P50 <= 0 || hist.P99 < hist.P50 {
+		t.Errorf("quantiles p50=%v p99=%v", hist.P50, hist.P99)
+	}
+	openSpan.End()
+
+	// With no open spans the JSON still carries an empty array, not
+	// null — consumers iterate without a nil check.
+	_, body, _ = get(t, srv.Handler(), "/progress")
+	if !strings.Contains(body, `"open_spans": []`) {
+		t.Errorf("empty open span list not rendered as []:\n%s", body)
+	}
+}
+
+func TestServerPprof(t *testing.T) {
+	srv, _ := serverFixture()
+	code, body, _ := get(t, srv.Handler(), "/debug/pprof/goroutine?debug=1")
+	if code != 200 || !strings.Contains(body, "goroutine profile") {
+		t.Fatalf("pprof goroutine = %d %q…", code, body[:min(len(body), 60)])
+	}
+	code, _, _ = get(t, srv.Handler(), "/debug/pprof/")
+	if code != 200 {
+		t.Errorf("pprof index = %d", code)
+	}
+}
+
+func TestServerStartServesAndCloses(t *testing.T) {
+	srv, _ := serverFixture()
+	if srv.Addr() != "" || srv.URL() != "" {
+		t.Error("unstarted server reports an address")
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("live healthz = %d %q", resp.StatusCode, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close errored: %v", err)
+	}
+	if _, err := http.Get(srv.URL() + "/healthz"); err == nil {
+		t.Error("server still answering after Close")
+	}
+}
+
+func TestServerStartBadAddr(t *testing.T) {
+	srv, _ := serverFixture()
+	if err := srv.Start("256.256.256.256:99999"); err == nil {
+		srv.Close()
+		t.Fatal("Start on a bogus address did not error")
+	}
+}
+
+// NewServer with an existing tracer must attach the flight recorder to
+// it, so spans recorded before/after construction both reach /spans.
+func TestServerAttachesToExistingTracer(t *testing.T) {
+	tr := NewTracer()
+	srv := NewServer(nil, tr, nil)
+	if srv.SpanTracer() != tr {
+		t.Fatal("server replaced the supplied tracer")
+	}
+	tr.StartSpan("late").End()
+	_, completed, _ := srv.Flight().Snapshot()
+	if len(completed) != 1 || completed[0].Name != "late" {
+		t.Fatalf("flight = %+v", completed)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -91,8 +91,11 @@ func Parallel(inner Oracle, workers int) *Pool {
 
 // ParallelInto is Parallel with engine metrics recorded into reg:
 // the in-flight gauge (qhorn_oracle_in_flight), the batch counter and
-// batch-size histogram, and the per-batch latency histogram. A nil
-// registry degrades to Parallel.
+// batch-size histogram, the per-batch latency histogram, and —
+// worker-side, where each inner ask is bounded on its own even though
+// answers overlap — the per-question ask-latency histogram
+// (qhorn_oracle_ask_seconds) for batched questions. A nil registry
+// degrades to Parallel.
 func ParallelInto(inner Oracle, workers int, reg *obs.Registry) *Pool {
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -128,6 +131,10 @@ func (p *Pool) AskBatch(qs []boolean.Set) []bool {
 		workers = len(qs)
 	}
 	gauge := p.reg.Gauge(obs.MetricOracleInFlight)
+	var askSeconds *obs.Histogram
+	if p.reg != nil {
+		askSeconds = p.reg.Histogram(obs.MetricOracleAskSeconds, obs.LatencyBuckets)
+	}
 	var (
 		mu         sync.Mutex
 		wg         sync.WaitGroup
@@ -152,6 +159,12 @@ func (p *Pool) AskBatch(qs []boolean.Set) []bool {
 					}()
 					gauge.Add(1)
 					defer gauge.Add(-1)
+					if askSeconds != nil {
+						askStart := time.Now()
+						answers[i] = p.inner.Ask(qs[i])
+						askSeconds.Observe(time.Since(askStart).Seconds())
+						return
+					}
 					answers[i] = p.inner.Ask(qs[i])
 				}()
 			}

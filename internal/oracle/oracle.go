@@ -108,16 +108,19 @@ func (c *Counter) Ask(s boolean.Set) bool {
 	reg.Histogram(obs.MetricTuplesPerQuestion, obs.TuplesPerQuestionBuckets).Observe(float64(size))
 	start := time.Now()
 	a := c.inner.Ask(s)
-	reg.Histogram(obs.MetricOracleSeconds, obs.LatencyBuckets).Observe(time.Since(start).Seconds())
+	reg.Histogram(obs.MetricOracleAskSeconds, obs.LatencyBuckets).Observe(time.Since(start).Seconds())
 	return a
 }
 
 // AskBatch implements BatchOracle. The accounting is identical to
 // asking each question serially — same question, tuple, and histogram
 // increments, recorded before the inner oracle is consulted — except
-// that the per-answer latency histogram is skipped: within a batch,
-// individual answer latencies overlap, and the batch engine's
-// qhorn_oracle_batch_seconds histogram covers the wall time instead.
+// that the per-answer latency histogram is skipped here: within a
+// batch, individual answer latencies overlap, so per-ask timing
+// (qhorn_oracle_ask_seconds) is recorded worker-side by the pool
+// (ParallelInto) where each inner ask is still bounded on its own, and
+// the batch engine's qhorn_oracle_batch_seconds histogram covers the
+// batch wall time.
 func (c *Counter) AskBatch(qs []boolean.Set) []bool {
 	c.mu.Lock()
 	for _, q := range qs {
@@ -270,6 +273,7 @@ func (n *noisy) AskBatch(qs []boolean.Set) []bool {
 type Budget struct {
 	mu    sync.Mutex
 	inner Oracle
+	reg   *obs.Registry
 	Limit int
 	Used  int
 }
@@ -287,6 +291,14 @@ func (e ErrBudget) Error() string {
 // WithBudget wraps inner with a question cap.
 func WithBudget(inner Oracle, limit int) *Budget {
 	return &Budget{inner: inner, Limit: limit}
+}
+
+// WithBudgetInto is WithBudget with shed accounting: every question
+// the exhausted budget refuses increments qhorn_oracle_budget_shed_total
+// — the load-shedding signal an admission-controlled service watches.
+// A nil registry degrades to WithBudget.
+func WithBudgetInto(inner Oracle, limit int, reg *obs.Registry) *Budget {
+	return &Budget{inner: inner, Limit: limit, reg: reg}
 }
 
 // Ask implements Oracle; it panics with ErrBudget when the cap is
@@ -311,6 +323,7 @@ func (b *Budget) AskBatch(qs []boolean.Set) []bool {
 	b.Used += allowed
 	b.mu.Unlock()
 	if allowed < len(qs) {
+		b.reg.Counter(obs.MetricBudgetSheds).Add(int64(len(qs) - allowed))
 		AskAll(b.inner, qs[:allowed])
 		panic(ErrBudget{Limit: b.Limit})
 	}
@@ -322,6 +335,7 @@ func (b *Budget) take(n int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.Used+n > b.Limit {
+		b.reg.Counter(obs.MetricBudgetSheds).Add(int64(n))
 		panic(ErrBudget{Limit: b.Limit})
 	}
 	b.Used += n
@@ -343,8 +357,18 @@ func (b *Budget) Remaining() int {
 // inner oracle sees each distinct question at most once even under
 // concurrency.
 func Memo(inner Oracle) Oracle {
+	return MemoInto(inner, nil)
+}
+
+// MemoInto is Memo with cache accounting: every question served from
+// the cache (or by joining another asker's in-flight question) counts
+// into qhorn_oracle_memo_hits_total, every question forwarded to the
+// inner oracle into qhorn_oracle_memo_misses_total. A nil registry
+// degrades to Memo.
+func MemoInto(inner Oracle, reg *obs.Registry) Oracle {
 	return &memo{
 		inner:    inner,
+		reg:      reg,
 		answers:  map[string]bool{},
 		inflight: map[string]chan struct{}{},
 	}
@@ -352,6 +376,7 @@ func Memo(inner Oracle) Oracle {
 
 type memo struct {
 	inner    Oracle
+	reg      *obs.Registry
 	mu       sync.Mutex
 	answers  map[string]bool
 	inflight map[string]chan struct{}
@@ -364,6 +389,7 @@ func (m *memo) Ask(s boolean.Set) bool {
 		m.mu.Lock()
 		if a, ok := m.answers[k]; ok {
 			m.mu.Unlock()
+			m.reg.Counter(obs.MetricMemoHits).Inc()
 			return a
 		}
 		if ch, ok := m.inflight[k]; ok {
@@ -393,6 +419,7 @@ func (m *memo) lead(k string, ch chan struct{}, s boolean.Set) bool {
 		m.mu.Unlock()
 		close(ch)
 	}()
+	m.reg.Counter(obs.MetricMemoMisses).Inc()
 	a := m.inner.Ask(s)
 	m.mu.Lock()
 	m.answers[k] = a
@@ -414,6 +441,10 @@ func (m *memo) AskBatch(qs []boolean.Set) []bool {
 	for i := range qs {
 		pending[i] = i
 	}
+	// missed marks questions this batch led to the inner oracle, so
+	// their own cache resolution on the next pass is not also a hit.
+	missed := make([]bool, len(qs))
+	var hits int64
 	for len(pending) > 0 {
 		var (
 			still   []int           // unresolved after the cache pass
@@ -427,6 +458,9 @@ func (m *memo) AskBatch(qs []boolean.Set) []bool {
 			k := keys[i]
 			if a, ok := m.answers[k]; ok {
 				answers[i] = a
+				if !missed[i] {
+					hits++
+				}
 				continue
 			}
 			still = append(still, i)
@@ -444,15 +478,20 @@ func (m *memo) AskBatch(qs []boolean.Set) []bool {
 			led[k] = true
 			leaders = append(leaders, i)
 			chans = append(chans, ch)
+			missed[i] = true
 		}
 		m.mu.Unlock()
 		switch {
 		case len(leaders) > 0:
+			m.reg.Counter(obs.MetricMemoMisses).Add(int64(len(leaders)))
 			m.leadBatch(keys, leaders, chans, qs)
 		case wait != nil:
 			<-wait
 		}
 		pending = still
+	}
+	if hits > 0 {
+		m.reg.Counter(obs.MetricMemoHits).Add(hits)
 	}
 	return answers
 }

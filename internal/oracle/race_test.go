@@ -89,7 +89,7 @@ func TestCountIntoRecordsMetrics(t *testing.T) {
 	if h.Count() != 2 || h.Sum() != 4 {
 		t.Errorf("tuple histogram count=%d sum=%v", h.Count(), h.Sum())
 	}
-	if reg.Histogram(obs.MetricOracleSeconds, obs.LatencyBuckets).Count() != 2 {
+	if reg.Histogram(obs.MetricOracleAskSeconds, obs.LatencyBuckets).Count() != 2 {
 		t.Error("latency histogram missed samples")
 	}
 	if c.Questions != 2 || c.Tuples != 4 || c.MaxTuples != 2 {

@@ -311,6 +311,20 @@ func WithFirstDisagreement() Option {
 	return func(c *Config) { c.FirstOnly = true }
 }
 
+// WithObsServer instruments the run with a live observability server's
+// registry and span tracer, so the run's metrics appear at the server's
+// /metrics and its spans in the flight recorder behind /spans and
+// /progress. A nil server is a no-op, so callers may pass an optional
+// server through unconditionally.
+func WithObsServer(s *obs.Server) Option {
+	if s == nil {
+		return nil
+	}
+	return func(c *Config) {
+		c.Ins = c.Ins.merge(Instrumentation{Spans: s.SpanTracer(), Metrics: s.Registry()})
+	}
+}
+
 // WithCompiledEval makes simulated users evaluate through the
 // compiled kernel. This is the default; the option exists so call
 // sites can state the choice explicitly and undo an earlier
@@ -364,11 +378,11 @@ func (c Config) Assemble(user oracle.Oracle) Stack {
 		st.Oracle = oracle.Noisy(st.Oracle, c.NoiseP, c.NoiseRNG)
 	}
 	if c.Budget > 0 {
-		st.Budget = oracle.WithBudget(st.Oracle, c.Budget)
+		st.Budget = oracle.WithBudgetInto(st.Oracle, c.Budget, c.Ins.Metrics)
 		st.Oracle = st.Budget
 	}
 	if c.Memo {
-		st.Oracle = oracle.Memo(st.Oracle)
+		st.Oracle = oracle.MemoInto(st.Oracle, c.Ins.Metrics)
 	}
 	if c.Count {
 		st.Counter = oracle.CountInto(st.Oracle, c.Ins.Metrics)

@@ -112,6 +112,29 @@ func TestInstrumentationMergeOrder(t *testing.T) {
 	}
 }
 
+// TestWithObsServer: the option merges the server's tracer and
+// registry into the run's instrumentation, and a nil server is a
+// skipped nil option.
+func TestWithObsServer(t *testing.T) {
+	srv := obs.NewServer(obs.NewRegistry(), nil, obs.NewFlightRecorder(8))
+	c := New(WithObsServer(srv))
+	if c.Ins.Spans != srv.SpanTracer() {
+		t.Error("server tracer not merged into Config.Ins.Spans")
+	}
+	if c.Ins.Metrics != srv.Registry() {
+		t.Error("server registry not merged into Config.Ins.Metrics")
+	}
+	// Composes with other hooks rather than clobbering them.
+	steps := func(Step) {}
+	c = New(WithSteps(steps), WithObsServer(srv))
+	if c.Ins.Steps == nil || c.Ins.Metrics != srv.Registry() {
+		t.Errorf("WithObsServer clobbered hooks: %+v", c.Ins)
+	}
+	if c := New(WithObsServer(nil)); c.Ins.Spans != nil || c.Ins.Metrics != nil {
+		t.Errorf("nil server attached instrumentation: %+v", c.Ins)
+	}
+}
+
 // TestAssembleZeroConfig: a zero Config returns the user's oracle
 // untouched with no wrappers.
 func TestAssembleZeroConfig(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
+	"qhorn/internal/run"
 	"qhorn/internal/verify"
 )
 
@@ -70,6 +71,48 @@ func TestRunObservedCountsDisagreements(t *testing.T) {
 	}
 	if got := reg.SumCounter(obs.MetricVerifyQuestions); got != int64(res.QuestionsAsked) {
 		t.Errorf("question counter = %d, asked %d", got, res.QuestionsAsked)
+	}
+}
+
+// TestRunPhaseDurationHistograms checks instrumented verification —
+// serial and batch — feeds qhorn_phase_seconds: one observation for
+// the "verify" root and one "verify/<Kind>" observation per question.
+func TestRunPhaseDurationHistograms(t *testing.T) {
+	u := boolean.MustUniverse(6)
+	qg := query.MustParse(u, "∀x1x2 → x4 ∃x1x2 → x5 ∃x3 → x6")
+	vs, err := verify.Build(qg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		opts []run.Option
+	}{
+		{"serial", nil},
+		{"batch", []run.Option{run.WithBatch()}},
+	} {
+		reg := obs.NewRegistry()
+		opts := append([]run.Option{run.WithInstrumentation(run.Instrumentation{Metrics: reg})}, mode.opts...)
+		res := vs.RunWith(oracle.Target(qg), opts...)
+		if !res.Correct {
+			t.Fatalf("%s: self-verification disagreed", mode.name)
+		}
+		if got := reg.Histogram(obs.MetricPhaseSeconds, obs.LatencyBuckets, "phase", "verify").Count(); got != 1 {
+			t.Errorf("%s: verify root observations = %d, want 1", mode.name, got)
+		}
+		var perKind uint64
+		for _, q := range vs.Questions {
+			perKind = 0
+			for _, other := range vs.Questions {
+				if other.Kind == q.Kind {
+					perKind++
+				}
+			}
+			got := reg.Histogram(obs.MetricPhaseSeconds, obs.LatencyBuckets, "phase", "verify/"+string(q.Kind)).Count()
+			if got != perKind {
+				t.Errorf("%s: verify/%s observations = %d, want %d", mode.name, q.Kind, got, perKind)
+			}
+		}
 	}
 }
 

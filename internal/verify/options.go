@@ -10,11 +10,28 @@ package verify
 // matrix tests.
 
 import (
+	"time"
+
 	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
 	"qhorn/internal/run"
 )
+
+// timePhase returns a func observing the phase's wall time into the
+// engine-wide phase-duration histogram (qhorn_phase_seconds), or a
+// no-op when metrics are off. Verification phases are the root
+// "verify" span and the per-family "verify/<Kind>" children; in batch
+// mode the children cover bookkeeping only (the set was answered up
+// front), so the root's observation is the one that bounds the asking.
+func timePhase(cfg run.Config, name string) func() {
+	if cfg.Ins.Metrics == nil {
+		return func() {}
+	}
+	h := cfg.Ins.Metrics.Histogram(obs.MetricPhaseSeconds, obs.LatencyBuckets, "phase", name)
+	begun := time.Now()
+	return func() { h.Observe(time.Since(begun).Seconds()) }
+}
 
 // Instrumentation bundles the observability hooks of a verification
 // run. It is the engine's shared instrumentation type — the same value
@@ -70,6 +87,7 @@ func (vs Set) runConfigured(o oracle.Oracle, cfg run.Config) Result {
 	}
 	root := cfg.Ins.Spans.StartSpan("verify", attrs...)
 	defer root.End()
+	defer timePhase(cfg, "verify")()
 
 	var answers []bool
 	if cfg.Batch {
@@ -80,6 +98,7 @@ func (vs Set) runConfigured(o oracle.Oracle, cfg run.Config) Result {
 		sp := root.StartChild("verify/"+string(q.Kind),
 			obs.A("about", q.About),
 			obs.Af("expect", "%v", q.Expect))
+		doneKind := timePhase(cfg, "verify/"+string(q.Kind))
 		var got bool
 		if cfg.Batch {
 			got = answers[i]
@@ -88,6 +107,7 @@ func (vs Set) runConfigured(o oracle.Oracle, cfg run.Config) Result {
 		}
 		vs.observe(cfg, q, got, &res, sp)
 		sp.End()
+		doneKind()
 	}
 	root.Annotate(obs.Af("correct", "%v", res.Correct))
 	return res
@@ -103,6 +123,7 @@ func (vs Set) runFirst(o oracle.Oracle, cfg run.Config) Result {
 		obs.Af("questions", "%d", len(vs.Questions)),
 		obs.A("mode", "first"))
 	defer root.End()
+	defer timePhase(cfg, "verify")()
 
 	res := Result{Correct: true}
 	for _, q := range vs.Questions {
@@ -110,9 +131,11 @@ func (vs Set) runFirst(o oracle.Oracle, cfg run.Config) Result {
 		sp := root.StartChild("verify/"+string(q.Kind),
 			obs.A("about", q.About),
 			obs.Af("expect", "%v", q.Expect))
+		doneKind := timePhase(cfg, "verify/"+string(q.Kind))
 		got := o.Ask(q.Set)
 		vs.observe(cfg, q, got, &res, sp)
 		sp.End()
+		doneKind()
 		if !res.Correct {
 			break
 		}

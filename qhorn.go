@@ -307,6 +307,13 @@ type (
 	TreeSink = obs.TreeSink
 	// JSONLSink streams spans as JSON lines.
 	JSONLSink = obs.JSONLSink
+	// FlightRecorder is the bounded always-on span sink behind the
+	// observability server's /spans endpoint: every open span plus a
+	// ring of the last N completed spans.
+	FlightRecorder = obs.FlightRecorder
+	// ObsServer serves the live observability plane over HTTP:
+	// /metrics, /spans, /progress, /healthz and /debug/pprof.
+	ObsServer = obs.Server
 	// Instrumentation bundles the optional observability hooks of a
 	// learning run; the zero value is silent.
 	Instrumentation = learn.Instrumentation
@@ -323,6 +330,18 @@ func NewTreeSink() *TreeSink { return obs.NewTreeSink() }
 
 // NewJSONLSink returns a sink streaming spans as JSON lines to w.
 func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// NewFlightRecorder returns a flight recorder keeping the last n
+// completed spans; n <= 0 selects the default capacity.
+func NewFlightRecorder(n int) *FlightRecorder { return obs.NewFlightRecorder(n) }
+
+// NewObsServer returns a live observability server over the given
+// registry, tracer and flight recorder; any nil piece is created
+// fresh. Instrument runs with the server's registry and tracer (or
+// the WithObsServer engine option) and Start it to watch them live.
+func NewObsServer(reg *MetricsRegistry, tracer *SpanTracer, flight *FlightRecorder) *ObsServer {
+	return obs.NewServer(reg, tracer, flight)
+}
 
 // LearnQhorn1Observed is LearnQhorn1 with observability hooks.
 func LearnQhorn1Observed(u Universe, o Oracle, ins Instrumentation) (Query, Qhorn1Stats) {
@@ -482,6 +501,12 @@ func WithSteps(t Tracer) RunOption { return run.WithSteps(t) }
 // WithInstrumentation overlays the non-nil hooks of ins onto the
 // run's instrumentation.
 func WithInstrumentation(ins Instrumentation) RunOption { return run.WithInstrumentation(ins) }
+
+// WithObsServer instruments the run with a live observability
+// server's registry and span tracer, so its metrics, spans and
+// progress are visible at the server's endpoints while the run is in
+// flight. A nil server is a no-op.
+func WithObsServer(s *ObsServer) RunOption { return run.WithObsServer(s) }
 
 // WithParallel answers independent question batches with n concurrent
 // workers (the engine assembles the worker pool).
