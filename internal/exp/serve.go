@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"qhorn/internal/difffuzz"
+	"qhorn/internal/learn"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+	"qhorn/internal/run"
+	"qhorn/internal/serve"
+	"qhorn/internal/session"
+	"qhorn/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E25",
+		Name:  "serve",
+		Paper: "engineering (docs/SERVICE.md)",
+		Claim: "qhornd sustains concurrent HTTP learn sessions with per-session results bit-identical to direct learning; shards scale lookup concurrency",
+		Run:   runServe,
+	})
+}
+
+// runServe measures session throughput of the qhornd server across
+// shard counts: a fleet of concurrent clients each creates a session,
+// answers its questions over real HTTP with a simulated user, and
+// checks the learned query against a direct learn.Run of the same
+// hidden query — the correctness assert runs inside the benchmark, so
+// a lost answer or a duplicated question fails the experiment, not
+// just a test. Throughput is sessions/sec of the whole fleet; the
+// questions column is the total membership questions served.
+func runServe(cfg Config) []*stats.Table {
+	cfg = cfg.normalize()
+	e, _ := ByName("serve")
+	t := stats.NewTable(header(e)+" — HTTP session throughput vs shard count",
+		"shards", "sessions", "questions", "wall ms", "sessions/sec")
+
+	shardSweep := []int{1, 2, 4, 8}
+	fleet := 48
+	if cfg.Quick {
+		shardSweep = []int{1, 4}
+		fleet = 16
+	}
+
+	// One fixed fleet of hidden queries, reused for every shard count
+	// so the rows differ only in server configuration.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	targets := make([]query.Query, fleet)
+	wants := make([]string, fleet)
+	for i := range targets {
+		targets[i] = difffuzz.GenCase(rng, difffuzz.ClassQhorn1, 4, 5).Hidden
+		hist := session.New(oracle.Target(targets[i]))
+		q, _ := learn.Run(targets[i].U, hist, run.WithAlgorithm(run.Qhorn1), run.WithBatch())
+		wants[i] = q.String()
+	}
+
+	for _, shards := range shardSweep {
+		srv := serve.New(serve.Config{Shards: shards})
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			panic(fmt.Sprintf("exp: serve: %v", err))
+		}
+		c := serve.NewClient(srv.URL())
+
+		var wg sync.WaitGroup
+		errs := make([]error, fleet)
+		questions := make([]int, fleet)
+		start := time.Now()
+		for i := 0; i < fleet; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				target := targets[i]
+				info, err := c.Create(serve.CreateRequest{Variables: target.N(), Algorithm: "qhorn1"})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				final, err := c.Drive(info.ID, serve.AnswererFor(target.U, oracle.Target(target)), serve.DriveOptions{Poll: 2 * time.Second})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if final.State != serve.StateDone {
+					errs[i] = fmt.Errorf("session ended %q: %s", final.State, final.Error)
+					return
+				}
+				// The in-run identity assert: HTTP must not perturb the
+				// learn.
+				if final.Learned != wants[i] {
+					errs[i] = fmt.Errorf("learned %q over HTTP, %q direct", final.Learned, wants[i])
+					return
+				}
+				questions[i] = final.QuestionsOnRecord
+			}(i)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		srv.Close()
+		totalQ := 0
+		for i, err := range errs {
+			if err != nil {
+				panic(fmt.Sprintf("exp: serve: session %d (target %s): %v", i, targets[i], err))
+			}
+			totalQ += questions[i]
+		}
+		ms := float64(wall.Microseconds()) / 1000
+		t.AddRow(shards, fleet, totalQ, ms, float64(fleet)/wall.Seconds())
+	}
+	t.AddNote("fleet of %d concurrent HTTP clients, each learning a hidden qhorn-1 query (4–5 vars) end to end over the wire with an in-process simulated answerer; every learned query is asserted bit-identical to a direct learn.Run of the same target before the row is accepted; same fleet for every shard count", fleet)
+	return []*stats.Table{t}
+}

@@ -111,7 +111,30 @@ const (
 	// time through the brute answer matrix (label "algo": greedy or
 	// exhaustive).
 	MetricBruteLearnSeconds = "qhorn_brute_learn_seconds"
+	// MetricServeSessionsActive gauges the live learn/verify sessions
+	// of a qhornd server: sessions whose learner goroutine is running
+	// (computing or awaiting remote answers).
+	MetricServeSessionsActive = "qhornd_sessions_active"
+	// MetricServeQuestionsOutstanding gauges membership questions
+	// posted to remote answerers and not yet answered, summed across
+	// every session of the server.
+	MetricServeQuestionsOutstanding = "qhornd_questions_outstanding"
+	// MetricServeAnswerSeconds is the distribution of remote answer
+	// latency: time from a question entering a session's outstanding
+	// batch to its answer arriving over POST /sessions/{id}/answers.
+	MetricServeAnswerSeconds = "qhornd_answer_latency_seconds"
+	// MetricServeSessions counts finished qhornd session runs by
+	// outcome (label "outcome": done, budget, aborted, panic).
+	MetricServeSessions = "qhornd_sessions_total"
+	// MetricServeRejected counts session creations the admission gate
+	// refused with HTTP 429 (server at max-sessions capacity).
+	MetricServeRejected = "qhornd_admission_rejected_total"
 )
+
+// AnswerLatencyBuckets are the fixed histogram buckets for
+// MetricServeAnswerSeconds: remote human answers arrive in seconds to
+// minutes, simulated answerers in microseconds.
+var AnswerLatencyBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60, 300, 1800}
 
 // TuplesPerQuestionBuckets are the fixed histogram buckets for
 // MetricTuplesPerQuestion: question payloads are small (most questions

@@ -1,0 +1,489 @@
+// Package serve is the qhornd session server: learning-as-a-service
+// over HTTP (docs/SERVICE.md). It hosts many concurrent learn/verify
+// sessions, each a resumable state machine (session.go) whose learner
+// runs the ordinary composable engine (internal/run) against an
+// answer exchange instead of a local user — questions go out as
+// batches over GET /sessions/{id}/questions, answers come back out of
+// order over POST /sessions/{id}/answers, keyed by canonical
+// boolean.Set.Key.
+//
+// Sessions shard by ID hash across fixed worker shards, each with its
+// own lock, so lookups never contend globally. Admission control is
+// two-layered: a max-sessions gate sheds new sessions with 429, and
+// the per-session question budget (the engine's oracle.Budget
+// wrapper) bounds what one session can cost. The observability plane
+// (internal/obs) is mounted on the same mux: /metrics, /healthz,
+// /spans, /progress and /debug/pprof come from obs.Server, extended
+// with the qhornd_* series (sessions active, questions outstanding,
+// answer latency, outcomes, admission rejections).
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"qhorn/internal/obs"
+	"qhorn/internal/run"
+)
+
+// Config sizes a Server. The zero value is usable: DefaultShards
+// shards, unlimited sessions, DefaultBudget questions per session.
+type Config struct {
+	// Shards is the session-table shard count; <= 0 selects
+	// DefaultShards.
+	Shards int
+	// MaxSessions caps concurrently running sessions; creations
+	// beyond it are shed with 429. <= 0 is unlimited.
+	MaxSessions int
+	// Budget is the default per-session live-question cap, applied
+	// when a CreateRequest leaves Budget zero; <= 0 is unlimited.
+	Budget int
+	// Obs, when non-nil, is the observability server to mount;
+	// otherwise one is created with FlightSpans capacity.
+	Obs *obs.Server
+	// FlightSpans sizes the created flight recorder (ignored when Obs
+	// is provided); <= 0 selects the obs default.
+	FlightSpans int
+	// Logf receives server diagnostics (learner panics, shutdown);
+	// nil discards them.
+	Logf func(format string, args ...interface{})
+}
+
+// DefaultShards is the shard count a zero Config selects.
+const DefaultShards = 8
+
+// Server is the qhornd HTTP daemon. Create with New, mount Handler
+// (or Start a listener), and Close to abort in-flight sessions and
+// wait for their learner goroutines.
+type Server struct {
+	cfg    Config
+	obs    *obs.Server
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	mux    *http.ServeMux
+
+	shards      []*shard
+	outstanding *obs.Gauge
+	activeGauge *obs.Gauge
+
+	admitMu sync.Mutex
+	active  int
+	closed  bool
+	idSeq   uint64
+
+	wg sync.WaitGroup
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// shard is one lock-scoped slice of the session table.
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*session
+}
+
+// New builds a server over the config.
+func New(cfg Config) *Server {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	o := cfg.Obs
+	if o == nil {
+		o = obs.NewServer(nil, nil, obs.NewFlightRecorder(cfg.FlightSpans))
+	}
+	s := &Server{
+		cfg:    cfg,
+		obs:    o,
+		reg:    o.Registry(),
+		tracer: o.SpanTracer(),
+		shards: make([]*shard, cfg.Shards),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{sessions: map[string]*session{}}
+	}
+	s.reg.Describe(obs.MetricServeSessionsActive, "live qhornd sessions (learner goroutine running)")
+	s.reg.Describe(obs.MetricServeQuestionsOutstanding, "questions posted to answerers and not yet answered")
+	s.reg.Describe(obs.MetricServeAnswerSeconds, "remote answer latency from question posting to delivery")
+	s.reg.Describe(obs.MetricServeSessions, "finished session runs by outcome")
+	s.reg.Describe(obs.MetricServeRejected, "session creations shed by the max-sessions admission gate")
+	s.outstanding = s.reg.Gauge(obs.MetricServeQuestionsOutstanding)
+	s.activeGauge = s.reg.Gauge(obs.MetricServeSessionsActive)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.handleCreate)
+	mux.HandleFunc("GET /sessions", s.handleList)
+	mux.HandleFunc("GET /sessions/{id}", s.handleInfo)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /sessions/{id}/questions", s.handleQuestions)
+	mux.HandleFunc("POST /sessions/{id}/answers", s.handleAnswers)
+	mux.HandleFunc("GET /sessions/{id}/history", s.handleHistory)
+	mux.HandleFunc("GET /sessions/{id}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /sessions/{id}/amend", s.handleAmend)
+	mux.Handle("/", o.Handler())
+	s.mux = mux
+	return s
+}
+
+// Registry returns the server's metrics registry (shared with the
+// mounted observability plane).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the server's HTTP handler, for mounting into an
+// httptest harness or an existing listener.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (port 0 picks a free port) and serves in a
+// background goroutine until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return nil
+}
+
+// Addr returns the listening address, or "" before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the server's base URL, or "" before Start.
+func (s *Server) URL() string {
+	if s.ln == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Close stops admitting sessions, aborts every in-flight learner,
+// waits for their goroutines to unwind, and stops the listener.
+// Closing twice is a no-op.
+func (s *Server) Close() error {
+	s.admitMu.Lock()
+	if s.closed {
+		s.admitMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.admitMu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		live := make([]*session, 0, len(sh.sessions))
+		for _, sess := range sh.sessions {
+			live = append(live, sess)
+		}
+		sh.mu.RUnlock()
+		for _, sess := range live {
+			sess.abort("server shutting down")
+		}
+	}
+	s.wg.Wait()
+	var err error
+	if s.srv != nil {
+		err = s.srv.Close()
+		s.srv, s.ln = nil, nil
+	}
+	return err
+}
+
+// logf forwards to the configured logger.
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// admit reserves an active-session slot, enforcing the shutdown and
+// max-sessions gates.
+func (s *Server) admit() error {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if s.cfg.MaxSessions > 0 && s.active >= s.cfg.MaxSessions {
+		s.reg.Counter(obs.MetricServeRejected).Inc()
+		return errAtCapacity
+	}
+	s.active++
+	s.activeGauge.Add(1)
+	return nil
+}
+
+// readmit reserves a slot for an amend relaunch; it respects shutdown
+// but not the max-sessions gate (the session was already admitted).
+func (s *Server) readmit() bool {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.active++
+	s.activeGauge.Add(1)
+	return true
+}
+
+// sessionExit releases an active slot and records the run outcome.
+func (s *Server) sessionExit(outcome string) {
+	s.admitMu.Lock()
+	s.active--
+	s.admitMu.Unlock()
+	s.activeGauge.Add(-1)
+	s.reg.Counter(obs.MetricServeSessions, "outcome", outcome).Inc()
+}
+
+var (
+	errClosed     = errors.New("serve: server is shutting down")
+	errAtCapacity = errors.New("serve: server at max-sessions capacity")
+)
+
+// nextID returns the given id, or a fresh random one: 8 bytes of
+// crypto randomness, hex, collision-free for any realistic fleet.
+func (s *Server) nextID(id string) string {
+	if id != "" {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a process-local sequence; rand.Read failing is
+		// effectively unreachable on supported platforms.
+		s.admitMu.Lock()
+		s.idSeq++
+		n := s.idSeq
+		s.admitMu.Unlock()
+		return fmt.Sprintf("s%08d", n)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// shardFor hashes a session ID onto its shard.
+func (s *Server) shardFor(id string) *shard {
+	h := fnv.New32a()
+	io.WriteString(h, id) //nolint:errcheck // fnv never errors
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// lookup finds a session by ID.
+func (s *Server) lookup(id string) (*session, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	sess, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	return sess, ok
+}
+
+// ---- HTTP handlers ----
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	mode := req.Mode
+	algStr := req.Algorithm
+	given := req.Given
+	budget := req.Budget
+	var history []byte
+	if req.Snapshot != nil {
+		snap := req.Snapshot
+		if snap.Version != 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unsupported snapshot version %d", snap.Version))
+			return
+		}
+		mode, algStr, given, budget = snap.Mode, snap.Algorithm, snap.Given, snap.Budget
+		history = snap.History
+	}
+	if mode == "" {
+		mode = ModeLearn
+	}
+	if mode != ModeLearn && mode != ModeVerify {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown mode %q (want learn or verify)", mode))
+		return
+	}
+	var alg run.Algorithm
+	if algStr != "" {
+		var err error
+		if alg, err = run.ParseAlgorithm(algStr); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if budget == 0 {
+		budget = s.cfg.Budget
+	}
+	if err := s.admit(); err != nil {
+		status := http.StatusTooManyRequests
+		if errors.Is(err, errClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	sess, err := newSession(s, "", mode, alg, req.Variables, given, budget, history)
+	if err != nil {
+		s.admitMu.Lock()
+		s.active--
+		s.admitMu.Unlock()
+		s.activeGauge.Add(-1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sh := s.shardFor(sess.id)
+	sh.mu.Lock()
+	sh.sessions[sess.id] = sess
+	sh.mu.Unlock()
+	sess.launch()
+	writeJSON(w, http.StatusCreated, sess.info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	list := SessionList{Sessions: []SessionInfo{}}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, sess := range sh.sessions {
+			list.Sessions = append(list.Sessions, sess.info())
+		}
+		sh.mu.RUnlock()
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errNoSession(r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sess, ok := sh.sessions[id]
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, errNoSession(id))
+		return
+	}
+	sess.abort("session deleted")
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQuestions(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errNoSession(r.PathValue("id")))
+		return
+	}
+	var wait time.Duration
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		var err error
+		if wait, err = time.ParseDuration(ws); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad wait %q: %w", ws, err))
+			return
+		}
+		if wait > maxQuestionWait {
+			wait = maxQuestionWait
+		}
+	}
+	writeJSON(w, http.StatusOK, sess.questions(wait))
+}
+
+// maxQuestionWait bounds the long-poll of GET /sessions/{id}/questions
+// so load balancers and tests never hold a handler for long.
+const maxQuestionWait = 30 * time.Second
+
+func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errNoSession(r.PathValue("id")))
+		return
+	}
+	var req AnswerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.deliver(req.Answers))
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errNoSession(r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.history())
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errNoSession(r.PathValue("id")))
+		return
+	}
+	snap, err := sess.snapshot()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, errSnapshotBusy) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleAmend(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errNoSession(r.PathValue("id")))
+		return
+	}
+	var req AmendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	if err := sess.amend(req); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func errNoSession(id string) error {
+	return fmt.Errorf("serve: no session %q", id)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the write error is the client's disconnect
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

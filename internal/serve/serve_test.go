@@ -1,0 +1,300 @@
+package serve_test
+
+// Unit coverage of the server's edges: admission control, budgets,
+// unknown sessions, malformed requests, answer-report accounting and
+// the amend guard rails. Everything here runs in -short mode and backs
+// the CI coverage floor.
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/obs"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+	"qhorn/internal/serve"
+)
+
+func TestAdmissionControl(t *testing.T) {
+	srv, c := startServer(t, serve.Config{MaxSessions: 1})
+	first, err := c.Create(serve.CreateRequest{Variables: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Create(serve.CreateRequest{Variables: 3})
+	if !serve.IsStatus(err, http.StatusTooManyRequests) {
+		t.Fatalf("second create got %v, want 429", err)
+	}
+	if got := srv.Registry().CounterValue(obs.MetricServeRejected); got != 1 {
+		t.Fatalf("rejected counter %d, want 1", got)
+	}
+	// Draining the first session frees the slot.
+	u, _ := boolean.NewUniverse(3)
+	target, _ := query.Parse(u, "Ex1")
+	if _, err := c.Drive(first.ID, serve.AnswererFor(u, oracle.Target(target)), serve.DriveOptions{Poll: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create(serve.CreateRequest{Variables: 3}); err != nil {
+		t.Fatalf("create after drain: %v", err)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	srv, c := startServer(t, serve.Config{})
+	info, err := c.Create(serve.CreateRequest{Variables: 4, Budget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.BudgetRemaining == nil || *info.BudgetRemaining > 2 {
+		t.Fatalf("budgeted session reports remaining %v", info.BudgetRemaining)
+	}
+	u, _ := boolean.NewUniverse(4)
+	target, _ := query.Parse(u, "Ax1 -> x2 Ax3 -> x4")
+	final, err := c.Drive(info.ID, serve.AnswererFor(u, oracle.Target(target)), serve.DriveOptions{Poll: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != serve.StateFailed {
+		t.Fatalf("2-question budget ended %q, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "budget") {
+		t.Fatalf("failure %q does not mention the budget", final.Error)
+	}
+	if got := srv.Registry().CounterValue(obs.MetricServeSessions, "outcome", "budget"); got != 1 {
+		t.Fatalf("budget outcome counter %d, want 1", got)
+	}
+}
+
+func TestServerDefaultBudget(t *testing.T) {
+	_, c := startServer(t, serve.Config{Budget: 3})
+	info, err := c.Create(serve.CreateRequest{Variables: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.BudgetRemaining == nil || *info.BudgetRemaining != 3 {
+		t.Fatalf("server-default budget not applied: remaining %v", info.BudgetRemaining)
+	}
+	// An explicit negative budget opts out of the server default.
+	unlimited, err := c.Create(serve.CreateRequest{Variables: 3, Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unlimited.BudgetRemaining != nil {
+		t.Fatalf("budget -1 still budgeted: remaining %v", *unlimited.BudgetRemaining)
+	}
+}
+
+func TestUnknownSession(t *testing.T) {
+	_, c := startServer(t, serve.Config{})
+	if _, err := c.Info("nope"); !serve.IsStatus(err, 404) {
+		t.Errorf("info: %v, want 404", err)
+	}
+	if _, err := c.Questions("nope", 0); !serve.IsStatus(err, 404) {
+		t.Errorf("questions: %v, want 404", err)
+	}
+	if _, err := c.Answer("nope", nil); !serve.IsStatus(err, 404) {
+		t.Errorf("answer: %v, want 404", err)
+	}
+	if _, err := c.History("nope"); !serve.IsStatus(err, 404) {
+		t.Errorf("history: %v, want 404", err)
+	}
+	if _, err := c.Snapshot("nope"); !serve.IsStatus(err, 404) {
+		t.Errorf("snapshot: %v, want 404", err)
+	}
+	if _, err := c.Amend("nope", serve.AmendRequest{}); !serve.IsStatus(err, 404) {
+		t.Errorf("amend: %v, want 404", err)
+	}
+	if err := c.Delete("nope"); !serve.IsStatus(err, 404) {
+		t.Errorf("delete: %v, want 404", err)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv, c := startServer(t, serve.Config{})
+	cases := []serve.CreateRequest{
+		{Variables: 3, Mode: "meditate"},
+		{Variables: 3, Algorithm: "qhorn9"},
+		{Variables: 0},
+		{Variables: -1},
+		{Variables: 3, Mode: serve.ModeVerify, Given: "not a query"},
+		{Snapshot: &serve.Snapshot{Version: 99}},
+	}
+	for _, req := range cases {
+		if _, err := c.Create(req); !serve.IsStatus(err, http.StatusBadRequest) {
+			t.Errorf("create %+v: %v, want 400", req, err)
+		}
+	}
+	// Malformed JSON bodies.
+	for _, path := range []string{"/sessions"} {
+		resp, err := http.Post(srv.URL()+path, "application/json", strings.NewReader("{"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s with bad JSON: %d, want 400", path, resp.StatusCode)
+		}
+	}
+	// Bad long-poll duration.
+	info, err := c.Create(serve.CreateRequest{Variables: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL() + "/sessions/" + info.ID + "/questions?wait=soon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad wait: %d, want 400", resp.StatusCode)
+	}
+	// Malformed answer and amend bodies.
+	for _, path := range []string{"/answers", "/amend"} {
+		resp, err := http.Post(srv.URL()+"/sessions/"+info.ID+path, "application/json", strings.NewReader("{"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s with bad JSON: %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestAnswerAccounting(t *testing.T) {
+	_, c := startServer(t, serve.Config{})
+	info, err := c.Create(serve.CreateRequest{Variables: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := c.Questions(info.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb.State != serve.StateAwaiting || len(qb.Questions) == 0 {
+		t.Fatalf("state %q with %d questions, want an outstanding batch", qb.State, len(qb.Questions))
+	}
+	// Unknown key.
+	rep, err := c.Answer(info.ID, map[string]bool{"deadbeef": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unknown) != 1 || rep.Accepted != 0 {
+		t.Fatalf("unknown-key report %+v", rep)
+	}
+	// One real answer; repeating it is a duplicate, not an error.
+	key := qb.Questions[0].Key
+	rep, err = c.Answer(info.ID, map[string]bool{key: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 1 {
+		t.Fatalf("first answer report %+v", rep)
+	}
+	rep, err = c.Answer(info.ID, map[string]bool{key: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duplicate != 1 || rep.Accepted != 0 {
+		t.Fatalf("retry report %+v, want one duplicate", rep)
+	}
+	if rep.Outstanding != len(qb.Questions)-1 {
+		t.Fatalf("outstanding %d, want %d", rep.Outstanding, len(qb.Questions)-1)
+	}
+}
+
+func TestAmendGuards(t *testing.T) {
+	_, c := startServer(t, serve.Config{})
+	info, err := c.Create(serve.CreateRequest{Variables: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Amending a running session is refused.
+	if _, err := c.Amend(info.ID, serve.AmendRequest{Key: "deadbeef"}); !serve.IsStatus(err, http.StatusConflict) {
+		t.Fatalf("amend while running: %v, want 409", err)
+	}
+	u, _ := boolean.NewUniverse(3)
+	target, _ := query.Parse(u, "Ex1")
+	final, err := c.Drive(info.ID, serve.AnswererFor(u, oracle.Target(target)), serve.DriveOptions{Poll: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != serve.StateDone {
+		t.Fatalf("session ended %q", final.State)
+	}
+	// No index, no key.
+	if _, err := c.Amend(info.ID, serve.AmendRequest{}); !serve.IsStatus(err, http.StatusConflict) {
+		t.Fatalf("empty amend: %v, want 409", err)
+	}
+	// Unknown key, out-of-range index.
+	if _, err := c.Amend(info.ID, serve.AmendRequest{Key: "feedface"}); !serve.IsStatus(err, http.StatusConflict) {
+		t.Fatalf("unknown-key amend: %v, want 409", err)
+	}
+	oob := 10000
+	if _, err := c.Amend(info.ID, serve.AmendRequest{Index: &oob}); !serve.IsStatus(err, http.StatusConflict) {
+		t.Fatalf("out-of-range amend: %v, want 409", err)
+	}
+}
+
+func TestListAndStatePoll(t *testing.T) {
+	_, c := startServer(t, serve.Config{})
+	a, err := c.Create(serve.CreateRequest{Variables: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Create(serve.CreateRequest{Variables: 3, Algorithm: "rp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sessions) != 2 {
+		t.Fatalf("list has %d sessions, want 2", len(list.Sessions))
+	}
+	ids := map[string]bool{}
+	for _, in := range list.Sessions {
+		ids[in.ID] = true
+	}
+	if !ids[a.ID] || !ids[b.ID] {
+		t.Fatalf("list %v missing created sessions %s, %s", ids, a.ID, b.ID)
+	}
+	// A zero-wait poll returns immediately with the current state.
+	qb, err := c.Questions(a.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb.State != serve.StateLearning && qb.State != serve.StateAwaiting {
+		t.Fatalf("unexpected state %q", qb.State)
+	}
+	if err := c.Delete(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	list, err = c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sessions) != 1 {
+		t.Fatalf("list has %d sessions after delete, want 1", len(list.Sessions))
+	}
+}
+
+func TestServerAccessorsBeforeStart(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	if srv.Addr() != "" || srv.URL() != "" {
+		t.Errorf("Addr/URL before Start: %q %q, want empty", srv.Addr(), srv.URL())
+	}
+	if srv.Handler() == nil || srv.Registry() == nil {
+		t.Error("Handler or Registry is nil")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("close before start: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}

@@ -1,0 +1,558 @@
+package serve
+
+// This file is the per-session state machine of the qhornd server: a
+// resumable learn/verify run whose oracle is the network. A learner
+// goroutine runs the ordinary engine (learn.Run / verify.Set.RunWith
+// with run.WithBatch) over an interaction-history Session
+// (internal/session); at the bottom of that stack sits the answer
+// exchange, an oracle.BatchOracle whose AskBatch publishes the batch
+// as the session's outstanding questions and blocks until remote
+// answers — arriving out of order over POST /sessions/{id}/answers,
+// keyed by canonical boolean.Set.Key — have settled every one of
+// them. Control is fully inverted: the algorithm drives the question
+// stream exactly as it would against a local user, and HTTP handlers
+// only deliver answers and observe state.
+//
+// States:
+//
+//	learning          the learner goroutine is computing; no
+//	                  outstanding questions
+//	awaiting-answers  an outstanding batch is published; the learner
+//	                  is blocked in the exchange
+//	done              the run finished; the learned query (or the
+//	                  verification verdict) is available
+//	failed            the run aborted: question budget exhausted,
+//	                  session deleted, or server shutdown
+//
+// done is not terminal: POST /sessions/{id}/amend flips a recorded
+// answer and relaunches the learner over the corrected history — the
+// paper's §5 revision loop — replaying settled questions for free.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/learn"
+	"qhorn/internal/obs"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+	"qhorn/internal/run"
+	qsession "qhorn/internal/session"
+	"qhorn/internal/verify"
+)
+
+// Session states, as reported by the wire SessionInfo.State.
+const (
+	StateLearning = "learning"
+	StateAwaiting = "awaiting-answers"
+	StateDone     = "done"
+	StateFailed   = "failed"
+)
+
+// Session modes.
+const (
+	ModeLearn  = "learn"
+	ModeVerify = "verify"
+)
+
+// abortError is the panic value the exchange raises into a learner
+// whose session was deleted or whose server is shutting down.
+type abortError struct{ reason string }
+
+func (e abortError) Error() string { return "serve: session aborted: " + e.reason }
+
+// pendingQ is one outstanding question of the current batch.
+type pendingQ struct {
+	q        boolean.Set
+	posted   time.Time
+	answered bool
+	answer   bool
+}
+
+// session is one live learn/verify session. All mutable state is
+// guarded by mu; the learner goroutine only touches it through the
+// exchange (AskBatch) and the terminal transition in run.
+type session struct {
+	id  string
+	srv *Server
+
+	mode      string
+	alg       run.Algorithm
+	u         boolean.Universe
+	givenStr  string
+	vs        verify.Set // verify mode: the prebuilt verification set
+	budget    *oracle.Budget
+	budgetCap int // -1 unlimited, else the admitted live-question cap
+
+	mu          sync.Mutex
+	state       string
+	stateSeq    chan struct{} // closed and replaced on every state change
+	running     bool
+	aborted     bool
+	abortReason string
+
+	// hist is the learner's interaction history. The learner goroutine
+	// mutates it OUTSIDE mu (inside qsession recording, between
+	// exchange calls), so handlers never read hist while the learner is
+	// computing; they read the histEntries/histLen/histLive cache,
+	// captured under mu at the quiescent points (batch publication, run
+	// termination, amend).
+	hist        *qsession.Session
+	histEntries []qsession.Entry
+	histLen     int
+	histLive    int
+	pending     map[string]*pendingQ
+	pendingKeys []string // posted order
+	remaining   int
+	waiting     bool          // a batch is blocked on batchReady
+	batchReady  chan struct{} // closed when the batch settles or aborts
+	settled     map[string]bool
+
+	runs        int
+	haveLearned bool
+	learned     query.Query
+	stats       run.Stats
+	verdict     *verify.Result
+	failure     string
+}
+
+// newSession builds an unlaunched session; the caller inserts it into
+// a shard and calls launch. history, when non-nil, is a snapshot's
+// session.EncodeJSON payload to resume from; otherwise variables
+// sizes a fresh universe.
+func newSession(srv *Server, id, mode string, alg run.Algorithm, variables int, givenStr string, budgetCap int, history []byte) (*session, error) {
+	s := &session{
+		id:        srv.nextID(id),
+		srv:       srv,
+		mode:      mode,
+		alg:       alg,
+		givenStr:  givenStr,
+		budgetCap: budgetCap,
+		state:     StateLearning,
+		stateSeq:  make(chan struct{}),
+		pending:   map[string]*pendingQ{},
+		settled:   map[string]bool{},
+	}
+	var user oracle.Oracle = exchange{s}
+	if budgetCap > 0 {
+		s.budget = oracle.WithBudgetInto(user, budgetCap, srv.reg)
+		user = s.budget
+	}
+	if history != nil {
+		hist, u, err := qsession.DecodeJSON(history, user)
+		if err != nil {
+			return nil, fmt.Errorf("serve: resume: %w", err)
+		}
+		s.hist, s.u = hist, u
+		for _, e := range hist.Entries() {
+			s.settled[e.Question.Key()] = true
+		}
+	} else {
+		u, err := boolean.NewUniverse(variables)
+		if err != nil {
+			return nil, err
+		}
+		if variables == 0 {
+			return nil, fmt.Errorf("serve: a session needs at least one variable")
+		}
+		s.hist, s.u = qsession.New(user), u
+	}
+	if mode == ModeVerify {
+		given, err := query.Parse(s.u, givenStr)
+		if err != nil {
+			return nil, fmt.Errorf("serve: given query: %w", err)
+		}
+		vs, err := verify.Build(given)
+		if err != nil {
+			return nil, fmt.Errorf("serve: given query: %w", err)
+		}
+		s.vs = vs
+	}
+	s.captureHistoryLocked() // not yet shared: no lock needed
+	return s, nil
+}
+
+// captureHistoryLocked refreshes the handler-facing history cache.
+// Called under s.mu at the points where hist is quiescent: when the
+// exchange publishes a batch (the learner, the only mutator, is about
+// to block), when the run terminates, and after an amendment.
+func (s *session) captureHistoryLocked() {
+	s.histEntries = s.hist.Entries()
+	s.histLen = s.hist.Len()
+	s.histLive = s.hist.LiveQuestions
+}
+
+// launch starts a learner run; the caller must have admitted the
+// session (Server.admit) and hold no locks.
+func (s *session) launch() {
+	s.mu.Lock()
+	s.running = true
+	s.aborted = false
+	s.runs++
+	s.haveLearned = false
+	s.verdict = nil
+	s.failure = ""
+	s.setStateLocked(StateLearning)
+	s.mu.Unlock()
+	s.srv.wg.Add(1)
+	go s.run()
+}
+
+// setStateLocked transitions the state and wakes every long-poller.
+// Callers hold s.mu.
+func (s *session) setStateLocked(state string) {
+	s.state = state
+	close(s.stateSeq)
+	s.stateSeq = make(chan struct{})
+}
+
+// run is the learner goroutine: one full engine run over the
+// interaction history, terminating in done or failed.
+func (s *session) run() {
+	defer s.srv.wg.Done()
+	outcome := "done"
+	defer func() {
+		r := recover()
+		s.mu.Lock()
+		s.running = false
+		s.captureHistoryLocked()
+		if r != nil {
+			switch v := r.(type) {
+			case abortError:
+				outcome, s.failure = "aborted", v.reason
+			case oracle.ErrBudget:
+				outcome, s.failure = "budget", v.Error()
+			default:
+				outcome, s.failure = "panic", fmt.Sprintf("learner panic: %v", v)
+				s.srv.logf("serve: session %s: %s", s.id, s.failure)
+			}
+			s.setStateLocked(StateFailed)
+		} else {
+			s.setStateLocked(StateDone)
+		}
+		s.mu.Unlock()
+		s.srv.sessionExit(outcome)
+	}()
+
+	opts := []run.Option{
+		run.WithAlgorithm(s.alg),
+		run.WithBatch(),
+		run.WithCounter(),
+		run.WithInstrumentation(run.Instrumentation{Spans: s.srv.tracer, Metrics: s.srv.reg}),
+	}
+	if s.mode == ModeVerify {
+		res := s.vs.RunWith(s.hist, opts...)
+		s.mu.Lock()
+		s.verdict = &res
+		s.mu.Unlock()
+		return
+	}
+	q, st := learn.Run(s.u, s.hist, opts...)
+	s.mu.Lock()
+	s.learned, s.stats, s.haveLearned = q, st, true
+	s.mu.Unlock()
+}
+
+// exchange is the network-facing oracle at the bottom of a session's
+// stack: AskBatch publishes the batch and blocks the learner until
+// every question is answered over HTTP.
+type exchange struct{ s *session }
+
+// Ask implements oracle.Oracle; a lone adaptive question (a binary-
+// search probe) is a batch of one.
+func (e exchange) Ask(q boolean.Set) bool { return e.AskBatch([]boolean.Set{q})[0] }
+
+// AskBatch implements oracle.BatchOracle. The session history above
+// guarantees the batch holds distinct, never-before-asked questions.
+func (e exchange) AskBatch(qs []boolean.Set) []bool {
+	s := e.s
+	s.mu.Lock()
+	if s.aborted {
+		reason := s.abortReason
+		s.mu.Unlock()
+		panic(abortError{reason})
+	}
+	now := time.Now()
+	ready := make(chan struct{})
+	s.batchReady, s.waiting = ready, true
+	s.remaining = len(qs)
+	for _, q := range qs {
+		key := q.Key()
+		s.pending[key] = &pendingQ{q: q, posted: now}
+		s.pendingKeys = append(s.pendingKeys, key)
+	}
+	s.srv.outstanding.Add(float64(len(qs)))
+	s.captureHistoryLocked() // the learner is about to block: hist is quiescent
+	s.setStateLocked(StateAwaiting)
+	s.mu.Unlock()
+
+	<-ready
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aborted {
+		panic(abortError{s.abortReason})
+	}
+	answers := make([]bool, len(qs))
+	for i, q := range qs {
+		answers[i] = s.pending[q.Key()].answer
+	}
+	s.pending = map[string]*pendingQ{}
+	s.pendingKeys = s.pendingKeys[:0]
+	return answers
+}
+
+// deliver applies a (possibly partial, possibly out-of-order) answer
+// map to the outstanding batch. Unknown keys are reported, repeats of
+// settled questions counted as duplicates; when the last outstanding
+// question settles the learner wakes and the state returns to
+// learning.
+func (s *session) deliver(answers map[string]bool) AnswerReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep AnswerReport
+	for key, ans := range answers {
+		p, ok := s.pending[key]
+		if !ok {
+			if s.settled[key] {
+				rep.Duplicate++
+			} else {
+				rep.Unknown = append(rep.Unknown, key)
+			}
+			continue
+		}
+		if p.answered {
+			rep.Duplicate++
+			continue
+		}
+		p.answered, p.answer = true, ans
+		s.settled[key] = true
+		s.remaining--
+		rep.Accepted++
+		s.srv.outstanding.Add(-1)
+		s.srv.reg.Histogram(obs.MetricServeAnswerSeconds, obs.AnswerLatencyBuckets).
+			Observe(time.Since(p.posted).Seconds())
+	}
+	if s.remaining == 0 && s.waiting {
+		s.waiting = false
+		close(s.batchReady)
+		s.setStateLocked(StateLearning)
+	}
+	rep.Outstanding = s.remaining
+	rep.State = s.state
+	return rep
+}
+
+// abort wakes a blocked learner with a panic and marks the session so
+// any later question also aborts. Aborting a finished session is a
+// no-op.
+func (s *session) abort(reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aborted || !s.running {
+		return
+	}
+	s.aborted = true
+	s.abortReason = reason
+	if s.waiting {
+		s.waiting = false
+		s.srv.outstanding.Add(-float64(s.remaining))
+		s.remaining = 0
+		s.pending = map[string]*pendingQ{}
+		s.pendingKeys = s.pendingKeys[:0]
+		close(s.batchReady)
+	}
+}
+
+// questions returns the outstanding batch. A positive wait long-polls:
+// while the session is computing (state learning) the call blocks —
+// up to wait — for the next state change, so drivers see fresh batches
+// without busy-polling.
+func (s *session) questions(wait time.Duration) QuestionBatch {
+	deadline := time.Now().Add(wait)
+	for {
+		s.mu.Lock()
+		if s.state != StateLearning || time.Now().After(deadline) {
+			qb := QuestionBatch{State: s.state, Questions: []WireQuestion{}}
+			for _, key := range s.pendingKeys {
+				p := s.pending[key]
+				if p == nil || p.answered {
+					continue
+				}
+				qb.Questions = append(qb.Questions, WireQuestion{
+					Key:    key,
+					Tuples: formatTuples(s.u, p.q),
+				})
+			}
+			s.mu.Unlock()
+			return qb
+		}
+		ch := s.stateSeq
+		s.mu.Unlock()
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			continue
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+}
+
+// info snapshots the session for GET /sessions/{id}.
+func (s *session) info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	in := SessionInfo{
+		ID:                s.id,
+		State:             s.state,
+		Mode:              s.mode,
+		Algorithm:         s.alg.String(),
+		Variables:         s.u.N(),
+		Runs:              s.runs,
+		Outstanding:       s.remaining,
+		QuestionsOnRecord: s.histLen,
+		LiveQuestions:     s.histLive,
+		Error:             s.failure,
+	}
+	if s.mode == ModeVerify {
+		in.Given = s.givenStr
+	}
+	if s.budget != nil {
+		r := s.budget.Remaining()
+		in.BudgetRemaining = &r
+	}
+	if s.haveLearned {
+		in.Learned = s.learned.String()
+		in.Stats = &StatsInfo{
+			HeadQuestions:        s.stats.HeadQuestions,
+			BodyQuestions:        s.stats.BodyQuestions,
+			ExistentialQuestions: s.stats.ExistentialQuestions,
+			Total:                s.stats.Total(),
+		}
+	}
+	if s.verdict != nil {
+		v := &VerifyInfo{Correct: s.verdict.Correct, QuestionsAsked: s.verdict.QuestionsAsked}
+		for _, d := range s.verdict.Disagreements {
+			v.Disagreements = append(v.Disagreements, WireQuestion{
+				Key:    d.Question.Set.Key(),
+				Tuples: formatTuples(s.u, d.Question.Set),
+			})
+		}
+		in.Verify = v
+	}
+	return in
+}
+
+// history renders the recorded interaction history from the quiescent-
+// point cache, so it is safe (and consistent) even while the learner is
+// computing.
+func (s *session) history() []HistoryEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.histEntries
+	out := make([]HistoryEntry, len(entries))
+	for i, e := range entries {
+		out[i] = HistoryEntry{
+			Index:   i,
+			Tuples:  formatTuples(s.u, e.Question),
+			Answer:  e.Answer,
+			Amended: e.Amended,
+		}
+	}
+	return out
+}
+
+// snapshot serializes the session for crash/resume. While the learner
+// is computing the history is in motion, so the caller gets
+// errSnapshotBusy and should retry; while awaiting answers (or done,
+// or failed) the history is quiescent. Answers of the in-flight batch
+// are not yet on record — resume re-asks that batch, and nothing else.
+func (s *session) snapshot() (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running && s.state == StateLearning {
+		return Snapshot{}, errSnapshotBusy
+	}
+	hist, err := s.hist.EncodeJSON(s.u)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	snap := Snapshot{
+		Version:   1,
+		Mode:      s.mode,
+		Algorithm: s.alg.String(),
+		Given:     s.givenStr,
+		Budget:    -1,
+		History:   hist,
+	}
+	if s.budget != nil {
+		snap.Budget = s.budget.Remaining()
+	}
+	return snap, nil
+}
+
+// errSnapshotBusy reports a snapshot attempt while the learner is
+// computing between batches; the handler maps it to 409.
+var errSnapshotBusy = fmt.Errorf("serve: session is computing; retry snapshot shortly")
+
+// amend flips recorded answers (by history index, or by question key)
+// and relaunches the learner over the corrected history — the §5
+// revision loop. Only a finished (done or failed) session may amend;
+// an in-flight run would race its own history.
+func (s *session) amend(req AmendRequest) error {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: session is still running; answer or delete it before amending")
+	}
+	if req.Index == nil && req.Key == "" {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: amend needs an index or a key")
+	}
+	var err error
+	if req.Index != nil {
+		err = s.hist.Amend(*req.Index)
+	} else {
+		err = s.amendByKeyLocked(req.Key)
+	}
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.hist.ResetRun()
+	s.captureHistoryLocked()
+	s.mu.Unlock()
+	if !s.srv.readmit() {
+		return fmt.Errorf("serve: server is shutting down")
+	}
+	s.launch()
+	return nil
+}
+
+// amendByKeyLocked flips the recorded answer of the history entry with
+// the given canonical key. Callers hold s.mu.
+func (s *session) amendByKeyLocked(key string) error {
+	for _, e := range s.hist.Entries() {
+		if e.Question.Key() == key {
+			return s.hist.AmendQuestion(e.Question)
+		}
+	}
+	return fmt.Errorf("serve: no history entry with key %q", key)
+}
+
+// formatTuples renders a question's tuples in the paper's fixed-width
+// notation, the wire format answerers evaluate against.
+func formatTuples(u boolean.Universe, q boolean.Set) []string {
+	tuples := q.Tuples()
+	out := make([]string, len(tuples))
+	for i, t := range tuples {
+		out[i] = u.Format(t)
+	}
+	return out
+}

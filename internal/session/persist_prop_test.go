@@ -1,0 +1,246 @@
+package session_test
+
+// Property tests for the interaction-history persistence layer: a
+// session serialized mid-lifecycle — including after arbitrary
+// amendments — must decode into a session whose history and replay
+// behavior are indistinguishable from the original. The histories are
+// not hand-written: each trial learns a randomly generated hidden
+// query (the difffuzz generators) through a session, amends random
+// entries, round-trips through EncodeJSON/DecodeJSON and then re-runs
+// the learner over both the original and the decoded session,
+// demanding bit-identical results.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/difffuzz"
+	"qhorn/internal/learn"
+	"qhorn/internal/oracle"
+	engine "qhorn/internal/run"
+	"qhorn/internal/session"
+)
+
+func propTrials(t *testing.T) int {
+	if testing.Short() {
+		return 25
+	}
+	return 150
+}
+
+// sameEntries asserts two histories are identical: same order, same
+// questions, same answers, same amendment flags.
+func sameEntries(t *testing.T, label string, got, want []session.Entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d entries, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Question.Key() != want[i].Question.Key() {
+			t.Fatalf("%s: entry %d question %q, want %q", label, i, got[i].Question.Key(), want[i].Question.Key())
+		}
+		if got[i].Answer != want[i].Answer {
+			t.Fatalf("%s: entry %d answer %v, want %v", label, i, got[i].Answer, want[i].Answer)
+		}
+		if got[i].Amended != want[i].Amended {
+			t.Fatalf("%s: entry %d amended %v, want %v", label, i, got[i].Amended, want[i].Amended)
+		}
+	}
+}
+
+func TestPersistRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	classes := []difffuzz.Class{difffuzz.ClassQhorn1, difffuzz.ClassRP}
+	for trial := 0; trial < propTrials(t); trial++ {
+		class := classes[trial%len(classes)]
+		alg := engine.Qhorn1
+		if class == difffuzz.ClassRP {
+			alg = engine.RolePreserving
+		}
+		hidden := difffuzz.GenCase(rng, class, 3, 6).Hidden
+		u := hidden.U
+
+		// Build a real history: learn the hidden query through a
+		// session, then flip a few random answers.
+		orig := session.New(oracle.Target(hidden))
+		learn.Run(u, orig, engine.WithAlgorithm(alg), engine.WithBatch())
+		for k := rng.Intn(4); k > 0 && orig.Len() > 0; k-- {
+			if err := orig.Amend(rng.Intn(orig.Len())); err != nil {
+				t.Fatalf("trial %d: amend: %v", trial, err)
+			}
+		}
+
+		data, err := orig.EncodeJSON(u)
+		if err != nil {
+			t.Fatalf("trial %d (%s): encode: %v", trial, hidden, err)
+		}
+		decoded, du, err := session.DecodeJSON(data, oracle.Target(hidden))
+		if err != nil {
+			t.Fatalf("trial %d (%s): decode: %v", trial, hidden, err)
+		}
+		if du.N() != u.N() {
+			t.Fatalf("trial %d: decoded universe %d vars, want %d", trial, du.N(), u.N())
+		}
+		sameEntries(t, "decoded history", decoded.Entries(), orig.Entries())
+
+		// Encoding is stable: re-encoding the decoded session yields
+		// the same bytes.
+		data2, err := decoded.EncodeJSON(du)
+		if err != nil {
+			t.Fatalf("trial %d: re-encode: %v", trial, err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatalf("trial %d (%s): encode/decode/encode is not a fixed point", trial, hidden)
+		}
+
+		// Replay behavior is unchanged: re-learning over the original
+		// (amended) session and over its decoded copy must ask the
+		// same live questions and produce the same query.
+		orig.ResetRun()
+		qOrig, _ := learn.Run(u, orig, engine.WithAlgorithm(alg), engine.WithBatch())
+		qDec, _ := learn.Run(du, decoded, engine.WithAlgorithm(alg), engine.WithBatch())
+		if !qOrig.Equal(qDec) {
+			t.Fatalf("trial %d (%s): relearn over decoded history gives %s, original gives %s",
+				trial, hidden, qDec, qOrig)
+		}
+		if decoded.LiveQuestions != orig.LiveQuestions {
+			t.Fatalf("trial %d (%s): decoded relearn asked %d live questions, original %d",
+				trial, hidden, decoded.LiveQuestions, orig.LiveQuestions)
+		}
+		sameEntries(t, "post-relearn history", decoded.Entries(), orig.Entries())
+	}
+}
+
+// TestAskBatchMatchesSerialAsk drives identical random batches —
+// including intra-batch duplicates and already-recorded questions —
+// through AskBatch on one session and a serial Ask loop on another:
+// answers, history order and live-question counts must be identical.
+func TestAskBatchMatchesSerialAsk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < propTrials(t); trial++ {
+		n := 3 + rng.Intn(3)
+		u, err := boolean.NewUniverse(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hidden := difffuzz.GenCase(rng, difffuzz.ClassQhorn1, n, n).Hidden
+		batched := session.New(oracle.Target(hidden))
+		serial := session.New(oracle.Target(hidden))
+
+		randomSet := func() boolean.Set {
+			tuples := make([]boolean.Tuple, 1+rng.Intn(3))
+			for i := range tuples {
+				s := make([]byte, n)
+				for j := range s {
+					s[j] = byte('0' + rng.Intn(2))
+				}
+				tu, err := u.Parse(string(s))
+				if err != nil {
+					t.Fatal(err)
+				}
+				tuples[i] = tu
+			}
+			return boolean.NewSet(tuples...)
+		}
+
+		var pool []boolean.Set // questions eligible for repeats
+		for round := 0; round < 5; round++ {
+			batch := make([]boolean.Set, 0, 6)
+			for len(batch) < 1+rng.Intn(6) {
+				switch {
+				case len(pool) > 0 && rng.Intn(3) == 0:
+					batch = append(batch, pool[rng.Intn(len(pool))]) // repeat
+				default:
+					q := randomSet()
+					batch = append(batch, q)
+					pool = append(pool, q)
+				}
+			}
+			got := batched.AskBatch(batch)
+			want := make([]bool, len(batch))
+			for i, q := range batch {
+				want[i] = serial.Ask(q)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d round %d: AskBatch[%d]=%v, serial Ask=%v", trial, round, i, got[i], want[i])
+				}
+			}
+		}
+		sameEntries(t, "batched history", batched.Entries(), serial.Entries())
+		if batched.LiveQuestions != serial.LiveQuestions {
+			t.Fatalf("trial %d: AskBatch counted %d live questions, serial %d",
+				trial, batched.LiveQuestions, serial.LiveQuestions)
+		}
+	}
+}
+
+// TestAmendEdgeCases pins the amendment edge semantics: unknown
+// questions and out-of-range indices error without mutating, and a
+// double amend flips the answer back while keeping the entry flagged.
+func TestAmendEdgeCases(t *testing.T) {
+	u, err := boolean.NewUniverse(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := u.Parse("101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	asked := boolean.NewSet(tu)
+	other, err := u.Parse("010")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unknown := boolean.NewSet(other)
+
+	s := session.New(oracle.Func(func(boolean.Set) bool { return true }))
+	if got := s.Ask(asked); !got {
+		t.Fatal("oracle answered false")
+	}
+
+	t.Run("unknown question", func(t *testing.T) {
+		if err := s.AmendQuestion(unknown); err == nil {
+			t.Fatal("amending a never-asked question succeeded")
+		}
+		sameAnswer(t, s, asked, true)
+	})
+	t.Run("index out of range", func(t *testing.T) {
+		for _, i := range []int{-1, 1, 100} {
+			if err := s.Amend(i); err == nil {
+				t.Fatalf("Amend(%d) succeeded on a 1-entry history", i)
+			}
+		}
+		sameAnswer(t, s, asked, true)
+	})
+	t.Run("double amend flips back", func(t *testing.T) {
+		if err := s.Amend(0); err != nil {
+			t.Fatal(err)
+		}
+		sameAnswer(t, s, asked, false)
+		if err := s.Amend(0); err != nil {
+			t.Fatal(err)
+		}
+		sameAnswer(t, s, asked, true)
+		if e := s.Entries()[0]; !e.Amended {
+			t.Fatal("double-amended entry lost its Amended flag")
+		}
+	})
+	t.Run("forget out of range", func(t *testing.T) {
+		if err := s.Forget(-1); err == nil {
+			t.Fatal("Forget(-1) succeeded")
+		}
+		if err := s.Forget(2); err == nil {
+			t.Fatal("Forget past the history succeeded")
+		}
+	})
+}
+
+func sameAnswer(t *testing.T, s *session.Session, q boolean.Set, want bool) {
+	t.Helper()
+	if got := s.Ask(q); got != want {
+		t.Fatalf("recorded answer %v, want %v", got, want)
+	}
+}

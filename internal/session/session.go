@@ -14,9 +14,13 @@
 // A Session is NOT concurrency-safe: its history maps serialize the
 // amendment protocol, so it must never sit inside a worker pool
 // (run.WithParallel). Engine runs over a session use run.WithBatch
-// instead — the batch structure degrades to serial asking with
-// identical questions and counts (see docs/ENGINE.md and the
-// qhorndp serial-fallback notice).
+// instead: the session is a BatchOracle whose AskBatch answers
+// replayed questions from the history and forwards the remaining
+// distinct questions to the user as one sub-batch, so a batch-capable
+// user (a worker pool, or the qhornd answer exchange of
+// internal/serve) sees whole batches while the session itself stays
+// single-goroutine. Questions, recorded history and counts are
+// identical to serial asking either way (see docs/ENGINE.md).
 package session
 
 import (
@@ -66,6 +70,47 @@ func (s *Session) Ask(q boolean.Set) bool {
 	s.byKey[key] = &Entry{Question: q, Answer: a}
 	s.order = append(s.order, key)
 	return a
+}
+
+// AskBatch implements oracle.BatchOracle: questions already on record
+// — including intra-batch repeats — are answered from the history;
+// the remaining distinct questions are forwarded to the user as one
+// sub-batch in first-occurrence order and recorded. The answers, the
+// recorded history order and LiveQuestions are identical to asking
+// the batch serially through Ask; only the user-side asking may
+// overlap in time when the user is itself a BatchOracle. The session
+// must still be driven from a single goroutine.
+func (s *Session) AskBatch(qs []boolean.Set) []bool {
+	answers := make([]bool, len(qs))
+	var sub []boolean.Set
+	var fill []int
+	inSub := map[string]bool{}
+	for i, q := range qs {
+		key := q.Key()
+		if e, ok := s.byKey[key]; ok {
+			answers[i] = e.Answer
+			continue
+		}
+		fill = append(fill, i)
+		if !inSub[key] {
+			inSub[key] = true
+			sub = append(sub, q)
+		}
+	}
+	if len(sub) == 0 {
+		return answers
+	}
+	res := oracle.AskAll(s.user, sub)
+	for j, q := range sub {
+		key := q.Key()
+		s.LiveQuestions++
+		s.byKey[key] = &Entry{Question: q, Answer: res[j]}
+		s.order = append(s.order, key)
+	}
+	for _, i := range fill {
+		answers[i] = s.byKey[qs[i].Key()].Answer
+	}
+	return answers
 }
 
 // Entries returns the history in first-asked order.
