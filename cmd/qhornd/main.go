@@ -42,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 		shards      = fs.Int("shards", serve.DefaultShards, "session-table shard count")
 		maxSessions = fs.Int("max-sessions", 0, "max concurrently running sessions (0 = unlimited); excess creations get 429")
 		budget      = fs.Int("budget", 0, "default per-session live-question budget (0 = unlimited)")
+		memoCap     = fs.Int("memo-capacity", 0, "shared cross-session memo tier capacity in answers (0 = default, negative disables the tier)")
 		flightSpans = fs.Int("flight-spans", 0, "span flight-recorder capacity (0 = default)")
 		quiet       = fs.Bool("quiet", false, "suppress per-session diagnostics")
 	)
@@ -50,10 +51,11 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 	}
 	logger := log.New(stderr, "qhornd: ", log.LstdFlags)
 	cfg := serve.Config{
-		Shards:      *shards,
-		MaxSessions: *maxSessions,
-		Budget:      *budget,
-		FlightSpans: *flightSpans,
+		Shards:       *shards,
+		MaxSessions:  *maxSessions,
+		Budget:       *budget,
+		MemoCapacity: *memoCap,
+		FlightSpans:  *flightSpans,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf
@@ -63,8 +65,12 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 		fmt.Fprintf(stderr, "qhornd: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "qhornd listening on %s (shards=%d max-sessions=%d budget=%d)\n",
-		srv.URL(), *shards, *maxSessions, *budget)
+	memoNote := "memo disabled"
+	if sm := srv.Memo(); sm != nil {
+		memoNote = fmt.Sprintf("memo-capacity=%d", sm.Capacity())
+	}
+	fmt.Fprintf(stdout, "qhornd listening on %s (shards=%d max-sessions=%d budget=%d %s)\n",
+		srv.URL(), *shards, *maxSessions, *budget, memoNote)
 	fmt.Fprintf(stdout, "  sessions: POST %s/sessions\n", srv.URL())
 	fmt.Fprintf(stdout, "  metrics:  GET  %s/metrics\n", srv.URL())
 	<-stop

@@ -411,7 +411,11 @@ func (m *memo) Ask(s boolean.Set) bool {
 
 // lead asks the inner oracle on behalf of every goroutine waiting on
 // key k, then wakes the waiters. The in-flight marker is removed even
-// when the inner oracle panics, so no waiter is stranded.
+// when the inner oracle panics, so no waiter is stranded. The miss is
+// counted only once an answer is actually obtained: when the inner
+// oracle panics (e.g. ErrBudget), every retrying waiter re-elects a
+// leader for the same question, and counting before the ask would
+// record a phantom miss per retry, skewing hit-rate metrics.
 func (m *memo) lead(k string, ch chan struct{}, s boolean.Set) bool {
 	defer func() {
 		m.mu.Lock()
@@ -419,8 +423,8 @@ func (m *memo) lead(k string, ch chan struct{}, s boolean.Set) bool {
 		m.mu.Unlock()
 		close(ch)
 	}()
-	m.reg.Counter(obs.MetricMemoMisses).Inc()
 	a := m.inner.Ask(s)
+	m.reg.Counter(obs.MetricMemoMisses).Inc()
 	m.mu.Lock()
 	m.answers[k] = a
 	m.mu.Unlock()
@@ -483,7 +487,6 @@ func (m *memo) AskBatch(qs []boolean.Set) []bool {
 		m.mu.Unlock()
 		switch {
 		case len(leaders) > 0:
-			m.reg.Counter(obs.MetricMemoMisses).Add(int64(len(leaders)))
 			m.leadBatch(keys, leaders, chans, qs)
 		case wait != nil:
 			<-wait
@@ -497,7 +500,10 @@ func (m *memo) AskBatch(qs []boolean.Set) []bool {
 }
 
 // leadBatch asks the inner oracle the deduplicated sub-batch at the
-// given leader indices and settles their flights.
+// given leader indices and settles their flights. As in lead, misses
+// are counted only after the inner oracle actually answered: a
+// panicking sub-batch (budget, abort) records no misses, so retries
+// cannot inflate the count.
 func (m *memo) leadBatch(keys []string, leaders []int, chans []chan struct{}, qs []boolean.Set) {
 	defer func() {
 		m.mu.Lock()
@@ -514,6 +520,7 @@ func (m *memo) leadBatch(keys []string, leaders []int, chans []chan struct{}, qs
 		sub[j] = qs[i]
 	}
 	res := AskAll(m.inner, sub)
+	m.reg.Counter(obs.MetricMemoMisses).Add(int64(len(leaders)))
 	m.mu.Lock()
 	for j, i := range leaders {
 		m.answers[keys[i]] = res[j]

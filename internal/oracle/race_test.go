@@ -260,6 +260,72 @@ func TestPoolConcurrentBatchesRaceClean(t *testing.T) {
 	}
 }
 
+// TestMemoMissCountedOnlyOnAnswer pins the miss-accounting fix: a
+// miss is recorded only when an answer is actually obtained from the
+// inner oracle. Pre-fix, the leader counted the miss before asking,
+// so a panicking inner oracle (ErrBudget) made every retrying waiter
+// re-elect a leader and count another phantom miss for the same
+// question.
+func TestMemoMissCountedOnlyOnAnswer(t *testing.T) {
+	u := boolean.MustUniverse(4)
+	qs := probeQuestions(u, 2)
+
+	t.Run("serial panic counts nothing", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		m := oracle.MemoInto(oracle.WithBudget(oracle.Func(func(boolean.Set) bool { return true }), 0), reg)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { recover() }()
+				m.Ask(qs[0])
+			}()
+		}
+		wg.Wait()
+		if got := reg.CounterValue(obs.MetricMemoMisses); got != 0 {
+			t.Errorf("misses = %d after budget-0 panics, want 0", got)
+		}
+	})
+
+	t.Run("retry storm counts one miss", func(t *testing.T) {
+		// Budget 1 under the memo: exactly one of the two questions
+		// gets the slot; every ask of the other panics, re-electing
+		// leaders over and over. Only the answered question is a miss.
+		reg := obs.NewRegistry()
+		m := oracle.MemoInto(oracle.WithBudget(oracle.Func(func(boolean.Set) bool { return true }), 1), reg)
+		var wg sync.WaitGroup
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for r := 0; r < 20; r++ {
+					func() {
+						defer func() { recover() }()
+						m.Ask(qs[(g+r)%2])
+					}()
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := reg.CounterValue(obs.MetricMemoMisses); got != 1 {
+			t.Errorf("misses = %d, want exactly 1 (the answered question)", got)
+		}
+	})
+
+	t.Run("batch panic counts nothing", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		m := oracle.MemoInto(oracle.WithBudget(oracle.Func(func(boolean.Set) bool { return true }), 0), reg)
+		func() {
+			defer func() { recover() }()
+			oracle.AskAll(m, qs)
+		}()
+		if got := reg.CounterValue(obs.MetricMemoMisses); got != 0 {
+			t.Errorf("batch misses = %d after budget-0 panic, want 0", got)
+		}
+	})
+}
+
 // atomicCounter is a tiny test helper.
 type atomicCounter struct{ v int64 }
 

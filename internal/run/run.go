@@ -200,6 +200,13 @@ type Config struct {
 	// compiled kernel (query.Compile) — compiled evaluation is on by
 	// default; WithInterpretedEval is the escape hatch.
 	InterpretedEval bool
+	// SharedMemo, when non-nil, serves the run's questions from a
+	// shared cross-session answer cache under SharedIdentity before
+	// they reach the user (or the budget).
+	SharedMemo *oracle.SharedMemo
+	// SharedIdentity keys this run's entries in SharedMemo; runs of
+	// distinct identities never share answers.
+	SharedIdentity string
 }
 
 // SimulatedUser returns the simulated-user oracle for target under
@@ -287,6 +294,17 @@ func WithMemo() Option {
 	return func(c *Config) { c.Memo = true }
 }
 
+// WithSharedMemo serves the run's questions from a shared
+// cross-session answer cache (oracle.SharedMemo) under the given
+// identity: questions another run of the same identity already
+// settled are answered from the tier without reaching the user, and
+// this run's fresh answers are published for later runs. Distinct
+// identities never share answers. A nil tier is a no-op, so callers
+// may pass an optional tier through unconditionally.
+func WithSharedMemo(sm *oracle.SharedMemo, identity string) Option {
+	return func(c *Config) { c.SharedMemo, c.SharedIdentity = sm, identity }
+}
+
 // WithNoise flips each of the user's answers with probability p,
 // driven by rng (§5's noisy-user model).
 func WithNoise(p float64, rng *rand.Rand) Option {
@@ -360,14 +378,18 @@ type Stack struct {
 // describes, innermost (closest to the user) to outermost (what the
 // run asks):
 //
-//	user → Pool → Noisy → Budget → Memo → Counter → Transcript
+//	user → Pool → Noisy → Budget → SharedMemo → Memo → Counter → Transcript
 //
 // The order is part of the engine's contract (docs/ENGINE.md): the
 // pool parallelizes real user answers; noise models the user's
 // mistakes, so it sits directly above her; the budget spends on
-// distinct questions only (memoized replays are free); the counter and
-// transcript face the run, observing every question it asks. With a
-// zero Config the user's oracle is returned untouched.
+// distinct questions only (memoized replays are free); the shared
+// cross-session tier sits above the budget for the same reason —
+// answers another session already settled cost this run nothing — and
+// below the per-run memo so the run's own repeats never touch the
+// shared shards; the counter and transcript face the run, observing
+// every question it asks. With a zero Config the user's oracle is
+// returned untouched.
 func (c Config) Assemble(user oracle.Oracle) Stack {
 	st := Stack{Oracle: user}
 	if c.Workers > 0 {
@@ -380,6 +402,9 @@ func (c Config) Assemble(user oracle.Oracle) Stack {
 	if c.Budget > 0 {
 		st.Budget = oracle.WithBudgetInto(st.Oracle, c.Budget, c.Ins.Metrics)
 		st.Oracle = st.Budget
+	}
+	if c.SharedMemo != nil {
+		st.Oracle = c.SharedMemo.Oracle(c.SharedIdentity, st.Oracle)
 	}
 	if c.Memo {
 		st.Oracle = oracle.MemoInto(st.Oracle, c.Ins.Metrics)

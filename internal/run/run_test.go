@@ -178,6 +178,45 @@ func TestAssembleFullStack(t *testing.T) {
 	}
 }
 
+// TestAssembleSharedMemo: the shared tier sits above the budget —
+// answers another run of the same identity already settled cost this
+// run's user and budget nothing — and distinct identities don't share.
+func TestAssembleSharedMemo(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	sm := oracle.NewSharedMemo(64)
+	q := boolean.NewSet(u.All())
+
+	asked := 0
+	user := oracle.Func(func(boolean.Set) bool { asked++; return true })
+	first := New(WithSharedMemo(sm, "alice"), WithBudget(5)).Assemble(user)
+	first.Oracle.Ask(q)
+	if asked != 1 || first.Budget.Remaining() != 4 {
+		t.Fatalf("cold ask: user=%d, remaining=%d", asked, first.Budget.Remaining())
+	}
+
+	second := New(WithSharedMemo(sm, "alice"), WithBudget(5)).Assemble(user)
+	if !second.Oracle.Ask(q) {
+		t.Error("warm ask lost the cached answer")
+	}
+	if asked != 1 {
+		t.Errorf("warm run re-asked the user (%d asks)", asked)
+	}
+	if second.Budget.Remaining() != 5 {
+		t.Errorf("warm run spent budget on a tier hit: remaining %d", second.Budget.Remaining())
+	}
+
+	stranger := New(WithSharedMemo(sm, "bob")).Assemble(user)
+	stranger.Oracle.Ask(q)
+	if asked != 2 {
+		t.Errorf("identity isolation broken: user asked %d times, want 2", asked)
+	}
+
+	// A nil tier is a no-op, mirroring WithObsServer's contract.
+	if st := New(WithSharedMemo(nil, "alice")).Assemble(user); st.Oracle == nil {
+		t.Error("nil tier broke assembly")
+	}
+}
+
 // TestAssembleBudgetPanics: exceeding the budget panics with
 // oracle.ErrBudget, the engine's advertised failure mode.
 func TestAssembleBudgetPanics(t *testing.T) {

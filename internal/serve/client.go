@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"sync/atomic"
 	"time"
 
 	"qhorn/internal/boolean"
@@ -186,6 +187,20 @@ func AnswererFor(u boolean.Universe, o oracle.Oracle) Answerer {
 			tuples[i] = t
 		}
 		return o.Ask(boolean.NewSet(tuples...)), nil
+	}
+}
+
+// CountingAnswerer wraps an Answerer, counting successfully evaluated
+// answers into n — the wire cost the answering user actually pays.
+// Questions served by the server's shared memo tier never reach the
+// wire, so comparing counts across sessions measures the tier.
+func CountingAnswerer(inner Answerer, n *int64) Answerer {
+	return func(q WireQuestion) (bool, error) {
+		a, err := inner(q)
+		if err == nil {
+			atomic.AddInt64(n, 1)
+		}
+		return a, err
 	}
 }
 

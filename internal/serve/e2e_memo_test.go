@@ -1,0 +1,271 @@
+package serve_test
+
+// End-to-end coverage of the shared cross-session memo tier and the
+// §5 amendment revision fast path. The tier's contract has two halves:
+// cold it is invisible (bit-identical runs), warm it only removes wire
+// questions, never changes what is learned — and answers never cross
+// oracle identities. The revision fast path must converge to the same
+// normal form a full relearn produces (Prop 4.1), while exposing its
+// question breakdown on the session info.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"qhorn/internal/difffuzz"
+	"qhorn/internal/obs"
+	"qhorn/internal/oracle"
+	engine "qhorn/internal/run"
+	"qhorn/internal/serve"
+)
+
+// TestE2EMemoColdIdentity attaches sessions to a cold shared tier and
+// holds them to the repo's core bar: learned query, live-question
+// count and recorded history identical to a direct learn.Run. A cold
+// tier forwards every batch unchanged, so the network inversion plus
+// the tier must still be invisible to the algorithms.
+func TestE2EMemoColdIdentity(t *testing.T) {
+	cases := []struct {
+		alg   engine.Algorithm
+		class difffuzz.Class
+		seed  int64
+	}{
+		{engine.Qhorn1, difffuzz.ClassQhorn1, 21},
+		{engine.RolePreserving, difffuzz.ClassRP, 22},
+	}
+	n := 3
+	if testing.Short() {
+		n = 1
+	}
+	for _, cs := range cases {
+		for _, target := range targets(cs.class, cs.seed, n) {
+			// A fresh server per target keeps the tier cold.
+			_, c := startServer(t, serve.Config{})
+			driveIdentityAs(t, c, target, cs.alg, "alice", serve.DriveOptions{Poll: 2 * time.Second})
+		}
+	}
+}
+
+// TestE2EMemoWarmRepeat learns the same target three times on one
+// server: twice as alice, once as bob. The second alice session must
+// learn the identical query while paying strictly fewer wire
+// questions; bob, a distinct identity, must pay full price — cached
+// answers never cross users.
+func TestE2EMemoWarmRepeat(t *testing.T) {
+	srv, c := startServer(t, serve.Config{})
+	target := targets(difffuzz.ClassQhorn1, 23, 1)[0]
+	want, _, _ := directLearn(target, engine.Qhorn1)
+	honest := serve.AnswererFor(target.U, oracle.Target(target))
+
+	learnAs := func(user string) int64 {
+		t.Helper()
+		var wire int64
+		info, err := c.Create(serve.CreateRequest{Variables: target.N(), Algorithm: "qhorn1", User: user})
+		if err != nil {
+			t.Fatalf("create as %q: %v", user, err)
+		}
+		final, err := c.Drive(info.ID, serve.CountingAnswerer(honest, &wire), serve.DriveOptions{Poll: 2 * time.Second})
+		if err != nil {
+			t.Fatalf("drive as %q: %v", user, err)
+		}
+		if final.State != serve.StateDone {
+			t.Fatalf("session of %q ended %q (error %q)", user, final.State, final.Error)
+		}
+		if final.Learned != want.String() {
+			t.Fatalf("session of %q learned %q, want %q", user, final.Learned, want)
+		}
+		return wire
+	}
+
+	cold := learnAs("alice")
+	if cold == 0 {
+		t.Fatal("cold session answered no wire questions")
+	}
+	if warm := learnAs("alice"); warm >= cold {
+		t.Fatalf("second alice session answered %d wire questions, first answered %d; the tier saved nothing", warm, cold)
+	}
+	if stranger := learnAs("bob"); stranger != cold {
+		t.Fatalf("bob's first session answered %d wire questions, alice's cold run %d; identities leak", stranger, cold)
+	}
+
+	if hits := srv.Registry().CounterValue(obs.MetricMemoTierHits); hits == 0 {
+		t.Error("qhornd_memo_hits_total is zero after a warm session")
+	}
+	if srv.Memo().Len() == 0 {
+		t.Error("shared tier is empty after three sessions")
+	}
+}
+
+// TestE2EAmendReviseFastPath runs the §5 loop on a role-preserving
+// session twice — once demanding the revision fast path, once a full
+// relearn — and requires both to converge to the direct learn's normal
+// form (Prop 4.1: equivalent role-preserving queries share a syntactic
+// normal form), with the fast path exposing its question breakdown.
+// The quantitative savings claim lives in the revise experiment
+// (BENCH_revise.json), which replays one-clause drifts at scale; a
+// single lie on a small target is no measure of it.
+func TestE2EAmendReviseFastPath(t *testing.T) {
+	target := targets(difffuzz.ClassRP, 31, 1)[0]
+	want, _, _ := directLearn(target, engine.RolePreserving)
+	honest := serve.AnswererFor(target.U, oracle.Target(target))
+	_, c := startServer(t, serve.Config{})
+
+	lieLearnAmend := func(strategy string) (serve.SessionInfo, int64) {
+		t.Helper()
+		info, err := c.Create(serve.CreateRequest{Variables: target.N(), Algorithm: "rp"})
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		var liedKey string
+		liar := func(q serve.WireQuestion) (bool, error) {
+			a, err := honest(q)
+			if err != nil {
+				return false, err
+			}
+			if liedKey == "" {
+				liedKey = q.Key
+				return !a, nil
+			}
+			return a, nil
+		}
+		noisy, err := c.Drive(info.ID, liar, serve.DriveOptions{Poll: 2 * time.Second})
+		if err != nil {
+			t.Fatalf("noisy drive: %v", err)
+		}
+		if noisy.State != serve.StateDone {
+			t.Fatalf("noisy session ended %q (error %q)", noisy.State, noisy.Error)
+		}
+		if liedKey == "" {
+			t.Fatal("the liar never got a question")
+		}
+		amended, err := c.Amend(info.ID, serve.AmendRequest{Key: liedKey, Strategy: strategy})
+		if err != nil {
+			t.Fatalf("amend (%s): %v", strategy, err)
+		}
+		if amended.Runs != 2 {
+			t.Fatalf("amended session reports %d runs, want 2", amended.Runs)
+		}
+		var wire int64
+		final, err := c.Drive(info.ID, serve.CountingAnswerer(honest, &wire), serve.DriveOptions{Poll: 2 * time.Second})
+		if err != nil {
+			t.Fatalf("honest drive: %v", err)
+		}
+		if final.State != serve.StateDone {
+			t.Fatalf("amended session ended %q (error %q)", final.State, final.Error)
+		}
+		return final, wire
+	}
+
+	revised, reviseWire := lieLearnAmend(serve.StrategyRevise)
+	if revised.Learned != want.String() {
+		t.Fatalf("revision fast path learned %q, direct learn %q", revised.Learned, want)
+	}
+	if revised.Revision == nil {
+		t.Fatal("fast-path session reports no revision breakdown")
+	}
+	relearned, relearnWire := lieLearnAmend(serve.StrategyRelearn)
+	if relearned.Learned != want.String() {
+		t.Fatalf("relearn after amendment learned %q, direct learn %q", relearned.Learned, want)
+	}
+	if relearned.Revision != nil {
+		t.Fatal("relearn strategy reports a revision breakdown")
+	}
+	t.Logf("wire questions after amend: %d revised (%d verify + %d repair, escalated=%v), %d relearned",
+		reviseWire, revised.Revision.VerificationQuestions, revised.Revision.RepairQuestions,
+		revised.Revision.Escalated, relearnWire)
+}
+
+// TestE2EAmendStrategyValidation: demanding the fast path on an
+// ineligible (qhorn-1) session, or naming an unknown strategy, is a
+// 409 that leaves the session untouched.
+func TestE2EAmendStrategyValidation(t *testing.T) {
+	target := targets(difffuzz.ClassQhorn1, 37, 1)[0]
+	honest := serve.AnswererFor(target.U, oracle.Target(target))
+	_, c := startServer(t, serve.Config{})
+	info, err := c.Create(serve.CreateRequest{Variables: target.N(), Algorithm: "qhorn1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Drive(info.ID, honest, serve.DriveOptions{Poll: 2 * time.Second})
+	if err != nil || final.State != serve.StateDone {
+		t.Fatalf("drive: %v (state %q)", err, final.State)
+	}
+	zero := 0
+	if _, err := c.Amend(info.ID, serve.AmendRequest{Index: &zero, Strategy: serve.StrategyRevise}); !serve.IsStatus(err, http.StatusConflict) {
+		t.Fatalf("demanding revise on a qhorn1 session: got %v, want 409", err)
+	}
+	if _, err := c.Amend(info.ID, serve.AmendRequest{Index: &zero, Strategy: "bogus"}); !serve.IsStatus(err, http.StatusConflict) {
+		t.Fatalf("unknown strategy: got %v, want 409", err)
+	}
+	in, err := c.Info(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Runs != 1 {
+		t.Fatalf("rejected amends relaunched the session: %d runs", in.Runs)
+	}
+	amended, err := c.Amend(info.ID, serve.AmendRequest{Index: &zero, Strategy: serve.StrategyRelearn})
+	if err != nil {
+		t.Fatalf("relearn amend: %v", err)
+	}
+	if amended.Runs != 2 {
+		t.Fatalf("amended session reports %d runs, want 2", amended.Runs)
+	}
+	if final, err = c.Drive(info.ID, honest, serve.DriveOptions{Poll: 2 * time.Second}); err != nil || final.State != serve.StateDone {
+		t.Fatalf("drive after amend: %v (state %q)", err, final.State)
+	}
+}
+
+// TestE2EAbortReasonOnShutdown delivers a batch into a session whose
+// server shut down mid-flight. The answers are necessarily unknown —
+// the abort cleared the batch — but the report must say the session
+// died, not let the driver believe it typo'd its keys. The handler
+// stays mounted (httptest owns the listener), which is exactly the
+// late-delivery window a reverse proxy gives a draining qhornd.
+func TestE2EAbortReasonOnShutdown(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Close()
+	c := serve.NewClient(hs.URL)
+	target := targets(difffuzz.ClassQhorn1, 41, 1)[0]
+	honest := serve.AnswererFor(target.U, oracle.Target(target))
+
+	info, err := c.Create(serve.CreateRequest{Variables: target.N(), Algorithm: "qhorn1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := c.Questions(info.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb.State != serve.StateAwaiting || len(qb.Questions) == 0 {
+		t.Fatalf("first poll: state %q with %d questions", qb.State, len(qb.Questions))
+	}
+	answers := map[string]bool{}
+	for _, q := range qb.Questions {
+		a, err := honest(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers[q.Key] = a
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Answer(info.ID, answers)
+	if err != nil {
+		t.Fatalf("late delivery: %v", err)
+	}
+	if rep.AbortReason == "" {
+		t.Fatal("late delivery into an aborted session carries no abort reason")
+	}
+	if rep.Accepted != 0 || len(rep.Unknown) != len(answers) {
+		t.Fatalf("aborted delivery: %d accepted, %d unknown (want 0, %d)", rep.Accepted, len(rep.Unknown), len(answers))
+	}
+	if rep.State != serve.StateFailed {
+		t.Fatalf("aborted delivery reports state %q, want failed", rep.State)
+	}
+}

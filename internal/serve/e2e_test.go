@@ -82,8 +82,15 @@ func matchHistory(t *testing.T, u boolean.Universe, got []serve.HistoryEntry, wa
 // bit-identical to the direct reference.
 func driveIdentity(t *testing.T, c *serve.Client, target query.Query, alg engine.Algorithm, opt serve.DriveOptions) {
 	t.Helper()
+	driveIdentityAs(t, c, target, alg, "", opt)
+}
+
+// driveIdentityAs is driveIdentity with an oracle identity: the session
+// attaches to the server's shared memo tier as user (empty opts out).
+func driveIdentityAs(t *testing.T, c *serve.Client, target query.Query, alg engine.Algorithm, user string, opt serve.DriveOptions) {
+	t.Helper()
 	want, wantHist, wantLive := directLearn(target, alg)
-	info, err := c.Create(serve.CreateRequest{Variables: target.N(), Algorithm: alg.String()})
+	info, err := c.Create(serve.CreateRequest{Variables: target.N(), Algorithm: alg.String(), User: user})
 	if err != nil {
 		t.Fatalf("create: %v", err)
 	}
@@ -221,7 +228,7 @@ func TestE2ECrashResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recorded := len(answers) // history at snapshot = the settled first batch
+	recorded := len(answers)                  // history at snapshot = the settled first batch
 	if err := c.Delete(info.ID); err != nil { // the "crash"
 		t.Fatal(err)
 	}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"qhorn/internal/obs"
+	"qhorn/internal/oracle"
 	"qhorn/internal/run"
 )
 
@@ -47,6 +48,10 @@ type Config struct {
 	// Budget is the default per-session live-question cap, applied
 	// when a CreateRequest leaves Budget zero; <= 0 is unlimited.
 	Budget int
+	// MemoCapacity bounds the server's shared cross-session memo tier
+	// (answers cached across sessions of the same user identity): 0
+	// selects DefaultMemoCapacity, negative disables the tier.
+	MemoCapacity int
 	// Obs, when non-nil, is the observability server to mount;
 	// otherwise one is created with FlightSpans capacity.
 	Obs *obs.Server
@@ -61,6 +66,11 @@ type Config struct {
 // DefaultShards is the shard count a zero Config selects.
 const DefaultShards = 8
 
+// DefaultMemoCapacity is the shared memo tier bound a zero Config
+// selects: a million cached answers, a few hundred MB at production
+// tuple sizes.
+const DefaultMemoCapacity = 1 << 20
+
 // Server is the qhornd HTTP daemon. Create with New, mount Handler
 // (or Start a listener), and Close to abort in-flight sessions and
 // wait for their learner goroutines.
@@ -72,6 +82,7 @@ type Server struct {
 	mux    *http.ServeMux
 
 	shards      []*shard
+	memo        *oracle.SharedMemo // nil when MemoCapacity < 0
 	outstanding *obs.Gauge
 	activeGauge *obs.Gauge
 
@@ -111,6 +122,17 @@ func New(cfg Config) *Server {
 	for i := range s.shards {
 		s.shards[i] = &shard{sessions: map[string]*session{}}
 	}
+	if cfg.MemoCapacity >= 0 {
+		capacity := cfg.MemoCapacity
+		if capacity == 0 {
+			capacity = DefaultMemoCapacity
+		}
+		s.memo = oracle.NewSharedMemoInto(capacity, s.reg)
+		s.reg.Describe(obs.MetricMemoTierHits, "questions the shared memo tier answered from cache")
+		s.reg.Describe(obs.MetricMemoTierMisses, "questions the shared memo tier forwarded and got answered")
+		s.reg.Describe(obs.MetricMemoTierEvictions, "answers evicted by the shared memo tier's 2Q policy")
+		s.reg.Describe(obs.MetricMemoTierSize, "answers currently cached by the shared memo tier")
+	}
 	s.reg.Describe(obs.MetricServeSessionsActive, "live qhornd sessions (learner goroutine running)")
 	s.reg.Describe(obs.MetricServeQuestionsOutstanding, "questions posted to answerers and not yet answered")
 	s.reg.Describe(obs.MetricServeAnswerSeconds, "remote answer latency from question posting to delivery")
@@ -137,6 +159,10 @@ func New(cfg Config) *Server {
 // Registry returns the server's metrics registry (shared with the
 // mounted observability plane).
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Memo returns the server's shared cross-session memo tier, or nil
+// when the tier is disabled (MemoCapacity < 0).
+func (s *Server) Memo() *oracle.SharedMemo { return s.memo }
 
 // Handler returns the server's HTTP handler, for mounting into an
 // httptest harness or an existing listener.
@@ -300,6 +326,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	algStr := req.Algorithm
 	given := req.Given
 	budget := req.Budget
+	user := req.User
 	var history []byte
 	if req.Snapshot != nil {
 		snap := req.Snapshot
@@ -309,6 +336,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		}
 		mode, algStr, given, budget = snap.Mode, snap.Algorithm, snap.Given, snap.Budget
 		history = snap.History
+		if snap.User != "" {
+			user = snap.User
+		}
 	}
 	if mode == "" {
 		mode = ModeLearn
@@ -336,7 +366,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	sess, err := newSession(s, "", mode, alg, req.Variables, given, budget, history)
+	sess, err := newSession(s, "", mode, alg, req.Variables, given, budget, user, history)
 	if err != nil {
 		s.admitMu.Lock()
 		s.active--

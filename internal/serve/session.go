@@ -38,6 +38,7 @@ import (
 	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
+	"qhorn/internal/revise"
 	"qhorn/internal/run"
 	qsession "qhorn/internal/session"
 	"qhorn/internal/verify"
@@ -82,6 +83,7 @@ type session struct {
 	alg       run.Algorithm
 	u         boolean.Universe
 	givenStr  string
+	user      string     // oracle identity in the shared memo tier; "" detached
 	vs        verify.Set // verify mode: the prebuilt verification set
 	budget    *oracle.Budget
 	budgetCap int // -1 unlimited, else the admitted live-question cap
@@ -114,6 +116,9 @@ type session struct {
 	haveLearned bool
 	learned     query.Query
 	stats       run.Stats
+	statsKnown  bool         // stats came from a full learn; false after a revise run
+	reviseFrom  *query.Query // amend set it: revise this query instead of relearning
+	revision    *RevisionInfo
 	verdict     *verify.Result
 	failure     string
 }
@@ -122,23 +127,33 @@ type session struct {
 // a shard and calls launch. history, when non-nil, is a snapshot's
 // session.EncodeJSON payload to resume from; otherwise variables
 // sizes a fresh universe.
-func newSession(srv *Server, id, mode string, alg run.Algorithm, variables int, givenStr string, budgetCap int, history []byte) (*session, error) {
+func newSession(srv *Server, id, mode string, alg run.Algorithm, variables int, givenStr string, budgetCap int, userID string, history []byte) (*session, error) {
 	s := &session{
 		id:        srv.nextID(id),
 		srv:       srv,
 		mode:      mode,
 		alg:       alg,
 		givenStr:  givenStr,
+		user:      userID,
 		budgetCap: budgetCap,
 		state:     StateLearning,
 		stateSeq:  make(chan struct{}),
 		pending:   map[string]*pendingQ{},
 		settled:   map[string]bool{},
 	}
+	// The oracle under the interaction history, innermost first:
+	// exchange (the wire) → budget → shared memo tier. The tier sits
+	// above the budget so questions another session of this user
+	// already settled cost this session nothing; with a cold tier it
+	// forwards every batch unchanged, so question sequences stay
+	// bit-identical to a direct learn.Run.
 	var user oracle.Oracle = exchange{s}
 	if budgetCap > 0 {
 		s.budget = oracle.WithBudgetInto(user, budgetCap, srv.reg)
 		user = s.budget
+	}
+	if userID != "" {
+		user = srv.memo.Oracle(userID, user)
 	}
 	if history != nil {
 		hist, u, err := qsession.DecodeJSON(history, user)
@@ -192,6 +207,8 @@ func (s *session) launch() {
 	s.aborted = false
 	s.runs++
 	s.haveLearned = false
+	s.statsKnown = false
+	s.revision = nil
 	s.verdict = nil
 	s.failure = ""
 	s.setStateLocked(StateLearning)
@@ -249,9 +266,35 @@ func (s *session) run() {
 		s.mu.Unlock()
 		return
 	}
+	s.mu.Lock()
+	reviseFrom := s.reviseFrom
+	s.reviseFrom = nil
+	s.mu.Unlock()
+	if reviseFrom != nil {
+		// The amendment fast path (§5 + the §6 revision sketch): replay
+		// the prior run's settled history through internal/revise, so
+		// only the damaged sub-lattice generates new wire questions. The
+		// history replays recorded answers for free; revise verifies the
+		// prior learned query against it, repairs the implicated parts,
+		// and escalates to a full learn only if damage attribution
+		// under-approximated.
+		if res, err := revise.Revise(*reviseFrom, s.hist); err == nil {
+			s.mu.Lock()
+			s.learned, s.haveLearned = res.Revised, true
+			s.revision = &RevisionInfo{
+				VerificationQuestions: res.VerificationQuestions,
+				RepairQuestions:       res.RepairQuestions,
+				Escalated:             res.Escalated,
+			}
+			s.mu.Unlock()
+			return
+		}
+		// Revise refused (the prior query left the role-preserving
+		// class): fall back to a full relearn.
+	}
 	q, st := learn.Run(s.u, s.hist, opts...)
 	s.mu.Lock()
-	s.learned, s.stats, s.haveLearned = q, st, true
+	s.learned, s.stats, s.haveLearned, s.statsKnown = q, st, true, true
 	s.mu.Unlock()
 }
 
@@ -342,6 +385,12 @@ func (s *session) deliver(answers map[string]bool) AnswerReport {
 	}
 	rep.Outstanding = s.remaining
 	rep.State = s.state
+	if s.aborted {
+		// The abort cleared the batch, so answers that were
+		// legitimately in flight land in Unknown; the reason tells the
+		// driver the session died rather than that it typo'd a key.
+		rep.AbortReason = s.abortReason
+	}
 	return rep
 }
 
@@ -414,10 +463,12 @@ func (s *session) info() SessionInfo {
 		Mode:              s.mode,
 		Algorithm:         s.alg.String(),
 		Variables:         s.u.N(),
+		User:              s.user,
 		Runs:              s.runs,
 		Outstanding:       s.remaining,
 		QuestionsOnRecord: s.histLen,
 		LiveQuestions:     s.histLive,
+		Revision:          s.revision,
 		Error:             s.failure,
 	}
 	if s.mode == ModeVerify {
@@ -429,11 +480,13 @@ func (s *session) info() SessionInfo {
 	}
 	if s.haveLearned {
 		in.Learned = s.learned.String()
-		in.Stats = &StatsInfo{
-			HeadQuestions:        s.stats.HeadQuestions,
-			BodyQuestions:        s.stats.BodyQuestions,
-			ExistentialQuestions: s.stats.ExistentialQuestions,
-			Total:                s.stats.Total(),
+		if s.statsKnown {
+			in.Stats = &StatsInfo{
+				HeadQuestions:        s.stats.HeadQuestions,
+				BodyQuestions:        s.stats.BodyQuestions,
+				ExistentialQuestions: s.stats.ExistentialQuestions,
+				Total:                s.stats.Total(),
+			}
 		}
 	}
 	if s.verdict != nil {
@@ -489,6 +542,7 @@ func (s *session) snapshot() (Snapshot, error) {
 		Algorithm: s.alg.String(),
 		Given:     s.givenStr,
 		Budget:    -1,
+		User:      s.user,
 		History:   hist,
 	}
 	if s.budget != nil {
@@ -502,9 +556,18 @@ func (s *session) snapshot() (Snapshot, error) {
 var errSnapshotBusy = fmt.Errorf("serve: session is computing; retry snapshot shortly")
 
 // amend flips recorded answers (by history index, or by question key)
-// and relaunches the learner over the corrected history — the §5
-// revision loop. Only a finished (done or failed) session may amend;
-// an in-flight run would race its own history.
+// and reruns the learner over the corrected history — the §5 revision
+// loop. Only a finished (done or failed) session may amend; an
+// in-flight run would race its own history.
+//
+// Eligible learn sessions take the revision fast path: the prior
+// learned query is repaired through internal/revise over the replayed
+// history instead of relearned from scratch. Eligibility requires the
+// role-preserving algorithm with a learned query on record — the rp
+// learner emits Prop 4.1 normal forms, so the revised query is
+// textually identical to what a full relearn would produce; the
+// qhorn-1 learner's output is not normalized, so those sessions
+// relearn to preserve bit-identity.
 func (s *session) amend(req AmendRequest) error {
 	s.mu.Lock()
 	if s.running {
@@ -515,16 +578,46 @@ func (s *session) amend(req AmendRequest) error {
 		s.mu.Unlock()
 		return fmt.Errorf("serve: amend needs an index or a key")
 	}
+	eligible := s.mode == ModeLearn && s.alg == run.RolePreserving &&
+		s.haveLearned && s.learned.IsRolePreserving()
+	var reviseFrom *query.Query
+	switch req.Strategy {
+	case "", StrategyAuto:
+		if eligible {
+			prior := s.learned
+			reviseFrom = &prior
+		}
+	case StrategyRelearn:
+	case StrategyRevise:
+		if !eligible {
+			s.mu.Unlock()
+			return fmt.Errorf("serve: session not eligible for the revision fast path (need a finished role-preserving learn)")
+		}
+		prior := s.learned
+		reviseFrom = &prior
+	default:
+		s.mu.Unlock()
+		return fmt.Errorf("serve: unknown amend strategy %q (want auto, relearn or revise)", req.Strategy)
+	}
 	var err error
+	var fixedAt int
 	if req.Index != nil {
-		err = s.hist.Amend(*req.Index)
+		fixedAt, err = *req.Index, s.hist.Amend(*req.Index)
 	} else {
-		err = s.amendByKeyLocked(req.Key)
+		fixedAt, err = s.amendByKeyLocked(req.Key)
 	}
 	if err != nil {
 		s.mu.Unlock()
 		return err
 	}
+	if s.user != "" {
+		// Propagate the correction into the shared tier, so later
+		// sessions of this user see the corrected answer instead of
+		// the stale one.
+		e := s.hist.Entries()[fixedAt]
+		s.srv.memo.Update(s.user, e.Question, e.Answer)
+	}
+	s.reviseFrom = reviseFrom
 	s.hist.ResetRun()
 	s.captureHistoryLocked()
 	s.mu.Unlock()
@@ -535,15 +628,22 @@ func (s *session) amend(req AmendRequest) error {
 	return nil
 }
 
+// Amend strategies (AmendRequest.Strategy).
+const (
+	StrategyAuto    = "auto"
+	StrategyRelearn = "relearn"
+	StrategyRevise  = "revise"
+)
+
 // amendByKeyLocked flips the recorded answer of the history entry with
-// the given canonical key. Callers hold s.mu.
-func (s *session) amendByKeyLocked(key string) error {
-	for _, e := range s.hist.Entries() {
+// the given canonical key, returning its index. Callers hold s.mu.
+func (s *session) amendByKeyLocked(key string) (int, error) {
+	for i, e := range s.hist.Entries() {
 		if e.Question.Key() == key {
-			return s.hist.AmendQuestion(e.Question)
+			return i, s.hist.AmendQuestion(e.Question)
 		}
 	}
-	return fmt.Errorf("serve: no history entry with key %q", key)
+	return 0, fmt.Errorf("serve: no history entry with key %q", key)
 }
 
 // formatTuples renders a question's tuples in the paper's fixed-width

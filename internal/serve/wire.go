@@ -23,6 +23,12 @@ type CreateRequest struct {
 	// Budget caps the live questions of the session: 0 takes the
 	// server default, negative is unlimited.
 	Budget int `json:"budget,omitempty"`
+	// User is the oracle identity of the answering user. Sessions of
+	// the same user share the server's cross-session memo tier —
+	// questions one session settled are answered from the cache in
+	// later sessions — while distinct users never share answers.
+	// Empty opts the session out of the tier.
+	User string `json:"user,omitempty"`
 	// Snapshot resumes a persisted session instead of starting fresh;
 	// every other field is taken from the snapshot.
 	Snapshot *Snapshot `json:"snapshot,omitempty"`
@@ -39,6 +45,7 @@ type Snapshot struct {
 	Algorithm string          `json:"algorithm"`
 	Given     string          `json:"given,omitempty"`
 	Budget    int             `json:"budget"` // remaining at snapshot; -1 unlimited
+	User      string          `json:"user,omitempty"`
 	History   json.RawMessage `json:"history"`
 }
 
@@ -50,6 +57,7 @@ type SessionInfo struct {
 	Algorithm string `json:"algorithm"`
 	Variables int    `json:"variables"`
 	Given     string `json:"given,omitempty"`
+	User      string `json:"user,omitempty"`
 	// Runs counts learner launches: 1, plus one per amend relaunch.
 	Runs int `json:"runs"`
 	// Outstanding is the number of unanswered questions of the
@@ -66,8 +74,22 @@ type SessionInfo struct {
 	Learned string      `json:"learned,omitempty"`
 	Stats   *StatsInfo  `json:"stats,omitempty"`
 	Verify  *VerifyInfo `json:"verify,omitempty"`
+	// Revision reports the last run's revision fast path, when an
+	// amendment was repaired through internal/revise instead of a full
+	// relearn.
+	Revision *RevisionInfo `json:"revision,omitempty"`
 	// Error describes why a failed session failed.
 	Error string `json:"error,omitempty"`
+}
+
+// RevisionInfo is the question breakdown of an amend run that took
+// the revision fast path: verification passes plus targeted repair of
+// the damaged sub-lattice, escalating to a full relearn only when the
+// damage attribution under-approximated.
+type RevisionInfo struct {
+	VerificationQuestions int  `json:"verification_questions"`
+	RepairQuestions       int  `json:"repair_questions"`
+	Escalated             bool `json:"escalated"`
 }
 
 // StatsInfo is the per-phase question breakdown of a finished learning
@@ -110,13 +132,17 @@ type AnswerRequest struct {
 
 // AnswerReport is the response to an answer delivery. Duplicate
 // answers (retries of settled questions) are counted, not errors, so
-// at-least-once clients are safe; unknown keys are listed.
+// at-least-once clients are safe; unknown keys are listed. When the
+// session died (deleted, server shutdown), AbortReason says so —
+// otherwise a delivery racing an abort would report legitimately
+// in-flight answers as Unknown with no signal the batch is gone.
 type AnswerReport struct {
 	Accepted    int      `json:"accepted"`
 	Duplicate   int      `json:"duplicate"`
 	Unknown     []string `json:"unknown,omitempty"`
 	Outstanding int      `json:"outstanding"`
 	State       string   `json:"state"`
+	AbortReason string   `json:"abort_reason,omitempty"`
 }
 
 // HistoryEntry is one recorded question of GET /sessions/{id}/history.
@@ -129,10 +155,18 @@ type HistoryEntry struct {
 
 // AmendRequest is the body of POST /sessions/{id}/amend: flip the
 // recorded answer at Index (history order) or with the given Key,
-// then relearn from the corrected history.
+// then rerun over the corrected history. Strategy selects how:
+//
+//	""         auto — the revision fast path when eligible (a learn
+//	           session of the role-preserving algorithm with a prior
+//	           learned query), else a full relearn
+//	"relearn"  always a full relearn
+//	"revise"   demand the fast path; 409 when the session is not
+//	           eligible
 type AmendRequest struct {
-	Index *int   `json:"index,omitempty"`
-	Key   string `json:"key,omitempty"`
+	Index    *int   `json:"index,omitempty"`
+	Key      string `json:"key,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // SessionList is the body of GET /sessions.
