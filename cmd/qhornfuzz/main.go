@@ -40,17 +40,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("qhornfuzz", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		seed     = fs.Int64("seed", 1, "seed for the deterministic case generator")
-		runs     = fs.Int("runs", 100, "number of generated learning cases (each adds a derived verify case)")
-		class    = fs.String("class", "both", "hidden-query class: qhorn1, rp, or both")
-		minVars  = fs.Int("min-n", 2, "smallest universe size")
-		maxVars  = fs.Int("max-n", 8, "largest universe size")
-		minimize = fs.Bool("minimize", false, "shrink each disagreement to a locally-minimal repro")
-		corpus   = fs.String("corpus", "", "replay the *.repro corpus in this directory instead of generating cases")
-		reproDir = fs.String("repro-dir", "", "write a .repro file for each (minimized) disagreement to this directory")
-		inject   = fs.Bool("inject", false, "corrupt the learner's output (drop its first expression) to demonstrate detection, minimization, and repro writing")
-		matrix   = fs.Bool("matrix", false, "add the run-engine options-matrix judge: replay each case through every engine option combination (docs/ENGINE.md)")
-		quiet    = fs.Bool("q", false, "suppress the progress line")
+		seed         = fs.Int64("seed", 1, "seed for the deterministic case generator")
+		runs         = fs.Int("runs", 100, "number of generated learning cases (each adds a derived verify case)")
+		class        = fs.String("class", "both", "hidden-query class: qhorn1, rp, or both")
+		minVars      = fs.Int("min-n", 2, "smallest universe size")
+		maxVars      = fs.Int("max-n", 8, "largest universe size")
+		minimize     = fs.Bool("minimize", false, "shrink each disagreement to a locally-minimal repro")
+		corpus       = fs.String("corpus", "", "replay the *.repro corpus in this directory instead of generating cases")
+		reproDir     = fs.String("repro-dir", "", "write a .repro file for each (minimized) disagreement to this directory")
+		inject       = fs.Bool("inject", false, "corrupt the learner's output (drop its first expression) to demonstrate detection, minimization, and repro writing")
+		matrix       = fs.Bool("matrix", false, "add the run-engine options-matrix judge: replay each case through every engine option combination (docs/ENGINE.md)")
+		bruteN       = fs.Int("brute-n", 0, "largest universe for the exhaustive brute cross-check (0 = default 4, negative disables)")
+		bruteSampleN = fs.Int("brute-sample-n", 0, "largest universe for the sampled brute cross-check (0 = default 5, negative disables)")
+		quiet        = fs.Bool("q", false, "suppress the progress line")
 	)
 	obsFlags := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -74,8 +76,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	defer session.Close()
 
 	var opt difffuzz.Options
-	opt.Parallel = engine.New(engine.FromFlags(obsFlags, session)...).Workers
+	eng := engine.New(engine.FromFlags(obsFlags, session)...)
+	opt.Parallel = eng.Workers
 	opt.EngineMatrix = *matrix
+	opt.BruteVars = *bruteN
+	opt.BruteSampleVars = *bruteSampleN
+	opt.Matrix = eng.BruteMatrixOptions()
 	if *inject {
 		opt.Warp = dropFirstExpr
 		fmt.Fprintln(stdout, "INJECTING a bug into the learner's output: disagreements below are expected")

@@ -1,0 +1,465 @@
+package bitvec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Row is an immutable compressed bitset in the roaring style: the bit
+// space is cut into 4096-bit chunks, empty chunks are omitted, and
+// each populated chunk stores its bits in whichever of three container
+// forms is smallest — a sorted array of 16-bit offsets (sparse), a
+// plain 64-word bitmap (dense), or a list of [start,end] runs
+// (clustered). The choice is deterministic, so two Rows over the same
+// bits are structurally equal and Equal can compare containers
+// directly.
+//
+// Rows are the at-rest form of the brute answer matrix's
+// question-major rows: the elimination working set stays a plain
+// []uint64, and a Row ANDs into it (AndInto/AndNotInto) or counts
+// against it (AndCount) without decompressing more than one chunk of
+// scratch at a time. The binary encoding (AppendBinary/DecodeRow) is
+// what MatrixOnDisk spills.
+type Row struct {
+	nbits  int
+	chunks []chunk
+}
+
+// Chunk geometry: 4096 bits = 64 words per chunk keeps array offsets
+// and run bounds in uint16 and the materialization scratch on the
+// stack.
+const (
+	chunkBits  = 4096
+	chunkWords = chunkBits / 64
+)
+
+// Container kinds, in canonical tie-break order: among equal encoded
+// sizes runs win, then array, then bitmap.
+const (
+	kindRuns uint8 = iota
+	kindArray
+	kindBitmap
+)
+
+// chunk is one populated 4096-bit span of a Row.
+type chunk struct {
+	key  uint32 // chunk index: bits [key·4096, (key+1)·4096)
+	kind uint8
+	card int32    // cardinality, cached for Count
+	arr  []uint16 // kindArray: sorted bit offsets within the chunk
+	bm   []uint64 // kindBitmap: chunkWords words
+	runs []uint16 // kindRuns: flat [start0, end0, start1, end1, …], inclusive
+}
+
+// Compress builds the canonical compressed form of the first nbits
+// bits of words. Bits at or above nbits must be clear (Full-style
+// trailing-word hygiene); len(words) must be Words(nbits).
+func Compress(words []uint64, nbits int) Row {
+	if len(words) != Words(nbits) {
+		panic(fmt.Sprintf("bitvec: Compress: %d words for %d bits, want %d", len(words), nbits, Words(nbits)))
+	}
+	r := Row{nbits: nbits}
+	var offs []uint16
+	for base := 0; base < len(words); base += chunkWords {
+		end := base + chunkWords
+		if end > len(words) {
+			end = len(words)
+		}
+		offs = offs[:0]
+		for w := base; w < end; w++ {
+			word := words[w]
+			for word != 0 {
+				offs = append(offs, uint16((w-base)<<6+bits.TrailingZeros64(word)))
+				word &= word - 1
+			}
+		}
+		if len(offs) == 0 {
+			continue
+		}
+		r.chunks = append(r.chunks, buildChunk(uint32(base/chunkWords), offs))
+	}
+	return r
+}
+
+// buildChunk picks the smallest container for the sorted offsets.
+func buildChunk(key uint32, offs []uint16) chunk {
+	c := chunk{key: key, card: int32(len(offs))}
+	// Count runs of consecutive offsets.
+	nruns := 1
+	for i := 1; i < len(offs); i++ {
+		if offs[i] != offs[i-1]+1 {
+			nruns++
+		}
+	}
+	runBytes, arrBytes, bmBytes := 4*nruns, 2*len(offs), 8*chunkWords
+	switch {
+	case runBytes <= arrBytes && runBytes <= bmBytes:
+		c.kind = kindRuns
+		c.runs = make([]uint16, 0, 2*nruns)
+		start := offs[0]
+		for i := 1; i <= len(offs); i++ {
+			if i == len(offs) || offs[i] != offs[i-1]+1 {
+				c.runs = append(c.runs, start, offs[i-1])
+				if i < len(offs) {
+					start = offs[i]
+				}
+			}
+		}
+	case arrBytes <= bmBytes:
+		c.kind = kindArray
+		c.arr = append([]uint16{}, offs...)
+	default:
+		c.kind = kindBitmap
+		c.bm = make([]uint64, chunkWords)
+		for _, o := range offs {
+			c.bm[o>>6] |= 1 << (uint(o) & 63)
+		}
+	}
+	return c
+}
+
+// materialize expands the chunk into buf (zeroing it first).
+func (c *chunk) materialize(buf *[chunkWords]uint64) {
+	*buf = [chunkWords]uint64{}
+	switch c.kind {
+	case kindArray:
+		for _, o := range c.arr {
+			buf[o>>6] |= 1 << (uint(o) & 63)
+		}
+	case kindBitmap:
+		copy(buf[:], c.bm)
+	default:
+		for i := 0; i < len(c.runs); i += 2 {
+			setRange(buf[:], int(c.runs[i]), int(c.runs[i+1]))
+		}
+	}
+}
+
+// setRange sets bits [start, end] (inclusive) of words.
+func setRange(words []uint64, start, end int) {
+	for w := start >> 6; w <= end>>6; w++ {
+		mask := ^uint64(0)
+		if w == start>>6 {
+			mask &= ^uint64(0) << (uint(start) & 63)
+		}
+		if w == end>>6 {
+			mask &= ^uint64(0) >> (63 - uint(end)&63)
+		}
+		words[w] |= mask
+	}
+}
+
+// Len returns the logical bit length the row was compressed from.
+func (r Row) Len() int { return r.nbits }
+
+// Count returns the number of set bits.
+func (r Row) Count() int {
+	n := 0
+	for i := range r.chunks {
+		n += int(r.chunks[i].card)
+	}
+	return n
+}
+
+// Bit reports bit i.
+func (r Row) Bit(i int) bool {
+	key := uint32(i / chunkBits)
+	idx := sort.Search(len(r.chunks), func(j int) bool { return r.chunks[j].key >= key })
+	if idx == len(r.chunks) || r.chunks[idx].key != key {
+		return false
+	}
+	c := &r.chunks[idx]
+	off := uint16(i % chunkBits)
+	switch c.kind {
+	case kindArray:
+		j := sort.Search(len(c.arr), func(k int) bool { return c.arr[k] >= off })
+		return j < len(c.arr) && c.arr[j] == off
+	case kindBitmap:
+		return c.bm[off>>6]&(1<<(uint(off)&63)) != 0
+	default:
+		for i := 0; i < len(c.runs); i += 2 {
+			if off >= c.runs[i] && off <= c.runs[i+1] {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Words decompresses the row into a fresh word slice of Words(Len())
+// words.
+func (r Row) Words() []uint64 {
+	out := make([]uint64, Words(r.nbits))
+	var scratch [chunkWords]uint64
+	for i := range r.chunks {
+		c := &r.chunks[i]
+		c.materialize(&scratch)
+		base := int(c.key) * chunkWords
+		end := base + chunkWords
+		if end > len(out) {
+			end = len(out)
+		}
+		copy(out[base:end], scratch[:end-base])
+	}
+	return out
+}
+
+// Equal reports whether two rows hold the same bits. The canonical
+// container choice makes structural comparison sufficient.
+func (r Row) Equal(o Row) bool {
+	if r.nbits != o.nbits || len(r.chunks) != len(o.chunks) {
+		return false
+	}
+	for i := range r.chunks {
+		a, b := &r.chunks[i], &o.chunks[i]
+		if a.key != b.key || a.kind != b.kind || a.card != b.card {
+			return false
+		}
+		switch a.kind {
+		case kindArray:
+			for j, v := range a.arr {
+				if b.arr[j] != v {
+					return false
+				}
+			}
+		case kindBitmap:
+			if !Equal(a.bm, b.bm) {
+				return false
+			}
+		default:
+			for j, v := range a.runs {
+				if b.runs[j] != v {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// AndCount returns popcount(v & row) without mutating v. len(v) must
+// be Words(Len()).
+func (r Row) AndCount(v []uint64) int {
+	n := 0
+	for i := range r.chunks {
+		c := &r.chunks[i]
+		base := int(c.key) * chunkWords
+		limit := len(v) - base // words of v available in this chunk
+		if limit > chunkWords {
+			limit = chunkWords
+		}
+		switch c.kind {
+		case kindArray:
+			for _, o := range c.arr {
+				if v[base+int(o>>6)]&(1<<(uint(o)&63)) != 0 {
+					n++
+				}
+			}
+		case kindBitmap:
+			for w := 0; w < limit; w++ {
+				n += bits.OnesCount64(c.bm[w] & v[base+w])
+			}
+		default:
+			for j := 0; j < len(c.runs); j += 2 {
+				n += countRange(v[base:base+limit], int(c.runs[j]), int(c.runs[j+1]))
+			}
+		}
+	}
+	return n
+}
+
+// countRange returns the popcount of bits [start, end] (inclusive) of
+// words.
+func countRange(words []uint64, start, end int) int {
+	n := 0
+	for w := start >> 6; w <= end>>6 && w < len(words); w++ {
+		mask := ^uint64(0)
+		if w == start>>6 {
+			mask &= ^uint64(0) << (uint(start) & 63)
+		}
+		if w == end>>6 {
+			mask &= ^uint64(0) >> (63 - uint(end)&63)
+		}
+		n += bits.OnesCount64(words[w] & mask)
+	}
+	return n
+}
+
+// AndInto folds v &= row: bits of v outside the row's chunks are
+// cleared, bits inside are ANDed chunk by chunk.
+func (r Row) AndInto(v []uint64) {
+	var scratch [chunkWords]uint64
+	next := 0
+	for i := range r.chunks {
+		c := &r.chunks[i]
+		base := int(c.key) * chunkWords
+		for w := next; w < base && w < len(v); w++ {
+			v[w] = 0
+		}
+		c.materialize(&scratch)
+		end := base + chunkWords
+		if end > len(v) {
+			end = len(v)
+		}
+		for w := base; w < end; w++ {
+			v[w] &= scratch[w-base]
+		}
+		next = end
+	}
+	for w := next; w < len(v); w++ {
+		v[w] = 0
+	}
+}
+
+// AndNotInto folds v &^= row.
+func (r Row) AndNotInto(v []uint64) {
+	var scratch [chunkWords]uint64
+	for i := range r.chunks {
+		c := &r.chunks[i]
+		base := int(c.key) * chunkWords
+		c.materialize(&scratch)
+		end := base + chunkWords
+		if end > len(v) {
+			end = len(v)
+		}
+		for w := base; w < end; w++ {
+			v[w] &^= scratch[w-base]
+		}
+	}
+}
+
+// SizeBytes reports the in-memory payload size of the compressed form
+// (container payloads only; per-chunk bookkeeping is a few words).
+// Matrix shard accounting uses it to report compression ratios.
+func (r Row) SizeBytes() int {
+	n := 0
+	for i := range r.chunks {
+		c := &r.chunks[i]
+		switch c.kind {
+		case kindArray:
+			n += 2 * len(c.arr)
+		case kindBitmap:
+			n += 8 * chunkWords
+		default:
+			n += 2 * len(c.runs)
+		}
+	}
+	return n
+}
+
+// AppendBinary appends the row's binary encoding to buf and returns
+// the extended slice. The format is self-delimiting; DecodeRow reads
+// it back.
+func (r Row) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.nbits))
+	buf = binary.AppendUvarint(buf, uint64(len(r.chunks)))
+	for i := range r.chunks {
+		c := &r.chunks[i]
+		buf = binary.AppendUvarint(buf, uint64(c.key))
+		buf = append(buf, c.kind)
+		switch c.kind {
+		case kindArray:
+			buf = binary.AppendUvarint(buf, uint64(len(c.arr)))
+			for _, o := range c.arr {
+				buf = binary.LittleEndian.AppendUint16(buf, o)
+			}
+		case kindBitmap:
+			for _, w := range c.bm {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+		default:
+			buf = binary.AppendUvarint(buf, uint64(len(c.runs)))
+			for _, o := range c.runs {
+				buf = binary.LittleEndian.AppendUint16(buf, o)
+			}
+		}
+	}
+	return buf
+}
+
+// DecodeRow decodes one row from data, returning the row and the
+// number of bytes consumed.
+func DecodeRow(data []byte) (Row, int, error) {
+	pos := 0
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("bitvec: truncated row encoding at byte %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	nbits, err := next()
+	if err != nil {
+		return Row{}, 0, err
+	}
+	nchunks, err := next()
+	if err != nil {
+		return Row{}, 0, err
+	}
+	r := Row{nbits: int(nbits)}
+	for i := uint64(0); i < nchunks; i++ {
+		key, err := next()
+		if err != nil {
+			return Row{}, 0, err
+		}
+		if pos >= len(data) {
+			return Row{}, 0, fmt.Errorf("bitvec: truncated row encoding at byte %d", pos)
+		}
+		kind := data[pos]
+		pos++
+		c := chunk{key: uint32(key), kind: kind}
+		switch kind {
+		case kindArray:
+			n, err := next()
+			if err != nil {
+				return Row{}, 0, err
+			}
+			if pos+2*int(n) > len(data) {
+				return Row{}, 0, fmt.Errorf("bitvec: truncated array container at byte %d", pos)
+			}
+			c.arr = make([]uint16, n)
+			for j := range c.arr {
+				c.arr[j] = binary.LittleEndian.Uint16(data[pos:])
+				pos += 2
+			}
+			c.card = int32(n)
+		case kindBitmap:
+			if pos+8*chunkWords > len(data) {
+				return Row{}, 0, fmt.Errorf("bitvec: truncated bitmap container at byte %d", pos)
+			}
+			c.bm = make([]uint64, chunkWords)
+			card := 0
+			for j := range c.bm {
+				c.bm[j] = binary.LittleEndian.Uint64(data[pos:])
+				card += bits.OnesCount64(c.bm[j])
+				pos += 8
+			}
+			c.card = int32(card)
+		case kindRuns:
+			n, err := next()
+			if err != nil {
+				return Row{}, 0, err
+			}
+			if n%2 != 0 || pos+2*int(n) > len(data) {
+				return Row{}, 0, fmt.Errorf("bitvec: malformed run container at byte %d", pos)
+			}
+			c.runs = make([]uint16, n)
+			card := 0
+			for j := range c.runs {
+				c.runs[j] = binary.LittleEndian.Uint16(data[pos:])
+				pos += 2
+			}
+			for j := 0; j < len(c.runs); j += 2 {
+				card += int(c.runs[j+1]) - int(c.runs[j]) + 1
+			}
+			c.card = int32(card)
+		default:
+			return Row{}, 0, fmt.Errorf("bitvec: unknown container kind %d at byte %d", kind, pos-1)
+		}
+		r.chunks = append(r.chunks, c)
+	}
+	return r, pos, nil
+}

@@ -1,6 +1,7 @@
 package boolean
 
 import (
+	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
@@ -222,6 +223,38 @@ func AllObjects(u Universe) []Set {
 		objects = append(objects, NewSet(tuples...))
 	}
 	return objects
+}
+
+// SampleObjects draws up to count distinct objects over the universe,
+// for the sampled cross-validation range where AllObjects is
+// intractable (n ≥ 5). The first two samples are the structural
+// extremes — the empty box and the full object — and the rest are
+// random subsets of the tuple space with density drawn uniformly per
+// object, so sparse and dense regions are both probed. The result is a
+// deterministic function of the rng stream.
+func SampleObjects(rng *rand.Rand, u Universe, count int) []Set {
+	numTuples := 1 << uint(u.n)
+	seen := map[string]bool{}
+	out := make([]Set, 0, count)
+	add := func(s Set) {
+		if len(out) < count && !seen[s.Key()] {
+			seen[s.Key()] = true
+			out = append(out, s)
+		}
+	}
+	add(Set{})
+	add(NewSet(AllTuples(u)...))
+	for attempts := 0; len(out) < count && attempts < 50*count+100; attempts++ {
+		density := rng.Float64()
+		var tuples []Tuple
+		for t := 0; t < numTuples; t++ {
+			if rng.Float64() < density {
+				tuples = append(tuples, Tuple(t))
+			}
+		}
+		add(NewSet(tuples...))
+	}
+	return out
 }
 
 // AllTuples enumerates every tuple of the universe in ascending order.

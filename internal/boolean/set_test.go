@@ -277,3 +277,37 @@ func BenchmarkSetKeyBuild(b *testing.B) {
 		_ = buildKey(tuples)
 	}
 }
+
+// TestSampleObjects: samples are distinct, include the structural
+// extremes, and reproduce deterministically from the seed.
+func TestSampleObjects(t *testing.T) {
+	u := MustUniverse(5)
+	rng := rand.New(rand.NewSource(61))
+	objs := SampleObjects(rng, u, 200)
+	if len(objs) != 200 {
+		t.Fatalf("sampled %d objects, want 200", len(objs))
+	}
+	if !objs[0].IsEmpty() {
+		t.Fatal("first sample should be the empty object")
+	}
+	if objs[1].Size() != 1<<uint(u.N()) {
+		t.Fatal("second sample should be the full object")
+	}
+	seen := map[string]bool{}
+	for _, o := range objs {
+		if seen[o.Key()] {
+			t.Fatalf("duplicate object %s", o.Format(u))
+		}
+		seen[o.Key()] = true
+	}
+	again := SampleObjects(rand.New(rand.NewSource(61)), u, 200)
+	for i := range objs {
+		if !objs[i].Equal(again[i]) {
+			t.Fatalf("sample %d differs across identical seeds", i)
+		}
+	}
+	// A count smaller than the two structural extremes is honored.
+	if short := SampleObjects(rng, u, 1); len(short) != 1 {
+		t.Fatalf("count=1 returned %d objects", len(short))
+	}
+}

@@ -2,8 +2,11 @@ package brute
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"qhorn/internal/bitvec"
 	"qhorn/internal/boolean"
 	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
@@ -290,5 +293,279 @@ func TestMatrixIntoTimingMetrics(t *testing.T) {
 	}
 	if got := reg.Histogram(obs.MetricBruteLearnSeconds, obs.LatencyBuckets, "algo", "sequential").Count(); got != 2 {
 		t.Errorf("bare matrix leaked observations into the registry: %d", got)
+	}
+}
+
+// matrixVariants enumerates every storage configuration of the matrix
+// engine: sliced vs scalar build, sharded vs single-shard, compressed
+// vs raw, in-RAM vs spilled to disk.
+func matrixVariants(t *testing.T) []struct {
+	name string
+	opt  MatrixOptions
+} {
+	t.Helper()
+	dir := t.TempDir()
+	return []struct {
+		name string
+		opt  MatrixOptions
+	}{
+		{"sliced", MatrixOptions{}},
+		{"scalar", MatrixOptions{Scalar: true}},
+		{"sharded", MatrixOptions{ShardSize: 64}},
+		{"compressed", MatrixOptions{Compress: true}},
+		{"sharded-compressed", MatrixOptions{ShardSize: 64, Compress: true}},
+		{"spilled", MatrixOptions{SpillDir: dir}},
+		{"sharded-spilled", MatrixOptions{ShardSize: 64, SpillDir: dir}},
+		{"scalar-sharded-compressed", MatrixOptions{Scalar: true, ShardSize: 64, Compress: true}},
+	}
+}
+
+// TestMatrixBitIdenticalVariants extends the bit-identity pin to every
+// shard/compression/spill combination: each variant must ask exactly
+// the serial reference's questions, in order, on every target, for
+// both learners.
+func TestMatrixBitIdenticalVariants(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	candidates := query.AllQueries(u)
+	pool := boolean.AllObjects(u)
+	rng := rand.New(rand.NewSource(67))
+	var targets []query.Query
+	for i := 0; i < 6; i++ {
+		targets = append(targets, candidates[rng.Intn(len(candidates))])
+	}
+	for _, v := range matrixVariants(t) {
+		t.Run(v.name, func(t *testing.T) {
+			m, err := NewMatrixOpts(candidates, pool, v.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			if v.opt.ShardSize == 64 && m.Shards() != (len(candidates)+63)/64 {
+				t.Fatalf("shards = %d, want %d", m.Shards(), (len(candidates)+63)/64)
+			}
+			if m.OnDisk() != (v.opt.SpillDir != "") {
+				t.Fatalf("OnDisk = %v", m.OnDisk())
+			}
+			for _, target := range targets {
+				for _, path := range []struct {
+					name   string
+					serial func([]query.Query, oracle.Oracle, []boolean.Set) (Result, error)
+					matrix func(oracle.Oracle) (Result, error)
+				}{
+					{"Learn", LearnSerial, m.Learn},
+					{"LearnGreedy", LearnGreedySerial, m.LearnGreedy},
+				} {
+					rs := &recordingOracle{inner: oracle.Target(target)}
+					rm := &recordingOracle{inner: oracle.Target(target)}
+					resS, errS := path.serial(candidates, rs, pool)
+					resM, errM := path.matrix(rm)
+					if errS != errM {
+						t.Fatalf("%s target %s: serial err %v, matrix err %v", path.name, target, errS, errM)
+					}
+					if !sameQuestions(rs.asked, rm.asked) {
+						t.Fatalf("%s target %s: question sequences differ (%d vs %d)",
+							path.name, target, len(rs.asked), len(rm.asked))
+					}
+					if resS.Questions != resM.Questions || resS.Remaining != resM.Remaining ||
+						!resS.Learned.Equal(resM.Learned) {
+						t.Fatalf("%s target %s: serial %+v, matrix %+v", path.name, target, resS, resM)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMatrixAnswerVariants: Answer must read the same bit out of every
+// storage form, pinned against direct kernel evaluation.
+func TestMatrixAnswerVariants(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	candidates := query.AllQueries(u)
+	pool := boolean.AllObjects(u)
+	compiled := make([]*query.Compiled, len(candidates))
+	for i, q := range candidates {
+		compiled[i] = query.Compile(q)
+	}
+	rng := rand.New(rand.NewSource(71))
+	for _, v := range matrixVariants(t) {
+		m, err := NewMatrixOpts(candidates, pool, v.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 400; probe++ {
+			i, j := rng.Intn(len(candidates)), rng.Intn(len(pool))
+			if got, want := m.Answer(i, j), compiled[i].Eval(pool[j]); got != want {
+				t.Fatalf("%s: Answer(%d, %d) = %v, kernel says %v", v.name, i, j, got, want)
+			}
+		}
+		m.Close()
+	}
+}
+
+// TestMatrixSpillSeam is the disk seam test: a spilled matrix must
+// learn identically to the in-RAM builds — and its spill file must
+// exist while in use and vanish on Close.
+func TestMatrixSpillSeam(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	candidates := query.AllQueries(u)
+	pool := boolean.AllObjects(u)
+	ram, err := NewMatrixOpts(candidates, pool, MatrixOptions{ShardSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	disk, err := MatrixOnDisk(candidates, pool, dir, MatrixOptions{ShardSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !disk.OnDisk() || ram.OnDisk() {
+		t.Fatal("OnDisk flags wrong")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("spill dir has %d entries (%v), want 1", len(entries), err)
+	}
+	if disk.StorageBytes() <= 0 || ram.StorageBytes() <= 0 {
+		t.Fatal("StorageBytes should be positive")
+	}
+	for _, target := range candidates[:20] {
+		rr := &recordingOracle{inner: oracle.Target(target)}
+		rd := &recordingOracle{inner: oracle.Target(target)}
+		resR, errR := ram.LearnGreedy(rr)
+		resD, errD := disk.LearnGreedy(rd)
+		if errR != errD || resR.Questions != resD.Questions || !resR.Learned.Equal(resD.Learned) {
+			t.Fatalf("target %s: RAM (%+v, %v), disk (%+v, %v)", target, resR, errR, resD, errD)
+		}
+		if !sameQuestions(rr.asked, rd.asked) {
+			t.Fatalf("target %s: question sequences diverged across the disk seam", target)
+		}
+	}
+	if err := disk.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Fatalf("spill file survived Close: %v", entries)
+	}
+}
+
+// TestMatrixSpillDirCreated: a spill directory that does not exist yet
+// (a fresh -brute-spill path, a cleaned CI workspace) is created
+// rather than failing the build.
+func TestMatrixSpillDirCreated(t *testing.T) {
+	u := boolean.MustUniverse(2)
+	candidates := query.AllQueries(u)
+	pool := boolean.AllObjects(u)
+	dir := filepath.Join(t.TempDir(), "nested", "spill")
+	m, err := MatrixOnDisk(candidates, pool, dir, MatrixOptions{})
+	if err != nil {
+		t.Fatalf("MatrixOnDisk into a missing dir: %v", err)
+	}
+	defer m.Close()
+	if !m.OnDisk() {
+		t.Fatal("matrix not on disk")
+	}
+	if entries, err := os.ReadDir(dir); err != nil || len(entries) != 1 {
+		t.Fatalf("spill dir has %d entries (%v), want 1", len(entries), err)
+	}
+}
+
+// TestMatrixScalarSlicedIdenticalRows: the scalar (per-candidate
+// kernel) and sliced (slab kernel) builds must produce the exact same
+// matrix.
+func TestMatrixScalarSlicedIdenticalRows(t *testing.T) {
+	u := boolean.MustUniverse(3)
+	candidates := query.AllQueries(u)
+	pool := boolean.AllObjects(u)
+	sliced, err := NewMatrixOpts(candidates, pool, MatrixOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := NewMatrixOpts(candidates, pool, MatrixOptions{Scalar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range candidates {
+		if sliced.finger[i] != scalar.finger[i] {
+			t.Fatalf("candidate %d: sliced and scalar fingerprints differ", i)
+		}
+		if !bitvec.Equal(sliced.candRows[i], scalar.candRows[i]) {
+			t.Fatalf("candidate %d: sliced and scalar rows differ", i)
+		}
+	}
+	for j := range pool {
+		for i := range candidates {
+			if sliced.Answer(i, j) != scalar.Answer(i, j) {
+				t.Fatalf("Answer(%d, %d) differs between sliced and scalar builds", i, j)
+			}
+		}
+	}
+}
+
+// TestMatrixBitIdenticalExhaustiveN4 is the CI brute-smoke gate: at
+// n=4 (1576 candidates × 65536 objects) the matrix learners must stay
+// bit-identical to the serial sequential reference on sampled targets,
+// across the sliced, compressed and spilled storages. The serial
+// baseline is minutes of interpreted evaluation, so the gate only runs
+// when QHORN_BRUTE_N4 is set (the brute-smoke CI job) and never under
+// -short.
+func TestMatrixBitIdenticalExhaustiveN4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=4 exhaustive identity gate skipped in -short")
+	}
+	if os.Getenv("QHORN_BRUTE_N4") == "" {
+		t.Skip("set QHORN_BRUTE_N4=1 to run the n=4 exhaustive identity gate")
+	}
+	u := boolean.MustUniverse(4)
+	candidates := query.AllQueries(u)
+	pool := boolean.AllObjects(u)
+	rng := rand.New(rand.NewSource(73))
+	var targets []query.Query
+	for i := 0; i < 3; i++ {
+		targets = append(targets, candidates[rng.Intn(len(candidates))])
+	}
+	// One serial reference run per target, reused against every variant.
+	type ref struct {
+		res   Result
+		err   error
+		asked []boolean.Set
+	}
+	refs := make([]ref, len(targets))
+	for i, target := range targets {
+		rs := &recordingOracle{inner: oracle.Target(target)}
+		res, err := LearnSerial(candidates, rs, pool)
+		refs[i] = ref{res: res, err: err, asked: rs.asked}
+	}
+	for _, v := range []struct {
+		name string
+		opt  MatrixOptions
+	}{
+		{"sliced", MatrixOptions{}},
+		{"sharded-compressed", MatrixOptions{ShardSize: 512, Compress: true}},
+		{"spilled", MatrixOptions{ShardSize: 512}},
+	} {
+		opt := v.opt
+		if v.name == "spilled" {
+			opt.SpillDir = t.TempDir()
+		}
+		m, err := NewMatrixOpts(candidates, pool, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, target := range targets {
+			rm := &recordingOracle{inner: oracle.Target(target)}
+			res, err := m.Learn(rm)
+			if err != refs[i].err || res.Questions != refs[i].res.Questions ||
+				res.Remaining != refs[i].res.Remaining || !res.Learned.Equal(refs[i].res.Learned) {
+				t.Fatalf("%s target %s: matrix (%+v, %v), serial (%+v, %v)",
+					v.name, target, res, err, refs[i].res, refs[i].err)
+			}
+			if !sameQuestions(refs[i].asked, rm.asked) {
+				t.Fatalf("%s target %s: question sequence diverged from serial", v.name, target)
+			}
+		}
+		m.Close()
 	}
 }

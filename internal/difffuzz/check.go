@@ -27,9 +27,25 @@ type Options struct {
 	// default is 3 (256 objects).
 	ExhaustiveVars int
 	// BruteVars is the largest universe on which the brute-force
-	// elimination learner cross-checks the fast learner (default 2;
-	// negative disables the check).
+	// elimination learner cross-checks the fast learner exhaustively —
+	// every role-preserving query and every object enumerated (default
+	// 4, the widest range the antichain enumeration reaches; negative
+	// disables the check). The answer matrix behind the check is built
+	// once per universe and cached for the process.
 	BruteVars int
+	// BruteSampleVars extends the brute cross-check past the
+	// exhaustive range: universes with BruteVars < n ≤ BruteSampleVars
+	// get a seeded sample of candidate queries (always including the
+	// hidden query's normal form) and probe objects. An ambiguous
+	// outcome is tolerated — a sampled pool need not separate every
+	// candidate pair — but an unambiguous wrong answer is a
+	// disagreement. Default 5; negative disables.
+	BruteSampleVars int
+	// Matrix configures the answer-matrix builds behind both brute
+	// judges (shard size, compression, spill directory, scalar build);
+	// the zero value is the default sliced in-RAM build. Registry is
+	// overridden: the judges are metric-silent.
+	Matrix brute.MatrixOptions
 	// Warp, when set, corrupts the learned query before it is judged.
 	// Tests use it to inject known bugs and prove the engine detects
 	// and the minimizer shrinks them.
@@ -59,7 +75,10 @@ func (o Options) withDefaults() Options {
 		o.ExhaustiveVars = 3
 	}
 	if o.BruteVars == 0 {
-		o.BruteVars = 2
+		o.BruteVars = 4
+	}
+	if o.BruteSampleVars == 0 {
+		o.BruteSampleVars = 5
 	}
 	return o
 }
@@ -73,7 +92,11 @@ type CaseResult struct {
 	Questions int
 	// BruteChecked reports whether the universe was small enough for
 	// the brute-force cross-check.
-	BruteChecked  bool
+	BruteChecked bool
+	// BruteSampled reports that the brute cross-check ran in its
+	// sampled form (BruteVars < n ≤ BruteSampleVars) rather than the
+	// exhaustive one.
+	BruteSampled  bool
 	Disagreements []Disagreement
 }
 
@@ -199,11 +222,22 @@ func checkLearn(c Case, opt Options) CaseResult {
 		}
 	}
 
-	// Judge 7: the brute-force elimination learner, where the universe
-	// permits enumerating all queries and all objects.
-	if opt.BruteVars > 0 && u.N() <= opt.BruteVars {
+	// Judge 7: the brute-force elimination learner. Universes up to
+	// BruteVars get the exhaustive check — every role-preserving query
+	// eliminated over every object, through a process-cached answer
+	// matrix so the (candidates × objects) build cost is paid once per
+	// universe. Universes up to BruteSampleVars get the sampled
+	// variant: a seeded candidate pool guaranteed to contain the hidden
+	// query's normal form, probed on sampled objects.
+	switch {
+	case opt.BruteVars > 0 && u.N() <= opt.BruteVars:
 		res.BruteChecked = true
-		bres, err := brute.Learn(query.AllQueries(u), oracle.Target(c.Hidden), boolean.AllObjects(u))
+		m, err := bruteMatrixFor(u, opt)
+		if err != nil {
+			fail(KindBrute, Witness{}, false, "brute matrix build: %v", err)
+			break
+		}
+		bres, err := m.Learn(oracle.Target(c.Hidden))
 		if err != nil {
 			fail(KindBrute, Witness{}, false, "brute.Learn: %v", err)
 		} else {
@@ -217,6 +251,10 @@ func checkLearn(c Case, opt Options) CaseResult {
 					"brute learned %s, fast learner %s — equivalence is not transitive", bres.Learned, learned)
 			}
 		}
+	case opt.BruteSampleVars > 0 && u.N() <= opt.BruteSampleVars:
+		res.BruteChecked = true
+		res.BruteSampled = true
+		judgeBruteSampled(&res, c, opt, fail)
 	}
 
 	// Judge 8: the run-engine options matrix — every option combination

@@ -161,11 +161,14 @@ type Config struct {
 
 // Report aggregates one fuzzing run.
 type Report struct {
-	Runs          int
-	CasesByClass  map[Class]int
-	BruteCases    int
-	Questions     int
-	Disagreements []Disagreement
+	Runs         int
+	CasesByClass map[Class]int
+	// BruteCases counts cases the brute judge reached (exhaustive or
+	// sampled); BruteSampledCases is the sampled subset.
+	BruteCases        int
+	BruteSampledCases int
+	Questions         int
+	Disagreements     []Disagreement
 }
 
 // OK reports whether every judgment of the run agreed.
@@ -174,8 +177,8 @@ func (r Report) OK() bool { return len(r.Disagreements) == 0 }
 // Summary renders the report as aligned text.
 func (r Report) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "cases: qhorn1 %d, rp %d, verify %d (brute cross-checks %d)\n",
-		r.CasesByClass[ClassQhorn1], r.CasesByClass[ClassRP], r.CasesByClass[ClassVerify], r.BruteCases)
+	fmt.Fprintf(&b, "cases: qhorn1 %d, rp %d, verify %d (brute cross-checks %d, %d sampled)\n",
+		r.CasesByClass[ClassQhorn1], r.CasesByClass[ClassRP], r.CasesByClass[ClassVerify], r.BruteCases, r.BruteSampledCases)
 	fmt.Fprintf(&b, "membership questions: %d\n", r.Questions)
 	fmt.Fprintf(&b, "disagreements: %d", len(r.Disagreements))
 	return b.String()
@@ -223,6 +226,9 @@ func Run(cfg Config) Report {
 		rep.Questions += res.Questions
 		if res.BruteChecked {
 			rep.BruteCases++
+			if res.BruteSampled {
+				rep.BruteSampledCases++
+			}
 		}
 		record(res.Disagreements)
 

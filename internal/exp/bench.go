@@ -13,8 +13,12 @@ import (
 	"qhorn/internal/stats"
 )
 
-// BenchTable is the JSON rendering of one stats.Table.
+// BenchTable is the JSON rendering of one stats.Table. Key is the
+// short identifier ("t1", "t2", …) the per-measurement entries
+// (question_counts, growth_exponents) reference; Title stays here in
+// full — tools/benchgate matches rows by it.
 type BenchTable struct {
+	Key     string     `json:"key"`
 	Title   string     `json:"title"`
 	Columns []string   `json:"columns"`
 	Rows    [][]string `json:"rows"`
@@ -23,6 +27,8 @@ type BenchTable struct {
 
 // GrowthExponent is one measured growth exponent extracted from a
 // table note, e.g. 1.18 from "growth exponent: learner 1.18 (…)".
+// Table is the short table key; the summary's table_legend maps it to
+// the full title.
 type GrowthExponent struct {
 	Table string  `json:"table"`
 	Note  string  `json:"note"`
@@ -37,6 +43,9 @@ type GrowthExponent struct {
 // identical entry per row; aggregation keeps exactly one per
 // (table, param, param_value).
 type QuestionCount struct {
+	// Table is the short table key ("t1", "t2", …); the summary's
+	// table_legend maps it to the full title. Repeating the multi-line
+	// titles here once bloated every BENCH file.
 	Table    string `json:"table"`
 	Param    string `json:"param"`       // first column header, e.g. "n"
 	ParamVal string `json:"param_value"` // e.g. "32"
@@ -62,9 +71,12 @@ type BenchSummary struct {
 	Quick       bool    `json:"quick"`
 	WallSeconds float64 `json:"wall_seconds"`
 
-	GrowthExponents []GrowthExponent `json:"growth_exponents,omitempty"`
-	QuestionCounts  []QuestionCount  `json:"question_counts,omitempty"`
-	Tables          []BenchTable     `json:"tables"`
+	// TableLegend maps the short table keys used by GrowthExponents
+	// and QuestionCounts to the full table titles, stated once.
+	TableLegend     map[string]string `json:"table_legend,omitempty"`
+	GrowthExponents []GrowthExponent  `json:"growth_exponents,omitempty"`
+	QuestionCounts  []QuestionCount   `json:"question_counts,omitempty"`
+	Tables          []BenchTable      `json:"tables"`
 }
 
 // FileName returns the canonical output name, BENCH_<experiment>.json.
@@ -107,8 +119,14 @@ func Summarize(e Experiment, cfg Config, tables []*stats.Table, wall time.Durati
 		Quick:       cfg.Quick,
 		WallSeconds: wall.Seconds(),
 	}
-	for _, t := range tables {
+	for ti, t := range tables {
+		key := fmt.Sprintf("t%d", ti+1)
+		if s.TableLegend == nil {
+			s.TableLegend = map[string]string{}
+		}
+		s.TableLegend[key] = t.Title
 		s.Tables = append(s.Tables, BenchTable{
+			Key:     key,
 			Title:   t.Title,
 			Columns: t.Columns,
 			Rows:    t.Rows,
@@ -124,7 +142,7 @@ func Summarize(e Experiment, cfg Config, tables []*stats.Table, wall time.Durati
 					continue
 				}
 				s.GrowthExponents = append(s.GrowthExponents, GrowthExponent{
-					Table: t.Title,
+					Table: key,
 					Note:  note,
 					Value: v,
 				})
@@ -173,7 +191,7 @@ func Summarize(e Experiment, cfg Config, tables []*stats.Table, wall time.Durati
 				variance = 0 // float rounding
 			}
 			s.QuestionCounts = append(s.QuestionCounts, QuestionCount{
-				Table:     t.Title,
+				Table:     key,
 				Param:     param,
 				ParamVal:  val,
 				Questions: mean,

@@ -48,6 +48,15 @@ func TestSummarizeExtractsMeasurements(t *testing.T) {
 	if s.FileName() != "BENCH_bench-fixture.json" {
 		t.Errorf("file name %q", s.FileName())
 	}
+	// The bloat fix: per-measurement entries carry the short table key,
+	// the legend states the full title once, and the table itself keeps
+	// both (benchgate matches on the title).
+	if s.Tables[0].Key != "t1" || s.TableLegend["t1"] != "fixture" {
+		t.Errorf("table key/legend wrong: key=%q legend=%v", s.Tables[0].Key, s.TableLegend)
+	}
+	if qc.Table != "t1" || s.GrowthExponents[0].Table != "t1" {
+		t.Errorf("measurements reference %q and %q, want the short key t1", qc.Table, s.GrowthExponents[0].Table)
+	}
 }
 
 // TestSummarizeAggregatesQuestionCounts pins the BENCH_parallel.json

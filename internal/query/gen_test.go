@@ -143,10 +143,142 @@ func TestAllQueriesTwoVars(t *testing.T) {
 func TestAllQueriesPanicsOnLargeN(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("AllQueries(n=4) did not panic")
+			t.Fatal("AllQueries(n=5) did not panic")
 		}
 	}()
-	AllQueries(boolean.MustUniverse(4))
+	AllQueries(boolean.MustUniverse(5))
+}
+
+// allQueriesSubsetEnum is the historical subset-based enumeration
+// (arbitrary body and conjunction sets, deduplicated by normal form),
+// kept here as the reference TestAllQueriesMatchesSubsetEnum pins the
+// antichain walk against. It is 2^2^k per head choice, hence n ≤ 3.
+func allQueriesSubsetEnum(u boolean.Universe) []Query {
+	n := u.N()
+	var out []Query
+	seen := map[string]bool{}
+	conjChoices := submasks(u.All())[1:]
+	for hm := 0; hm < 1<<uint(n); hm++ {
+		heads := boolean.Tuple(hm)
+		nonHeads := u.All().Minus(heads)
+		bodyChoices := submasks(nonHeads)
+		headList := heads.Vars()
+		var assign func(i int, acc []Expr)
+		assign = func(i int, acc []Expr) {
+			if i == len(headList) {
+				for cm := 0; cm < 1<<uint(len(conjChoices)); cm++ {
+					exprs := append([]Expr{}, acc...)
+					for b := range conjChoices {
+						if cm&(1<<uint(b)) != 0 {
+							exprs = append(exprs, Conjunction(conjChoices[b]))
+						}
+					}
+					nf := (Query{U: u, Exprs: exprs}).Normalize()
+					if key := nf.String(); !seen[key] {
+						seen[key] = true
+						out = append(out, nf)
+					}
+				}
+				return
+			}
+			h := headList[i]
+			for bm := 1; bm < 1<<uint(len(bodyChoices)); bm++ {
+				exprs := append([]Expr{}, acc...)
+				for b := range bodyChoices {
+					if bm&(1<<uint(b)) != 0 {
+						exprs = append(exprs, UniversalHorn(bodyChoices[b], h))
+					}
+				}
+				assign(i+1, exprs)
+			}
+		}
+		assign(0, nil)
+	}
+	return out
+}
+
+// TestAllQueriesMatchesSubsetEnum: the antichain-based enumeration
+// yields exactly the normal forms of the historical subset-based one
+// on every universe the latter can enumerate.
+func TestAllQueriesMatchesSubsetEnum(t *testing.T) {
+	for n := 0; n <= 3; n++ {
+		u := boolean.MustUniverse(n)
+		got := AllQueries(u)
+		want := allQueriesSubsetEnum(u)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: antichain enumeration has %d queries, subset enumeration %d", n, len(got), len(want))
+		}
+		wantSet := map[string]bool{}
+		for _, q := range want {
+			wantSet[q.String()] = true
+		}
+		for _, q := range got {
+			if !wantSet[q.String()] {
+				t.Fatalf("n=%d: antichain enumeration produced %s, absent from subset enumeration", n, q)
+			}
+		}
+	}
+}
+
+// TestAllQueriesFourVars sanity-checks the newly reachable n=4 range:
+// the count is pinned (a change means the enumeration or the normal
+// form moved), every query is normalized role-preserving, and a random
+// subsample is pairwise inequivalent.
+func TestAllQueriesFourVars(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=4 enumeration is ~150ms; skipped in -short")
+	}
+	u := boolean.MustUniverse(4)
+	queries := AllQueries(u)
+	if len(queries) != 1576 {
+		t.Fatalf("AllQueries(4) has %d queries, want 1576", len(queries))
+	}
+	for _, q := range queries {
+		if !q.IsRolePreserving() {
+			t.Fatalf("non-role-preserving query %s", q)
+		}
+		if !q.Equal(q.Normalize()) {
+			t.Fatalf("query %s is not in normal form", q)
+		}
+	}
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 300; trial++ {
+		i, j := rng.Intn(len(queries)), rng.Intn(len(queries))
+		if i != j && queries[i].Equivalent(queries[j]) {
+			t.Fatalf("duplicate semantics: %s vs %s", queries[i], queries[j])
+		}
+	}
+}
+
+// TestSampleQueries: samples are distinct normal forms inside the
+// role-preserving class.
+func TestSampleQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	u := boolean.MustUniverse(5)
+	qs := SampleQueries(rng, u, 120)
+	if len(qs) != 120 {
+		t.Fatalf("sampled %d queries, want 120", len(qs))
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if !q.IsRolePreserving() {
+			t.Fatalf("non-role-preserving sample %s", q)
+		}
+		if !q.Equal(q.Normalize()) {
+			t.Fatalf("sample %s not normalized", q)
+		}
+		if seen[q.String()] {
+			t.Fatalf("duplicate sample %s", q)
+		}
+		seen[q.String()] = true
+	}
+	// Determinism: the same seed reproduces the same sample.
+	again := SampleQueries(rand.New(rand.NewSource(59)), u, 120)
+	for i := range qs {
+		if !qs[i].Equal(again[i]) {
+			t.Fatalf("sample %d differs across identical seeds", i)
+		}
+	}
 }
 
 func TestSubmasks(t *testing.T) {

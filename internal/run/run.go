@@ -28,6 +28,7 @@ import (
 	"math/rand"
 
 	"qhorn/internal/boolean"
+	"qhorn/internal/brute"
 	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
@@ -207,6 +208,32 @@ type Config struct {
 	// SharedIdentity keys this run's entries in SharedMemo; runs of
 	// distinct identities never share answers.
 	SharedIdentity string
+	// BruteShardSize, BruteCompress, BruteSpillDir and BruteScalar
+	// configure brute-force answer-matrix builds reached through this
+	// run (the difffuzz brute judges, the brute experiments):
+	// candidate-axis shard size (0 = default), roaring row compression,
+	// a disk spill directory, and the scalar-kernel escape hatch
+	// mirroring InterpretedEval. Read them back composed through
+	// BruteMatrixOptions.
+	BruteShardSize int
+	BruteCompress  bool
+	BruteSpillDir  string
+	BruteScalar    bool
+}
+
+// BruteMatrixOptions translates the Config's brute-matrix dimensions
+// into the matrix builder's options, carrying the run's worker count
+// and metrics registry so matrix builds share the run's parallelism
+// and exposition.
+func (c Config) BruteMatrixOptions() brute.MatrixOptions {
+	return brute.MatrixOptions{
+		Workers:   c.Workers,
+		ShardSize: c.BruteShardSize,
+		Compress:  c.BruteCompress,
+		SpillDir:  c.BruteSpillDir,
+		Scalar:    c.BruteScalar,
+		Registry:  c.Ins.Metrics,
+	}
 }
 
 // SimulatedUser returns the simulated-user oracle for target under
@@ -343,6 +370,19 @@ func WithObsServer(s *obs.Server) Option {
 	}
 }
 
+// WithBruteMatrix sets the brute-force answer-matrix dimensions of the
+// run: candidate-axis shard size (0 = default), roaring row
+// compression, an optional disk spill directory, and the scalar-kernel
+// escape hatch.
+func WithBruteMatrix(shardSize int, compress bool, spillDir string, scalar bool) Option {
+	return func(c *Config) {
+		c.BruteShardSize = shardSize
+		c.BruteCompress = compress
+		c.BruteSpillDir = spillDir
+		c.BruteScalar = scalar
+	}
+}
+
 // WithCompiledEval makes simulated users evaluate through the
 // compiled kernel. This is the default; the option exists so call
 // sites can state the choice explicitly and undo an earlier
@@ -435,6 +475,9 @@ func FromFlags(f *obs.Flags, s *obs.Session) []Option {
 	}
 	if f.InterpretedEval {
 		opts = append(opts, WithInterpretedEval())
+	}
+	if f.BruteShard > 0 || f.BruteCompress || f.BruteSpillDir != "" || f.BruteScalar {
+		opts = append(opts, WithBruteMatrix(f.BruteShard, f.BruteCompress, f.BruteSpillDir, f.BruteScalar))
 	}
 	return opts
 }
