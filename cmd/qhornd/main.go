@@ -45,17 +45,26 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
 		memoCap     = fs.Int("memo-capacity", 0, "shared cross-session memo tier capacity in answers (0 = default, negative disables the tier)")
 		flightSpans = fs.Int("flight-spans", 0, "span flight-recorder capacity (0 = default)")
 		quiet       = fs.Bool("quiet", false, "suppress per-session diagnostics")
+
+		readHeaderTimeout = fs.Duration("read-header-timeout", 0, "drop clients that trickle request headers after this long (0 = default, negative disables)")
+		writeTimeout      = fs.Duration("write-timeout", 0, "bound a whole response write (0 = default, negative disables)")
+		idleTimeout       = fs.Duration("idle-timeout", 0, "reclaim idle keep-alive connections after this long (0 = default, negative disables)")
+		maxHeaderBytes    = fs.Int("max-header-bytes", 0, "cap request header size (0 = default, negative = net/http default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	logger := log.New(stderr, "qhornd: ", log.LstdFlags)
 	cfg := serve.Config{
-		Shards:       *shards,
-		MaxSessions:  *maxSessions,
-		Budget:       *budget,
-		MemoCapacity: *memoCap,
-		FlightSpans:  *flightSpans,
+		Shards:            *shards,
+		MaxSessions:       *maxSessions,
+		Budget:            *budget,
+		MemoCapacity:      *memoCap,
+		FlightSpans:       *flightSpans,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf

@@ -1,0 +1,122 @@
+// Command qhornload is the sustained-load generator for qhornd
+// (internal/load): it drives concurrent learn/verify/amend sessions
+// over persistent HTTP connections and reports sessions/sec,
+// questions/sec and latency percentiles — client-observed session
+// latencies plus the server's qhornd_http_seconds{route=} and
+// qhorn_oracle_ask_seconds histograms.
+//
+// Usage:
+//
+//	qhornload -base http://127.0.0.1:8091 -sessions 256 -workers 8
+//	qhornload -wire fused -warm-frac 0.5 -think 5ms -assert
+//	qhornload -min-sessions-per-sec 50 -max-p99 2s   # CI gate
+//
+// With no -base it spawns an in-process qhornd for the run, which
+// makes a self-contained smoke test: qhornload -assert exercises the
+// full wire under concurrency and fails on any bit-identity drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"qhorn/internal/load"
+	"qhorn/internal/run"
+	"qhorn/internal/serve"
+)
+
+func main() {
+	os.Exit(mainRun(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// mainRun is the testable entry point.
+func mainRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qhornload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		base     = fs.String("base", "", "qhornd base URL; empty spawns an in-process server")
+		sessions = fs.Int("sessions", 64, "total sessions to run")
+		workers  = fs.Int("workers", 8, "concurrent session drivers")
+		duration = fs.Duration("duration", 0, "stop launching new sessions after this long (0 = run all sessions)")
+		wireStr  = fs.String("wire", "batched", "wire mode: batched, fused or single")
+		algStr   = fs.String("alg", "qhorn1", "learning algorithm: qhorn1 or rp")
+		targetsN = fs.Int("targets", 0, "hidden-target pool size (0 = default)")
+
+		verifyFrac = fs.Float64("verify-frac", 0, "fraction of sessions running verification")
+		amendFrac  = fs.Float64("amend-frac", 0, "fraction of sessions that lie once and amend")
+		warmFrac   = fs.Float64("warm-frac", 0, "fraction of learns sharing a memo-tier identity (warm cache)")
+		think      = fs.Duration("think", 0, "mean exponential think time before each answer delivery")
+		seed       = fs.Int64("seed", 1, "seed for the target pool, session mix and think times")
+		assert     = fs.Bool("assert", false, "assert bit-identity of every session against the direct reference")
+		jsonOut    = fs.Bool("json", false, "emit the report as JSON instead of text")
+		quiet      = fs.Bool("quiet", false, "suppress progress lines")
+
+		shards      = fs.Int("shards", 0, "in-process server: session-table shards (0 = default)")
+		maxSessions = fs.Int("max-sessions", 0, "in-process server: max concurrent sessions (0 = unlimited)")
+
+		minSessionsPerSec = fs.Float64("min-sessions-per-sec", 0, "fail when sessions/sec falls below this floor (0 = no gate)")
+		maxP99            = fs.Duration("max-p99", 0, "fail when the client-side session p99 exceeds this (0 = no gate)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	wire, err := serve.ParseWireMode(*wireStr)
+	if err != nil {
+		fmt.Fprintf(stderr, "qhornload: %v\n", err)
+		return 2
+	}
+	alg, err := run.ParseAlgorithm(*algStr)
+	if err != nil {
+		fmt.Fprintf(stderr, "qhornload: %v\n", err)
+		return 2
+	}
+	opt := load.Options{
+		Base:           *base,
+		Config:         serve.Config{Shards: *shards, MaxSessions: *maxSessions},
+		Sessions:       *sessions,
+		Workers:        *workers,
+		Duration:       *duration,
+		Wire:           wire,
+		Algorithm:      alg,
+		Targets:        *targetsN,
+		VerifyFrac:     *verifyFrac,
+		AmendFrac:      *amendFrac,
+		WarmFrac:       *warmFrac,
+		ThinkMean:      *think,
+		Seed:           *seed,
+		AssertIdentity: *assert,
+	}
+	if !*quiet {
+		opt.Logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	rep, err := load.Run(opt)
+	if err != nil {
+		fmt.Fprintf(stderr, "qhornload: %v\n", err)
+		return 1
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "qhornload: %v\n", err)
+			return 1
+		}
+	} else {
+		fmt.Fprint(stdout, rep.String())
+	}
+	code := 0
+	if *minSessionsPerSec > 0 && rep.SessionsPerSec < *minSessionsPerSec {
+		fmt.Fprintf(stderr, "qhornload: GATE: %.1f sessions/sec below the %.1f floor\n", rep.SessionsPerSec, *minSessionsPerSec)
+		code = 1
+	}
+	if *maxP99 > 0 && rep.SessionP99 > *maxP99 {
+		fmt.Fprintf(stderr, "qhornload: GATE: session p99 %v above the %v ceiling\n", rep.SessionP99, *maxP99)
+		code = 1
+	}
+	return code
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"qhorn/internal/load"
+)
+
+// TestMainRunSmoke runs a tiny in-process load and checks the text
+// report and exit code.
+func TestMainRunSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := mainRun([]string{"-sessions", "4", "-workers", "2", "-targets", "2", "-assert", "-quiet"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"sessions 4", "throughput", "session latency"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMainRunJSON checks the machine-readable report shape.
+func TestMainRunJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := mainRun([]string{"-sessions", "4", "-workers", "2", "-targets", "2", "-wire", "fused", "-json", "-quiet"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var rep load.Report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Sessions != 4 || rep.RoundTrips == 0 {
+		t.Fatalf("implausible JSON report: %+v", rep)
+	}
+}
+
+// TestMainRunBadFlags covers flag validation exits.
+func TestMainRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-wire", "telepathy"},
+		{"-alg", "oracle-of-delphi"},
+		{"-no-such-flag"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := mainRun(args, &stdout, &stderr); code != 2 {
+			t.Fatalf("args %v exited %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}
+
+// TestMainRunGates checks that the CI gates trip: an impossible
+// throughput floor and an impossible p99 ceiling both fail the run.
+func TestMainRunGates(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := mainRun([]string{"-sessions", "4", "-workers", "2", "-targets", "2", "-quiet",
+		"-min-sessions-per-sec", "1e12", "-max-p99", "1ns"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("gated run exited %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "GATE") {
+		t.Fatalf("gate failure not reported: %s", stderr.String())
+	}
+}
+
+// TestMainRunUnreachable maps a dead server to exit 1.
+func TestMainRunUnreachable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := mainRun([]string{"-base", "http://127.0.0.1:1", "-sessions", "2", "-quiet"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unreachable base exited %d, want 1", code)
+	}
+}

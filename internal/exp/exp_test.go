@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"verification-cost", "fig7", "fig8", "worked-example",
 		"learn-vs-verify", "data-domain",
 		"revision", "pac-learning", "noisy-amendment", "ablation", "deep-nesting", "summary", "teaching-sets", "fig5", "partial-verification", "noise-sensitivity",
-		"parallel", "kernel", "obs", "serve", "revise", "brute",
+		"parallel", "kernel", "obs", "serve", "revise", "brute", "load",
 	}
 	for _, name := range want {
 		e, ok := ByName(name)

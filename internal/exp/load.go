@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"qhorn/internal/load"
+	"qhorn/internal/run"
+	"qhorn/internal/serve"
+	"qhorn/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E28",
+		Name:  "load",
+		Paper: "engineering (docs/SERVICE.md, sustained load)",
+		Claim: "the batched wire and pooled hot path sustain ≥2× session throughput over the single-question baseline at 8 workers, cutting role-preserving round trips ≥3×, with every session bit-identical to a direct learn",
+		Run:   runLoad,
+	})
+}
+
+// runLoad is the sustained-load experiment over internal/load: a
+// persistent-connection generator drives concurrent HTTP sessions
+// against an in-process qhornd with bit-identity asserted on every
+// session (cold learns additionally assert the exact live-question
+// count). Three tables:
+//
+//   - wire modes: single-question wire (the baseline: one question
+//     per GET, one answer per POST) vs the batched wire (whole batch
+//     per round trip) vs the fused wire (answers+next-batch in one
+//     round trip), per algorithm;
+//   - shard sweep: session-table shards under the fused wire;
+//   - memo tiers: cold sessions vs warm sessions sharing the
+//     cross-session memo tier.
+func runLoad(cfg Config) []*stats.Table {
+	cfg = cfg.normalize()
+	e, _ := ByName("load")
+
+	sessions, workers := 96, 8
+	wires := []serve.WireMode{serve.WireSingle, serve.WireBatched, serve.WireFused}
+	shardSweep := []int{1, 2, 4, 8}
+	if cfg.Quick {
+		sessions = 24
+		wires = []serve.WireMode{serve.WireSingle, serve.WireFused}
+		shardSweep = []int{1, 8}
+	}
+	base := load.Options{
+		Sessions: sessions, Workers: workers,
+		Targets: 12, MinVars: 11, MaxVars: 13,
+		Seed: cfg.Seed, AssertIdentity: true,
+	}
+
+	// Table 1: wire modes, per algorithm, speedup vs the
+	// single-question baseline of the same algorithm.
+	wt := stats.NewTable(header(e)+" — wire modes at 8 workers (baseline: single-question wire)",
+		"alg/wire", "sessions", "questions", "wall ms", "sessions/sec", "speedup vs single", "rt/session", "rt reduction")
+	for _, alg := range []run.Algorithm{run.Qhorn1, run.RolePreserving} {
+		var baseRate, baseRT float64
+		for _, wire := range wires {
+			opt := base
+			opt.Algorithm, opt.Wire = alg, wire
+			rep := mustLoad(opt)
+			rtPerSession := float64(rep.RoundTrips) / float64(rep.Sessions)
+			if wire == serve.WireSingle {
+				baseRate, baseRT = rep.SessionsPerSec, rtPerSession
+			}
+			wt.AddRow(fmt.Sprintf("%s/%s", alg, wire), rep.Sessions, rep.Questions,
+				float64(rep.Wall.Microseconds())/1000,
+				rep.SessionsPerSec, rep.SessionsPerSec/baseRate,
+				rtPerSession, baseRT/rtPerSession)
+		}
+	}
+	wt.AddNote("%d sessions over %d persistent-connection workers per row, hidden targets on 11–13 variables; identical target pool per algorithm across wire modes; every session's learned query (and, cold, its live-question count) asserted bit-identical to direct learn.Run in-run", sessions, workers)
+
+	// Table 2: shard sweep under the fused wire, mean ± stddev over
+	// trials, speedup vs 1 shard.
+	trials := 3
+	if cfg.Quick {
+		trials = 2
+	}
+	st := stats.NewTable(header(e)+" — session-table shard sweep (fused wire)",
+		"shards", "sessions", "wall ms", "sessions/sec", "stddev", "speedup vs 1 shard")
+	var shardBase float64
+	for _, shards := range shardSweep {
+		s := trialRates(base, trials, func(opt *load.Options) {
+			opt.Wire = serve.WireFused
+			opt.Config = serve.Config{Shards: shards}
+		})
+		if shards == shardSweep[0] {
+			shardBase = s.rate
+		}
+		st.AddRow(shards, sessions*trials, s.wallMS, s.rate, s.stddev, s.rate/shardBase)
+	}
+	st.AddNote("%d trials per shard count (distinct seeds), %d sessions each; sessions/sec is the mean over trials, stddev the population deviation", trials, sessions)
+
+	// Table 3: cold vs warm memo tier. Warm sessions share a
+	// per-target oracle identity, so the server's cross-session memo
+	// answers repeated questions without touching the wire.
+	mt := stats.NewTable(header(e)+" — cold vs warm memo tier (fused wire)",
+		"mix", "sessions", "wall ms", "sessions/sec", "rt/session", "answer posts")
+	for _, warm := range []float64{0, 0.75} {
+		opt := base
+		opt.Wire = serve.WireFused
+		opt.WarmFrac = warm
+		rep := mustLoad(opt)
+		label := "cold"
+		if warm > 0 {
+			label = fmt.Sprintf("%.0f%% warm", warm*100)
+		}
+		mt.AddRow(label, rep.Sessions,
+			float64(rep.Wall.Microseconds())/1000,
+			rep.SessionsPerSec, float64(rep.RoundTrips)/float64(rep.Sessions),
+			rep.HTTP["answers"].Count)
+	}
+	mt.AddNote("warm sessions attach to a shared per-target user, so the server's cross-session memo tier answers previously-settled questions before they reach the wire — fewer answer POSTs and round trips per session; identity asserts still require the identical learned query")
+
+	return []*stats.Table{wt, st, mt}
+}
+
+// mustLoad runs the load generator, converting any failure — drive
+// errors and bit-identity mismatches alike — into an experiment
+// panic.
+func mustLoad(opt load.Options) load.Report {
+	rep, err := load.Run(opt)
+	if err != nil {
+		panic(fmt.Sprintf("exp: load: %v", err))
+	}
+	return rep
+}
+
+// trialSummary aggregates repeated load runs: mean sessions/sec with
+// its population stddev, summed wall milliseconds, and summed
+// questions.
+type trialSummary struct {
+	rate, stddev, wallMS float64
+	questions            int64
+}
+
+// trialRates runs the load generator trials times with distinct
+// seeds and aggregates.
+func trialRates(base load.Options, trials int, mutate func(*load.Options)) trialSummary {
+	var s trialSummary
+	rates := make([]float64, trials)
+	for tr := 0; tr < trials; tr++ {
+		opt := base
+		opt.Seed = base.Seed + int64(tr)
+		mutate(&opt)
+		rep := mustLoad(opt)
+		rates[tr] = rep.SessionsPerSec
+		s.rate += rep.SessionsPerSec
+		s.wallMS += float64(rep.Wall.Microseconds()) / 1000
+		s.questions += rep.Questions
+	}
+	s.rate /= float64(trials)
+	for _, r := range rates {
+		s.stddev += (r - s.rate) * (r - s.rate)
+	}
+	s.stddev = math.Sqrt(s.stddev / float64(trials))
+	return s
+}

@@ -1,18 +1,8 @@
 package exp
 
 import (
-	"fmt"
-	"math/rand"
-	"sync"
-	"time"
-
-	"qhorn/internal/difffuzz"
-	"qhorn/internal/learn"
-	"qhorn/internal/oracle"
-	"qhorn/internal/query"
-	"qhorn/internal/run"
+	"qhorn/internal/load"
 	"qhorn/internal/serve"
-	"qhorn/internal/session"
 	"qhorn/internal/stats"
 )
 
@@ -27,90 +17,44 @@ func init() {
 }
 
 // runServe measures session throughput of the qhornd server across
-// shard counts: a fleet of concurrent clients each creates a session,
-// answers its questions over real HTTP with a simulated user, and
-// checks the learned query against a direct learn.Run of the same
-// hidden query — the correctness assert runs inside the benchmark, so
-// a lost answer or a duplicated question fails the experiment, not
-// just a test. Throughput is sessions/sec of the whole fleet; the
-// questions column is the total membership questions served.
+// shard counts with the sustained-load harness (internal/load): a
+// pinned pool of persistent-connection workers drives the session
+// fleet over the batched wire, three trials per shard count with
+// distinct seeds, and every learned query is asserted bit-identical
+// to a direct learn.Run of the same hidden target — in the run, not
+// in a separate test, so a lost answer or duplicated question fails
+// the experiment. The stddev column separates real shard scaling from
+// scheduler noise, which the old single-trial,
+// goroutine-per-session version of this experiment could not.
 func runServe(cfg Config) []*stats.Table {
 	cfg = cfg.normalize()
 	e, _ := ByName("serve")
 	t := stats.NewTable(header(e)+" — HTTP session throughput vs shard count",
-		"shards", "sessions", "questions", "wall ms", "sessions/sec")
+		"shards", "sessions", "questions", "wall ms", "sessions/sec", "stddev", "speedup vs 1 shard")
 
 	shardSweep := []int{1, 2, 4, 8}
-	fleet := 48
+	fleet, workers, trials := 192, 8, 3
 	if cfg.Quick {
 		shardSweep = []int{1, 4}
-		fleet = 16
+		fleet, trials = 32, 2
 	}
 
-	// One fixed fleet of hidden queries, reused for every shard count
-	// so the rows differ only in server configuration.
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	targets := make([]query.Query, fleet)
-	wants := make([]string, fleet)
-	for i := range targets {
-		targets[i] = difffuzz.GenCase(rng, difffuzz.ClassQhorn1, 4, 5).Hidden
-		hist := session.New(oracle.Target(targets[i]))
-		q, _ := learn.Run(targets[i].U, hist, run.WithAlgorithm(run.Qhorn1), run.WithBatch())
-		wants[i] = q.String()
+	base := load.Options{
+		Sessions: fleet, Workers: workers,
+		Targets: 16, MinVars: 4, MaxVars: 6,
+		Wire: serve.WireBatched,
+		Seed: cfg.Seed, AssertIdentity: true,
 	}
-
+	var baseRate float64
 	for _, shards := range shardSweep {
-		srv := serve.New(serve.Config{Shards: shards})
-		if err := srv.Start("127.0.0.1:0"); err != nil {
-			panic(fmt.Sprintf("exp: serve: %v", err))
+		s := trialRates(base, trials, func(opt *load.Options) {
+			opt.Config = serve.Config{Shards: shards}
+		})
+		if shards == shardSweep[0] {
+			baseRate = s.rate
 		}
-		c := serve.NewClient(srv.URL())
-
-		var wg sync.WaitGroup
-		errs := make([]error, fleet)
-		questions := make([]int, fleet)
-		start := time.Now()
-		for i := 0; i < fleet; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				target := targets[i]
-				info, err := c.Create(serve.CreateRequest{Variables: target.N(), Algorithm: "qhorn1"})
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				final, err := c.Drive(info.ID, serve.AnswererFor(target.U, oracle.Target(target)), serve.DriveOptions{Poll: 2 * time.Second})
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				if final.State != serve.StateDone {
-					errs[i] = fmt.Errorf("session ended %q: %s", final.State, final.Error)
-					return
-				}
-				// The in-run identity assert: HTTP must not perturb the
-				// learn.
-				if final.Learned != wants[i] {
-					errs[i] = fmt.Errorf("learned %q over HTTP, %q direct", final.Learned, wants[i])
-					return
-				}
-				questions[i] = final.QuestionsOnRecord
-			}(i)
-		}
-		wg.Wait()
-		wall := time.Since(start)
-		srv.Close()
-		totalQ := 0
-		for i, err := range errs {
-			if err != nil {
-				panic(fmt.Sprintf("exp: serve: session %d (target %s): %v", i, targets[i], err))
-			}
-			totalQ += questions[i]
-		}
-		ms := float64(wall.Microseconds()) / 1000
-		t.AddRow(shards, fleet, totalQ, ms, float64(fleet)/wall.Seconds())
+		t.AddRow(shards, fleet*trials, s.questions, s.wallMS, s.rate, s.stddev, s.rate/baseRate)
 	}
-	t.AddNote("fleet of %d concurrent HTTP clients, each learning a hidden qhorn-1 query (4–5 vars) end to end over the wire with an in-process simulated answerer; every learned query is asserted bit-identical to a direct learn.Run of the same target before the row is accepted; same fleet for every shard count", fleet)
+	t.AddNote("sustained-load harness (internal/load): %d sessions per trial over %d pinned persistent-connection workers, batched wire, %d trials per shard count with distinct seeds; sessions/sec is the mean, stddev the population deviation; every learned query (and cold live-question count) asserted bit-identical to a direct learn.Run before the row is accepted", fleet, workers, trials)
 	return []*stats.Table{t}
 }

@@ -1,0 +1,486 @@
+// Package load is the sustained-load harness for the qhornd serving
+// plane: a persistent-connection load generator that drives many
+// concurrent learn/verify/amend sessions through the public HTTP API
+// and reports throughput (sessions/sec, questions/sec) and latency
+// (client-side session percentiles plus the server's own
+// qhornd_http_seconds{route=} and qhorn_oracle_ask_seconds
+// histograms, scraped from /progress).
+//
+// The generator is deterministic given Options.Seed: the session mix
+// (learn vs verify vs amend, warm vs cold memo), the hidden targets
+// and the think-time draws all come from seeded RNGs, so a load run
+// doubles as a correctness harness — with AssertIdentity every learn
+// is checked bit-for-bit against the direct in-process reference,
+// under full concurrency.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qhorn/internal/difffuzz"
+	"qhorn/internal/learn"
+	"qhorn/internal/obs"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+	"qhorn/internal/run"
+	"qhorn/internal/serve"
+	qsession "qhorn/internal/session"
+)
+
+// Options configures a load run. The zero value is usable: 64 learn
+// sessions over 8 workers against an in-process server.
+type Options struct {
+	// Base is the target server ("http://host:port"). Empty spawns an
+	// in-process server with Config for the duration of the run.
+	Base   string
+	Config serve.Config
+
+	// Sessions is the total session count (default 64); Workers is
+	// the number of concurrent drivers (default 8). Duration, when
+	// positive, stops launching new sessions after it elapses.
+	Sessions int
+	Workers  int
+	Duration time.Duration
+
+	// Wire selects the wire mode every driver uses.
+	Wire serve.WireMode
+	// Algorithm is the learning algorithm of learn/amend sessions.
+	Algorithm run.Algorithm
+	// Targets is the hidden-query pool size (default 12): session i
+	// learns pool target i mod Targets. MinVars/MaxVars bound the
+	// universe size of generated targets (defaults 3 and 6); wider
+	// universes make wider question batches.
+	Targets int
+	MinVars int
+	MaxVars int
+
+	// VerifyFrac is the fraction of sessions that run verification of
+	// a correct given query instead of a learn; AmendFrac is the
+	// fraction that lie on one answer and then amend; WarmFrac is the
+	// fraction of plain learns that attach to a shared per-target
+	// oracle identity, so the server's memo tier answers repeated
+	// questions (warm cache). Fractions are of the total and the
+	// kinds are drawn deterministically from Seed.
+	VerifyFrac float64
+	AmendFrac  float64
+	WarmFrac   float64
+
+	// ThinkMean, when positive, sleeps an exponentially-distributed
+	// think time (with this mean) before each answer delivery.
+	ThinkMean time.Duration
+
+	// Seed fixes the target pool, the session mix and the think-time
+	// draws.
+	Seed int64
+
+	// AssertIdentity checks every completed session against the
+	// direct in-process reference: learns (cold and warm) must learn
+	// the identical query, cold learns must ask the identical live
+	// question count, and verifies must validate. Any mismatch fails
+	// the run.
+	AssertIdentity bool
+
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+// Quantiles summarizes one latency histogram scraped from the server.
+type Quantiles struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Report is the outcome of a load run.
+type Report struct {
+	// Sessions completed, split by kind; Questions is the live
+	// questions answered over the wire; RoundTrips counts every HTTP
+	// request the generator issued.
+	Sessions   int64 `json:"sessions"`
+	Learns     int64 `json:"learns"`
+	Verifies   int64 `json:"verifies"`
+	Amends     int64 `json:"amends"`
+	WarmLearns int64 `json:"warm_learns"`
+	Questions  int64 `json:"questions"`
+	RoundTrips int64 `json:"round_trips"`
+
+	Wall            time.Duration `json:"wall_ns"`
+	SessionsPerSec  float64       `json:"sessions_per_sec"`
+	QuestionsPerSec float64       `json:"questions_per_sec"`
+
+	// SessionP* are client-observed whole-session latencies.
+	SessionP50 time.Duration `json:"session_p50_ns"`
+	SessionP90 time.Duration `json:"session_p90_ns"`
+	SessionP99 time.Duration `json:"session_p99_ns"`
+
+	// HTTP holds the server's per-route request-latency quantiles
+	// (qhornd_http_seconds{route=...}) and Ask the oracle ask-latency
+	// quantiles (qhorn_oracle_ask_seconds), scraped from /progress
+	// after the run. For an external server they are cumulative since
+	// that server started.
+	HTTP map[string]Quantiles `json:"http,omitempty"`
+	Ask  Quantiles            `json:"ask"`
+}
+
+// String renders the report as the one-screen summary qhornload
+// prints.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sessions %d (%d learn, %d warm, %d verify, %d amend) in %v\n",
+		r.Sessions, r.Learns, r.WarmLearns, r.Verifies, r.Amends, r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "throughput %.1f sessions/sec, %.1f questions/sec, %d round trips\n",
+		r.SessionsPerSec, r.QuestionsPerSec, r.RoundTrips)
+	fmt.Fprintf(&b, "session latency p50 %v p90 %v p99 %v\n",
+		r.SessionP50.Round(time.Microsecond), r.SessionP90.Round(time.Microsecond), r.SessionP99.Round(time.Microsecond))
+	routes := make([]string, 0, len(r.HTTP))
+	for route := range r.HTTP {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	for _, route := range routes {
+		q := r.HTTP[route]
+		fmt.Fprintf(&b, "http %-10s n=%-7d p50 %.3fms p95 %.3fms p99 %.3fms\n",
+			route, q.Count, q.P50*1e3, q.P95*1e3, q.P99*1e3)
+	}
+	if r.Ask.Count > 0 {
+		fmt.Fprintf(&b, "oracle ask n=%-7d p50 %.3fms p95 %.3fms p99 %.3fms\n",
+			r.Ask.Count, r.Ask.P50*1e3, r.Ask.P95*1e3, r.Ask.P99*1e3)
+	}
+	return b.String()
+}
+
+// session kinds of the deterministic mix.
+const (
+	kindLearn = iota
+	kindWarm
+	kindVerify
+	kindAmend
+)
+
+// plan is one scheduled session.
+type plan struct {
+	kind   int
+	target int // index into the target pool
+}
+
+// reference is the precomputed direct-learn outcome for one pool
+// target, the bit-identity baseline.
+type reference struct {
+	target query.Query
+	want   string // learned query, direct
+	live   int    // live questions, direct cold learn
+}
+
+// Run executes the load run and reports. It returns an error when a
+// session fails, when an identity assertion trips, or when the server
+// is unreachable.
+func Run(opt Options) (Report, error) {
+	if opt.Sessions <= 0 {
+		opt.Sessions = 64
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 8
+	}
+	if opt.Targets <= 0 {
+		opt.Targets = 12
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+
+	base := opt.Base
+	if base == "" {
+		srv := serve.New(opt.Config)
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			return Report{}, err
+		}
+		defer srv.Close()
+		base = srv.URL()
+		logf("load: spawned in-process qhornd at %s", base)
+	}
+
+	refs, plans := buildPlans(opt)
+	client := serve.NewClient(base)
+
+	var (
+		rep       Report
+		mu        sync.Mutex // latencies + report counters
+		latencies []time.Duration
+		questions atomic.Int64
+		next      atomic.Int64
+		firstErr  error
+		errOnce   sync.Once
+		wg        sync.WaitGroup
+	)
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+	deadline := time.Time{}
+	if opt.Duration > 0 {
+		deadline = time.Now().Add(opt.Duration)
+	}
+
+	start := time.Now()
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + 7919*int64(w) + 1))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(plans) {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				p := plans[i]
+				s0 := time.Now()
+				live, err := runSession(client, opt, refs[p.target], p, rng)
+				elapsed := time.Since(s0)
+				if err != nil {
+					fail(fmt.Errorf("load: session %d (kind %d, target %d): %w", i, p.kind, p.target, err))
+					return
+				}
+				questions.Add(int64(live))
+				mu.Lock()
+				latencies = append(latencies, elapsed)
+				rep.Sessions++
+				switch p.kind {
+				case kindLearn:
+					rep.Learns++
+				case kindWarm:
+					rep.WarmLearns++
+				case kindVerify:
+					rep.Verifies++
+				case kindAmend:
+					rep.Amends++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	if firstErr != nil {
+		return rep, firstErr
+	}
+
+	rep.Questions = questions.Load()
+	rep.RoundTrips = client.RoundTrips()
+	secs := rep.Wall.Seconds()
+	if secs > 0 {
+		rep.SessionsPerSec = float64(rep.Sessions) / secs
+		rep.QuestionsPerSec = float64(rep.Questions) / secs
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	rep.SessionP50 = percentile(latencies, 0.50)
+	rep.SessionP90 = percentile(latencies, 0.90)
+	rep.SessionP99 = percentile(latencies, 0.99)
+
+	if err := scrape(base, &rep); err != nil {
+		// The numbers above stand on their own; surface the scrape
+		// failure without discarding them.
+		return rep, fmt.Errorf("load: scraping %s/progress: %w", base, err)
+	}
+	return rep, nil
+}
+
+// buildPlans draws the target pool, its direct references and the
+// deterministic session mix.
+func buildPlans(opt Options) ([]reference, []plan) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	class := difffuzz.ClassQhorn1
+	if opt.Algorithm == run.RolePreserving {
+		class = difffuzz.ClassRP
+	}
+	minVars, maxVars := opt.MinVars, opt.MaxVars
+	if minVars <= 0 {
+		minVars = 3
+	}
+	if maxVars < minVars {
+		maxVars = minVars + 3
+	}
+	refs := make([]reference, opt.Targets)
+	for i := range refs {
+		target := difffuzz.GenCase(rng, class, minVars, maxVars).Hidden
+		hist := qsession.New(oracle.Target(target))
+		learned, _ := learn.Run(target.U, hist, run.WithAlgorithm(opt.Algorithm), run.WithBatch())
+		refs[i] = reference{target: target, want: learned.String(), live: hist.LiveQuestions}
+	}
+	plans := make([]plan, opt.Sessions)
+	for i := range plans {
+		p := plan{kind: kindLearn, target: i % opt.Targets}
+		switch f := rng.Float64(); {
+		case f < opt.VerifyFrac:
+			p.kind = kindVerify
+		case f < opt.VerifyFrac+opt.AmendFrac:
+			p.kind = kindAmend
+		case f < opt.VerifyFrac+opt.AmendFrac+opt.WarmFrac:
+			p.kind = kindWarm
+		}
+		plans[i] = p
+	}
+	return refs, plans
+}
+
+// runSession drives one planned session to completion and returns its
+// live-question count.
+func runSession(c *serve.Client, opt Options, ref reference, p plan, rng *rand.Rand) (int, error) {
+	honest := serve.AnswererFor(ref.target.U, oracle.Target(ref.target))
+	drive := serve.DriveOptions{Poll: 10 * time.Second, Wire: opt.Wire}
+	if opt.ThinkMean > 0 {
+		drive.Delay = func() time.Duration {
+			return time.Duration(rng.ExpFloat64() * float64(opt.ThinkMean))
+		}
+	}
+	req := serve.CreateRequest{Variables: ref.target.N(), Algorithm: opt.Algorithm.String()}
+	switch p.kind {
+	case kindWarm:
+		// All warm sessions of one target share an oracle identity, so
+		// the server's memo tier answers questions earlier sessions
+		// settled. The first such session per target warms the tier.
+		req.User = fmt.Sprintf("load-warm-%d-%d", opt.Seed, p.target)
+	case kindVerify:
+		req.Mode = serve.ModeVerify
+		req.Given = ref.target.String()
+	}
+
+	info, err := c.Create(req)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Delete(info.ID) //nolint:errcheck // best-effort cleanup on error paths
+
+	answer := honest
+	liedKey := ""
+	if p.kind == kindAmend {
+		answer = func(q serve.WireQuestion) (bool, error) {
+			a, err := honest(q)
+			if err != nil {
+				return false, err
+			}
+			if liedKey == "" {
+				liedKey = q.Key
+				return !a, nil
+			}
+			return a, nil
+		}
+	}
+	final, err := c.Drive(info.ID, answer, drive)
+	if err != nil {
+		return 0, err
+	}
+	if final.State != serve.StateDone {
+		return 0, fmt.Errorf("session ended %q (error %q)", final.State, final.Error)
+	}
+	live := final.LiveQuestions
+	if p.kind == kindAmend && liedKey != "" {
+		if _, err := c.Amend(info.ID, serve.AmendRequest{Key: liedKey}); err != nil {
+			return 0, err
+		}
+		if final, err = c.Drive(info.ID, honest, drive); err != nil {
+			return 0, err
+		}
+		if final.State != serve.StateDone {
+			return 0, fmt.Errorf("amended session ended %q (error %q)", final.State, final.Error)
+		}
+		live += final.LiveQuestions
+	}
+
+	if opt.AssertIdentity {
+		switch p.kind {
+		case kindVerify:
+			if final.Verify == nil || !final.Verify.Correct {
+				return 0, fmt.Errorf("verification of the true query reported incorrect: %+v", final.Verify)
+			}
+		default:
+			if final.Learned != ref.want {
+				return 0, fmt.Errorf("learned %q over HTTP, %q direct", final.Learned, ref.want)
+			}
+			if p.kind == kindLearn && final.LiveQuestions != ref.live {
+				return 0, fmt.Errorf("cold learn asked %d live questions over HTTP, %d direct", final.LiveQuestions, ref.live)
+			}
+		}
+	}
+	return live, nil
+}
+
+// percentile reads the p-quantile of sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// scrape pulls the server's /progress snapshot and fills the report's
+// HTTP and Ask quantiles.
+func scrape(base string, rep *Report) error {
+	resp, err := http.Get(base + "/progress")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var prog obs.Progress
+	if err := json.Unmarshal(body, &prog); err != nil {
+		return err
+	}
+	for key, h := range prog.Histograms {
+		q := Quantiles{Count: h.Count, Sum: h.Sum, P50: h.P50, P95: h.P95, P99: h.P99}
+		switch {
+		case key == obs.MetricOracleAskSeconds:
+			rep.Ask = q
+		case strings.HasPrefix(key, obs.MetricServeHTTPSeconds+"{"):
+			route := routeLabel(key)
+			if route == "" {
+				route = key
+			}
+			if rep.HTTP == nil {
+				rep.HTTP = map[string]Quantiles{}
+			}
+			rep.HTTP[route] = q
+		}
+	}
+	return nil
+}
+
+// routeLabel extracts the route label value from a histogram key like
+// `qhornd_http_seconds{route="answers"}`.
+func routeLabel(key string) string {
+	const marker = `route="`
+	i := strings.Index(key, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := key[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}

@@ -144,6 +144,15 @@ const (
 	// MetricMemoTierSize gauges the answers currently cached by the
 	// shared memo tier, across all shards and identities.
 	MetricMemoTierSize = "qhornd_memo_size"
+	// MetricServeHTTPSeconds is the distribution of qhornd HTTP handler
+	// wall time, labeled by route (label "route": create, list, info,
+	// delete, questions, answers, history, snapshot, amend, obs). Long-
+	// poll waits count toward the questions/answers routes, so their
+	// upper buckets stretch to the maxQuestionWait bound.
+	MetricServeHTTPSeconds = "qhornd_http_seconds"
+	// MetricServeHTTPInFlight gauges HTTP requests currently inside a
+	// qhornd handler, long-polls included.
+	MetricServeHTTPInFlight = "qhornd_http_in_flight"
 )
 
 // AnswerLatencyBuckets are the fixed histogram buckets for
@@ -161,6 +170,11 @@ var TuplesPerQuestionBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 6
 // distributions, from microseconds (simulated oracles) to seconds
 // (interactive users).
 var LatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60}
+
+// HTTPLatencyBuckets are the fixed histogram buckets for
+// MetricServeHTTPSeconds: sub-millisecond for the pooled hot routes,
+// stretching to tens of seconds for long-polled question fetches.
+var HTTPLatencyBuckets = []float64{1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 0.05, 0.1, 0.5, 1, 5, 30}
 
 // BatchSizeBuckets are the fixed histogram buckets for
 // MetricBatchSize: batches range from a lone binary-search probe to

@@ -233,8 +233,13 @@ func Drive(o Oracle, n int, stream func(i int, ask AskFunc), observe func(i int,
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer func() { done <- recover() }()
+			// One reply channel per stream, reused for every question:
+			// a stream has at most one question in flight, and always
+			// drains the answer before asking again, so cap 1 suffices
+			// and the per-question channel churn disappears.
+			reply := make(chan bool, 1)
 			stream(i, func(q boolean.Set) bool {
-				req := request{idx: i, q: q, reply: make(chan bool, 1)}
+				req := request{idx: i, q: q, reply: reply}
 				select {
 				case requests <- req:
 				case <-aborted:

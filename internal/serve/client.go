@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -28,7 +29,13 @@ type Client struct {
 	Base string
 	// HTTP is the transport; nil uses http.DefaultClient.
 	HTTP *http.Client
+
+	rt atomic.Int64 // HTTP round trips issued through do
 }
+
+// RoundTrips reports the HTTP requests this client has issued — the
+// per-session wire cost a drive loop actually pays.
+func (c *Client) RoundTrips() int64 { return c.rt.Load() }
 
 // NewClient returns a client for the server at base.
 func NewClient(base string) *Client { return &Client{Base: base} }
@@ -64,6 +71,7 @@ func (c *Client) do(method, path string, in, out interface{}) error {
 	if err != nil {
 		return err
 	}
+	c.rt.Add(1)
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
@@ -119,9 +127,21 @@ func (c *Client) List() (SessionList, error) {
 // Questions fetches the outstanding batch (GET /sessions/{id}/questions),
 // long-polling up to wait while the session is computing.
 func (c *Client) Questions(id string, wait time.Duration) (QuestionBatch, error) {
+	return c.QuestionsLimit(id, wait, 0)
+}
+
+// QuestionsLimit is Questions with a cap on the returned questions;
+// limit 1 is the single-question compatibility mode. limit <= 0
+// returns the whole outstanding batch.
+func (c *Client) QuestionsLimit(id string, wait time.Duration, limit int) (QuestionBatch, error) {
 	path := "/sessions/" + url.PathEscape(id) + "/questions"
+	sep := byte('?')
 	if wait > 0 {
-		path += "?wait=" + url.QueryEscape(wait.String())
+		path += string(sep) + "wait=" + url.QueryEscape(wait.String())
+		sep = '&'
+	}
+	if limit > 0 {
+		path += string(sep) + "limit=" + strconv.Itoa(limit)
 	}
 	var qb QuestionBatch
 	err := c.do("GET", path, nil, &qb)
@@ -133,6 +153,26 @@ func (c *Client) Questions(id string, wait time.Duration) (QuestionBatch, error)
 func (c *Client) Answer(id string, answers map[string]bool) (AnswerReport, error) {
 	var rep AnswerReport
 	err := c.do("POST", "/sessions/"+url.PathEscape(id)+"/answers", AnswerRequest{Answers: answers}, &rep)
+	return rep, err
+}
+
+// AnswerNext is the fused round trip (POST /sessions/{id}/answers?wait=D):
+// it delivers the answers and, once the batch settles, receives the
+// next outstanding batch in Report.Next — one round trip per batch
+// instead of a poll plus a post.
+func (c *Client) AnswerNext(id string, answers map[string]bool, wait time.Duration) (AnswerReport, error) {
+	path := "/sessions/" + url.PathEscape(id) + "/answers?wait=" + url.QueryEscape(wait.String())
+	var rep AnswerReport
+	err := c.do("POST", path, AnswerRequest{Answers: answers}, &rep)
+	return rep, err
+}
+
+// AnswerOne delivers a single answer in the compact single-question
+// form ({"key":...,"answer":...}).
+func (c *Client) AnswerOne(id, key string, answer bool) (AnswerReport, error) {
+	var rep AnswerReport
+	err := c.do("POST", "/sessions/"+url.PathEscape(id)+"/answers",
+		AnswerRequest{Key: key, Answer: &answer}, &rep)
 	return rep, err
 }
 
@@ -204,8 +244,51 @@ func CountingAnswerer(inner Answerer, n *int64) Answerer {
 	}
 }
 
+// WireMode selects how a Drive loop talks to the server.
+type WireMode int
+
+const (
+	// WireBatched is the classic loop: GET the outstanding batch, POST
+	// its answers, repeat — two round trips per batch.
+	WireBatched WireMode = iota
+	// WireFused rides the fused round trip: the final POST of a batch
+	// carries ?wait and receives the next batch in the same response —
+	// one round trip per batch in the steady state.
+	WireFused
+	// WireSingle is the single-question compatibility mode: one
+	// question per GET (?limit=1), one answer per POST in the
+	// {"key","answer"} form — the per-question baseline.
+	WireSingle
+)
+
+// String names the mode for reports and flags.
+func (m WireMode) String() string {
+	switch m {
+	case WireFused:
+		return "fused"
+	case WireSingle:
+		return "single"
+	default:
+		return "batched"
+	}
+}
+
+// ParseWireMode parses a WireMode name.
+func ParseWireMode(s string) (WireMode, error) {
+	switch s {
+	case "batched", "":
+		return WireBatched, nil
+	case "fused":
+		return WireFused, nil
+	case "single":
+		return WireSingle, nil
+	}
+	return 0, fmt.Errorf("serve: unknown wire mode %q (want batched, fused or single)", s)
+}
+
 // DriveOptions shape a Drive loop. The zero value answers every batch
-// in one in-order delivery with a default long-poll.
+// in one in-order delivery with a default long-poll over the batched
+// wire mode.
 type DriveOptions struct {
 	// Rng, when non-nil, shuffles the answer order within each batch,
 	// exercising out-of-order delivery.
@@ -220,12 +303,14 @@ type DriveOptions struct {
 	// MaxRounds bounds the poll/answer loop; <= 0 uses 100000. The
 	// bound turns a livelock into an error instead of a hung test.
 	MaxRounds int
+	// Wire selects the wire mode (batched, fused, single).
+	Wire WireMode
 }
 
-// Drive answers a session to completion: it polls the outstanding
-// batch, evaluates every question with answer, posts the answers, and
-// repeats until the session reaches done or failed, returning the
-// final session state.
+// Drive answers a session to completion: it fetches outstanding
+// questions, evaluates each with answer, posts the answers — over the
+// selected wire mode — and repeats until the session reaches done or
+// failed, returning the final session state.
 func (c *Client) Drive(id string, answer Answerer, opt DriveOptions) (SessionInfo, error) {
 	poll := opt.Poll
 	if poll <= 0 {
@@ -235,11 +320,20 @@ func (c *Client) Drive(id string, answer Answerer, opt DriveOptions) (SessionInf
 	if maxRounds <= 0 {
 		maxRounds = 100000
 	}
+	var qb QuestionBatch
+	havePending := false // fused mode: qb came back with the last POST
 	for round := 0; round < maxRounds; round++ {
-		qb, err := c.Questions(id, poll)
-		if err != nil {
-			return SessionInfo{}, err
+		if !havePending {
+			limit := 0
+			if opt.Wire == WireSingle {
+				limit = 1
+			}
+			var err error
+			if qb, err = c.QuestionsLimit(id, poll, limit); err != nil {
+				return SessionInfo{}, err
+			}
 		}
+		havePending = false
 		if qb.State == StateDone || qb.State == StateFailed {
 			return c.Info(id)
 		}
@@ -250,6 +344,23 @@ func (c *Client) Drive(id string, answer Answerer, opt DriveOptions) (SessionInf
 		if opt.Rng != nil {
 			qs = append([]WireQuestion(nil), qs...)
 			opt.Rng.Shuffle(len(qs), func(i, j int) { qs[i], qs[j] = qs[j], qs[i] })
+		}
+		if opt.Wire == WireSingle {
+			// One answer per POST in the single-question form; the next
+			// question arrives on the next ?limit=1 poll.
+			for _, q := range qs {
+				a, err := answer(q)
+				if err != nil {
+					return SessionInfo{}, fmt.Errorf("serve: answering %s: %w", q.Key, err)
+				}
+				if opt.Delay != nil {
+					time.Sleep(opt.Delay())
+				}
+				if _, err := c.AnswerOne(id, q.Key, a); err != nil {
+					return SessionInfo{}, err
+				}
+			}
+			continue
 		}
 		chunk := opt.MaxPerPost
 		if chunk <= 0 {
@@ -270,6 +381,18 @@ func (c *Client) Drive(id string, answer Answerer, opt DriveOptions) (SessionInf
 			}
 			if opt.Delay != nil {
 				time.Sleep(opt.Delay())
+			}
+			if opt.Wire == WireFused && hi == len(qs) {
+				// The batch's final delivery fuses the next poll into the
+				// same round trip.
+				rep, err := c.AnswerNext(id, answers, poll)
+				if err != nil {
+					return SessionInfo{}, err
+				}
+				if rep.Next != nil {
+					qb, havePending = *rep.Next, true
+				}
+				continue
 			}
 			if _, err := c.Answer(id, answers); err != nil {
 				return SessionInfo{}, err

@@ -1,0 +1,209 @@
+package serve_test
+
+// Black-box coverage of the serving-plane hardening (header-read
+// timeouts, header-size caps) and of the batched/fused/single wire
+// modes: every mode must reproduce the direct learn bit-for-bit, and
+// the batched modes must deliver the round-trip reduction the docs
+// claim.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"qhorn/internal/boolean"
+	"qhorn/internal/difffuzz"
+	"qhorn/internal/oracle"
+	"qhorn/internal/query"
+	engine "qhorn/internal/run"
+	"qhorn/internal/serve"
+)
+
+// TestSlowHeaderClientDropped is the hardening regression test: a
+// client that opens a connection and trickles the request header must
+// be cut off by ReadHeaderTimeout instead of pinning a connection
+// forever.
+func TestSlowHeaderClientDropped(t *testing.T) {
+	srv, _ := startServer(t, serve.Config{MemoCapacity: -1, ReadHeaderTimeout: 150 * time.Millisecond})
+	addr := strings.TrimPrefix(srv.URL(), "http://")
+
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request: the request line and one header, never the
+	// terminating blank line.
+	if _, err := io.WriteString(conn, "GET /healthz HTTP/1.1\r\nHost: qhornd\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 512)
+	for {
+		_, err := conn.Read(buf)
+		if err != nil {
+			break // server dropped us (EOF or reset)
+		}
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("slow-header connection survived %v, want drop near the 150ms ReadHeaderTimeout", waited)
+	}
+
+	// A well-formed request on a fresh connection still works.
+	resp, err := http.Get(srv.URL() + "/healthz")
+	if err != nil {
+		t.Fatalf("healthy request after slow-client drop: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d after slow-client drop", resp.StatusCode)
+	}
+}
+
+// TestOversizedHeaderRejected checks the MaxHeaderBytes cap: a header
+// past the default 64 KiB budget must be refused, not buffered.
+func TestOversizedHeaderRejected(t *testing.T) {
+	srv, _ := startServer(t, serve.Config{MemoCapacity: -1})
+	req, err := http.NewRequest(http.MethodGet, srv.URL()+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Padding", strings.Repeat("q", serve.DefaultMaxHeaderBytes*2))
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestHeaderFieldsTooLarge {
+			t.Fatalf("oversized header got %d, want %d or a dropped connection",
+				resp.StatusCode, http.StatusRequestHeaderFieldsTooLarge)
+		}
+	}
+	// err != nil is also acceptable: the server may hang up mid-write.
+}
+
+// TestWireModeIdentity drives the same hidden targets through every
+// wire mode and requires each run to be bit-identical to the direct
+// learn — same learned query, history, and live-question count.
+func TestWireModeIdentity(t *testing.T) {
+	_, c := startServer(t, serve.Config{MemoCapacity: -1})
+	n := 3
+	if !testing.Short() {
+		n = 8
+	}
+	for _, wire := range []serve.WireMode{serve.WireBatched, serve.WireFused, serve.WireSingle} {
+		t.Run(wire.String(), func(t *testing.T) {
+			for _, target := range targets(difffuzz.ClassQhorn1, 31, n) {
+				driveIdentity(t, c, target, engine.Qhorn1, serve.DriveOptions{Poll: 2 * time.Second, Wire: wire})
+			}
+			for _, target := range targets(difffuzz.ClassRP, 32, n) {
+				driveIdentity(t, c, target, engine.RolePreserving, serve.DriveOptions{Poll: 2 * time.Second, Wire: wire})
+			}
+		})
+	}
+}
+
+// TestWireModeRoundTrips measures HTTP round trips per wire mode on a
+// role-preserving learn. Batching must cut round trips by at least 3×
+// versus the single-question wire (the docs/SERVICE.md claim), and
+// the fused wire must not exceed the batched wire.
+func TestWireModeRoundTrips(t *testing.T) {
+	srv, _ := startServer(t, serve.Config{MemoCapacity: -1})
+	// A wide role-preserving target: six head variables, so the
+	// per-head body searches run as six concurrent streams and every
+	// Drive round forms a six-question batch — the shape the batched
+	// wire exists for.
+	u := boolean.MustUniverse(12)
+	target := query.MustParse(u, "∀x1x2 → x7 ∀x1x3 → x8 ∀x2x3 → x9 ∀x4x5 → x10 ∀x4x6 → x11 ∀x5x6 → x12")
+	rts := map[serve.WireMode]int64{}
+	for _, wire := range []serve.WireMode{serve.WireBatched, serve.WireFused, serve.WireSingle} {
+		c := serve.NewClient(srv.URL()) // fresh counter per mode
+		info, err := c.Create(serve.CreateRequest{Variables: target.N(), Algorithm: engine.RolePreserving.String()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := c.Drive(info.ID, serve.AnswererFor(target.U, oracle.Target(target)), serve.DriveOptions{Poll: 2 * time.Second, Wire: wire})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != serve.StateDone {
+			t.Fatalf("wire %s ended %q", wire, final.State)
+		}
+		rts[wire] = c.RoundTrips()
+	}
+	t.Logf("round trips: single=%d batched=%d fused=%d", rts[serve.WireSingle], rts[serve.WireBatched], rts[serve.WireFused])
+	if rts[serve.WireSingle] < 3*rts[serve.WireBatched] {
+		t.Errorf("batched wire made %d round trips vs %d single — want ≥3× reduction",
+			rts[serve.WireBatched], rts[serve.WireSingle])
+	}
+	if rts[serve.WireFused] > rts[serve.WireBatched] {
+		t.Errorf("fused wire made %d round trips, batched %d — fusing must not add trips",
+			rts[serve.WireFused], rts[serve.WireBatched])
+	}
+}
+
+// TestAnswerBatchWire exercises the batched answer POST and the fused
+// answers?wait= form at the HTTP level, independent of the Client.
+func TestAnswerBatchWire(t *testing.T) {
+	srv, c := startServer(t, serve.Config{MemoCapacity: -1})
+	target := targets(difffuzz.ClassQhorn1, 34, 1)[0]
+	info, err := c.Create(serve.CreateRequest{Variables: target.N(), Algorithm: engine.Qhorn1.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := serve.AnswererFor(target.U, oracle.Target(target))
+	qb, err := c.Questions(info.ID, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qb.State == serve.StateAwaiting && len(qb.Questions) > 0 {
+		// Answer the whole batch with one fused POST built by hand.
+		body := strings.Builder{}
+		body.WriteString(`{"answers":{`)
+		for i, q := range qb.Questions {
+			if i > 0 {
+				body.WriteByte(',')
+			}
+			a, err := ans(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&body, "%q:%v", q.Key, a)
+		}
+		body.WriteString(`}}`)
+		resp, err := http.Post(srv.URL()+"/sessions/"+info.ID+"/answers?wait=2s", "application/json", strings.NewReader(body.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(bufio.NewReader(resp.Body))
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("answers POST %d: %s", resp.StatusCode, raw)
+		}
+		var rep serve.AnswerReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatalf("answer report %s: %v", raw, err)
+		}
+		if rep.Accepted != len(qb.Questions) {
+			t.Fatalf("accepted %d of %d", rep.Accepted, len(qb.Questions))
+		}
+		if rep.Next == nil {
+			t.Fatal("fused POST returned no next batch")
+		}
+		qb = *rep.Next
+	}
+	if qb.State != serve.StateDone {
+		t.Fatalf("session ended %q, want done", qb.State)
+	}
+	if err := c.Delete(info.ID); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,17 +5,23 @@
 // answer exchange instead of a local user — questions go out as
 // batches over GET /sessions/{id}/questions, answers come back out of
 // order over POST /sessions/{id}/answers, keyed by canonical
-// boolean.Set.Key.
+// boolean.Set.Key. A drive loop can fuse the two: POST
+// /sessions/{id}/answers?wait=D responds, once the delivered batch
+// settles, with the next outstanding batch in the same round trip,
+// and GET questions?limit=1 serves single-question clients.
 //
 // Sessions shard by ID hash across fixed worker shards, each with its
-// own lock, so lookups never contend globally. Admission control is
-// two-layered: a max-sessions gate sheds new sessions with 429, and
-// the per-session question budget (the engine's oracle.Budget
-// wrapper) bounds what one session can cost. The observability plane
-// (internal/obs) is mounted on the same mux: /metrics, /healthz,
-// /spans, /progress and /debug/pprof come from obs.Server, extended
-// with the qhornd_* series (sessions active, questions outstanding,
-// answer latency, outcomes, admission rejections).
+// own lock, so lookups never contend globally; admission control is
+// an atomic session counter behind a read-write shutdown gate, so
+// creations never serialize on a global mutex either. The per-session
+// question budget (the engine's oracle.Budget wrapper) bounds what
+// one session can cost. The observability plane (internal/obs) is
+// mounted on the same mux: /metrics, /healthz, /spans, /progress and
+// /debug/pprof come from obs.Server, extended with the qhornd_*
+// series (sessions active, questions outstanding, answer latency,
+// outcomes, admission rejections, per-route HTTP latency). The hot
+// routes encode and decode through pooled buffers (encode.go) and are
+// allocation-gated in CI.
 package serve
 
 import (
@@ -24,11 +30,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qhorn/internal/obs"
@@ -37,7 +46,8 @@ import (
 )
 
 // Config sizes a Server. The zero value is usable: DefaultShards
-// shards, unlimited sessions, DefaultBudget questions per session.
+// shards, unlimited sessions, DefaultBudget questions per session,
+// hardened HTTP timeouts.
 type Config struct {
 	// Shards is the session-table shard count; <= 0 selects
 	// DefaultShards.
@@ -61,6 +71,21 @@ type Config struct {
 	// Logf receives server diagnostics (learner panics, shutdown);
 	// nil discards them.
 	Logf func(format string, args ...interface{})
+
+	// ReadHeaderTimeout bounds how long Start's listener waits for a
+	// client's request headers — the slow-loris defense. Zero selects
+	// DefaultReadHeaderTimeout; negative disables the limit.
+	ReadHeaderTimeout time.Duration
+	// WriteTimeout bounds a whole response write. Zero selects
+	// DefaultWriteTimeout — deliberately above maxQuestionWait so
+	// long-polls are never cut mid-wait; negative disables.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds keep-alive connection idleness. Zero selects
+	// DefaultIdleTimeout; negative disables.
+	IdleTimeout time.Duration
+	// MaxHeaderBytes caps request header size. Zero selects
+	// DefaultMaxHeaderBytes; negative selects the net/http default.
+	MaxHeaderBytes int
 }
 
 // DefaultShards is the shard count a zero Config selects.
@@ -70,6 +95,21 @@ const DefaultShards = 8
 // selects: a million cached answers, a few hundred MB at production
 // tuple sizes.
 const DefaultMemoCapacity = 1 << 20
+
+// HTTP hardening defaults of Start's listener (Config zero values).
+const (
+	// DefaultReadHeaderTimeout drops clients that trickle request
+	// headers (slow loris) within seconds.
+	DefaultReadHeaderTimeout = 10 * time.Second
+	// DefaultWriteTimeout exceeds maxQuestionWait with slack, so a
+	// full long-poll plus its response write always fits.
+	DefaultWriteTimeout = 75 * time.Second
+	// DefaultIdleTimeout reclaims abandoned keep-alive connections.
+	DefaultIdleTimeout = 120 * time.Second
+	// DefaultMaxHeaderBytes bounds header memory per connection; the
+	// qhornd API needs no large headers.
+	DefaultMaxHeaderBytes = 64 << 10
+)
 
 // Server is the qhornd HTTP daemon. Create with New, mount Handler
 // (or Start a listener), and Close to abort in-flight sessions and
@@ -81,15 +121,26 @@ type Server struct {
 	tracer *obs.Tracer
 	mux    *http.ServeMux
 
-	shards      []*shard
-	memo        *oracle.SharedMemo // nil when MemoCapacity < 0
-	outstanding *obs.Gauge
-	activeGauge *obs.Gauge
+	shards []*shard
+	memo   *oracle.SharedMemo // nil when MemoCapacity < 0
 
-	admitMu sync.Mutex
-	active  int
-	closed  bool
-	idSeq   uint64
+	// Hot-path metric instances, resolved once — Registry lookups take
+	// a registry-wide mutex, which the per-answer path must not.
+	outstanding   *obs.Gauge
+	activeGauge   *obs.Gauge
+	answerLatency *obs.Histogram
+	httpInFlight  *obs.Gauge
+	rejected      *obs.Counter
+	outcomes      map[string]*obs.Counter // per-outcome session counters
+
+	// closeMu is the shutdown gate: Close write-holds it to flip
+	// closed, creations read-hold it across admit→launch so no session
+	// slips past the abort sweep. Admission itself is the lock-free
+	// active counter: a CAS against MaxSessions, no global mutex.
+	closeMu sync.RWMutex
+	closed  bool // guarded by closeMu
+	active  atomic.Int64
+	idSeq   atomic.Uint64
 
 	wg sync.WaitGroup
 
@@ -138,22 +189,46 @@ func New(cfg Config) *Server {
 	s.reg.Describe(obs.MetricServeAnswerSeconds, "remote answer latency from question posting to delivery")
 	s.reg.Describe(obs.MetricServeSessions, "finished session runs by outcome")
 	s.reg.Describe(obs.MetricServeRejected, "session creations shed by the max-sessions admission gate")
+	s.reg.Describe(obs.MetricServeHTTPSeconds, "qhornd HTTP handler wall time by route, long-polls included")
+	s.reg.Describe(obs.MetricServeHTTPInFlight, "HTTP requests currently inside a qhornd handler")
 	s.outstanding = s.reg.Gauge(obs.MetricServeQuestionsOutstanding)
 	s.activeGauge = s.reg.Gauge(obs.MetricServeSessionsActive)
+	s.answerLatency = s.reg.Histogram(obs.MetricServeAnswerSeconds, obs.AnswerLatencyBuckets)
+	s.httpInFlight = s.reg.Gauge(obs.MetricServeHTTPInFlight)
+	s.rejected = s.reg.Counter(obs.MetricServeRejected)
+	s.outcomes = map[string]*obs.Counter{}
+	for _, outcome := range []string{"done", "budget", "aborted", "panic"} {
+		s.outcomes[outcome] = s.reg.Counter(obs.MetricServeSessions, "outcome", outcome)
+	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sessions", s.handleCreate)
-	mux.HandleFunc("GET /sessions", s.handleList)
-	mux.HandleFunc("GET /sessions/{id}", s.handleInfo)
-	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
-	mux.HandleFunc("GET /sessions/{id}/questions", s.handleQuestions)
-	mux.HandleFunc("POST /sessions/{id}/answers", s.handleAnswers)
-	mux.HandleFunc("GET /sessions/{id}/history", s.handleHistory)
-	mux.HandleFunc("GET /sessions/{id}/snapshot", s.handleSnapshot)
-	mux.HandleFunc("POST /sessions/{id}/amend", s.handleAmend)
-	mux.Handle("/", o.Handler())
 	s.mux = mux
+	s.route("POST /sessions", "create", s.handleCreate)
+	s.route("GET /sessions", "list", s.handleList)
+	s.route("GET /sessions/{id}", "info", s.handleInfo)
+	s.route("DELETE /sessions/{id}", "delete", s.handleDelete)
+	s.route("GET /sessions/{id}/questions", "questions", s.handleQuestions)
+	s.route("POST /sessions/{id}/answers", "answers", s.handleAnswers)
+	s.route("GET /sessions/{id}/history", "history", s.handleHistory)
+	s.route("GET /sessions/{id}/snapshot", "snapshot", s.handleSnapshot)
+	s.route("POST /sessions/{id}/amend", "amend", s.handleAmend)
+	s.route("/", "obs", o.Handler().ServeHTTP)
 	return s
+}
+
+// route mounts a handler wrapped with the per-route latency histogram
+// and the in-flight gauge. The histogram instance is resolved once at
+// mount time, so the per-request cost is two gauge moves and one
+// histogram observation.
+func (s *Server) route(pattern, label string, h http.HandlerFunc) {
+	hist := s.reg.Histogram(obs.MetricServeHTTPSeconds, obs.HTTPLatencyBuckets, "route", label)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.httpInFlight.Add(1)
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start).Seconds())
+		s.httpInFlight.Add(-1)
+	})
 }
 
 // Registry returns the server's metrics registry (shared with the
@@ -169,16 +244,40 @@ func (s *Server) Memo() *oracle.SharedMemo { return s.memo }
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Start listens on addr (port 0 picks a free port) and serves in a
-// background goroutine until Close.
+// background goroutine until Close, with the hardened timeouts of the
+// config applied.
 func (s *Server) Start(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
 	s.ln = ln
-	s.srv = &http.Server{Handler: s.mux}
+	s.srv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: timeoutOr(s.cfg.ReadHeaderTimeout, DefaultReadHeaderTimeout),
+		WriteTimeout:      timeoutOr(s.cfg.WriteTimeout, DefaultWriteTimeout),
+		IdleTimeout:       timeoutOr(s.cfg.IdleTimeout, DefaultIdleTimeout),
+	}
+	if s.cfg.MaxHeaderBytes > 0 {
+		s.srv.MaxHeaderBytes = s.cfg.MaxHeaderBytes
+	} else if s.cfg.MaxHeaderBytes == 0 {
+		s.srv.MaxHeaderBytes = DefaultMaxHeaderBytes
+	}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return nil
+}
+
+// timeoutOr maps the Config timeout convention (zero → default,
+// negative → disabled) onto http.Server's (zero → disabled).
+func timeoutOr(v, def time.Duration) time.Duration {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	default:
+		return v
+	}
 }
 
 // Addr returns the listening address, or "" before Start.
@@ -199,15 +298,18 @@ func (s *Server) URL() string {
 
 // Close stops admitting sessions, aborts every in-flight learner,
 // waits for their goroutines to unwind, and stops the listener.
-// Closing twice is a no-op.
+// Closing twice is a no-op. The write lock synchronizes with
+// creations, which read-hold closeMu from admission to launch: once
+// it is acquired, every admitted session is in its shard and counted
+// in wg, so the sweep and the Wait miss nothing.
 func (s *Server) Close() error {
-	s.admitMu.Lock()
+	s.closeMu.Lock()
 	if s.closed {
-		s.admitMu.Unlock()
+		s.closeMu.Unlock()
 		return nil
 	}
 	s.closed = true
-	s.admitMu.Unlock()
+	s.closeMu.Unlock()
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		live := make([]*session, 0, len(sh.sessions))
@@ -235,43 +337,64 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
-// admit reserves an active-session slot, enforcing the shutdown and
-// max-sessions gates.
-func (s *Server) admit() error {
-	s.admitMu.Lock()
-	defer s.admitMu.Unlock()
+// admitLocked reserves an active-session slot, enforcing the shutdown
+// and max-sessions gates. Callers hold closeMu.RLock (so the closed
+// flag is stable) and keep holding it until the session is launched.
+func (s *Server) admitLocked() error {
 	if s.closed {
 		return errClosed
 	}
-	if s.cfg.MaxSessions > 0 && s.active >= s.cfg.MaxSessions {
-		s.reg.Counter(obs.MetricServeRejected).Inc()
-		return errAtCapacity
+	if max := int64(s.cfg.MaxSessions); max > 0 {
+		for {
+			cur := s.active.Load()
+			if cur >= max {
+				s.rejected.Inc()
+				return errAtCapacity
+			}
+			if s.active.CompareAndSwap(cur, cur+1) {
+				break
+			}
+		}
+	} else {
+		s.active.Add(1)
 	}
-	s.active++
 	s.activeGauge.Add(1)
 	return nil
 }
 
-// readmit reserves a slot for an amend relaunch; it respects shutdown
-// but not the max-sessions gate (the session was already admitted).
-func (s *Server) readmit() bool {
-	s.admitMu.Lock()
-	defer s.admitMu.Unlock()
+// unadmit releases a slot reserved by admitLocked when the session
+// never launched.
+func (s *Server) unadmit() {
+	s.active.Add(-1)
+	s.activeGauge.Add(-1)
+}
+
+// relaunch reserves a slot for an amend relaunch and starts the
+// learner; it respects shutdown but not the max-sessions gate (the
+// session was already admitted). The read lock spans the wg.Add in
+// launch, so a concurrent Close cannot Wait before the run is
+// counted.
+func (s *Server) relaunch(sess *session) bool {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
 	if s.closed {
 		return false
 	}
-	s.active++
+	s.active.Add(1)
 	s.activeGauge.Add(1)
+	sess.launch()
 	return true
 }
 
 // sessionExit releases an active slot and records the run outcome.
 func (s *Server) sessionExit(outcome string) {
-	s.admitMu.Lock()
-	s.active--
-	s.admitMu.Unlock()
+	s.active.Add(-1)
 	s.activeGauge.Add(-1)
-	s.reg.Counter(obs.MetricServeSessions, "outcome", outcome).Inc()
+	if c, ok := s.outcomes[outcome]; ok {
+		c.Inc()
+	} else {
+		s.reg.Counter(obs.MetricServeSessions, "outcome", outcome).Inc()
+	}
 }
 
 var (
@@ -289,20 +412,19 @@ func (s *Server) nextID(id string) string {
 	if _, err := rand.Read(b[:]); err != nil {
 		// Fall back to a process-local sequence; rand.Read failing is
 		// effectively unreachable on supported platforms.
-		s.admitMu.Lock()
-		s.idSeq++
-		n := s.idSeq
-		s.admitMu.Unlock()
-		return fmt.Sprintf("s%08d", n)
+		return fmt.Sprintf("s%08d", s.idSeq.Add(1))
 	}
 	return hex.EncodeToString(b[:])
 }
 
-// shardFor hashes a session ID onto its shard.
+// shardFor hashes a session ID onto its shard: inline FNV-1a, no
+// hasher allocation.
 func (s *Server) shardFor(id string) *shard {
-	h := fnv.New32a()
-	io.WriteString(h, id) //nolint:errcheck // fnv never errors
-	return s.shards[int(h.Sum32())%len(s.shards)]
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return s.shards[h%uint32(len(s.shards))]
 }
 
 // lookup finds a session by ID.
@@ -358,7 +480,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if budget == 0 {
 		budget = s.cfg.Budget
 	}
-	if err := s.admit(); err != nil {
+	s.closeMu.RLock()
+	if err := s.admitLocked(); err != nil {
+		s.closeMu.RUnlock()
 		status := http.StatusTooManyRequests
 		if errors.Is(err, errClosed) {
 			status = http.StatusServiceUnavailable
@@ -368,10 +492,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, err := newSession(s, "", mode, alg, req.Variables, given, budget, user, history)
 	if err != nil {
-		s.admitMu.Lock()
-		s.active--
-		s.admitMu.Unlock()
-		s.activeGauge.Add(-1)
+		s.unadmit()
+		s.closeMu.RUnlock()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -380,6 +502,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	sh.sessions[sess.id] = sess
 	sh.mu.Unlock()
 	sess.launch()
+	s.closeMu.RUnlock()
 	writeJSON(w, http.StatusCreated, sess.info())
 }
 
@@ -419,28 +542,57 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// jsonCT is the preallocated Content-Type header value of the pooled
+// hot-path responses (direct map assignment skips Set's allocation).
+var jsonCT = []string{"application/json"}
+
 func (s *Server) handleQuestions(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errNoSession(r.PathValue("id")))
 		return
 	}
-	var wait time.Duration
-	if ws := r.URL.Query().Get("wait"); ws != "" {
-		var err error
+	wait, limit, err := parseQuestionQuery(r.URL.RawQuery)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	bp := getBuf()
+	b := sess.questionsInto((*bp)[:0], wait, limit)
+	w.Header()["Content-Type"] = jsonCT
+	w.Write(b) //nolint:errcheck // the write error is the client's disconnect
+	*bp = b
+	putBuf(bp)
+}
+
+// parseQuestionQuery extracts the long-poll wait and the question
+// limit from a raw query without materializing url.Values.
+func parseQuestionQuery(rawQuery string) (wait time.Duration, limit int, err error) {
+	if ws := queryParam(rawQuery, "wait"); ws != "" {
+		if strings.ContainsAny(ws, "%+") {
+			// Escaped duration units (µs) take the cold unescape path.
+			if un, uerr := url.QueryUnescape(ws); uerr == nil {
+				ws = un
+			}
+		}
 		if wait, err = time.ParseDuration(ws); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad wait %q: %w", ws, err))
-			return
+			return 0, 0, fmt.Errorf("serve: bad wait %q: %w", ws, err)
 		}
 		if wait > maxQuestionWait {
 			wait = maxQuestionWait
 		}
 	}
-	writeJSON(w, http.StatusOK, sess.questions(wait))
+	if ls := queryParam(rawQuery, "limit"); ls != "" {
+		if limit, err = strconv.Atoi(ls); err != nil || limit < 0 {
+			return 0, 0, fmt.Errorf("serve: bad limit %q", ls)
+		}
+	}
+	return wait, limit, nil
 }
 
 // maxQuestionWait bounds the long-poll of GET /sessions/{id}/questions
-// so load balancers and tests never hold a handler for long.
+// (and of the fused POST answers?wait) so load balancers and tests
+// never hold a handler for long.
 const maxQuestionWait = 30 * time.Second
 
 func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
@@ -449,12 +601,84 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errNoSession(r.PathValue("id")))
 		return
 	}
-	var req AnswerRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+	wait, limit, err := parseQuestionQuery(r.URL.RawQuery)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, sess.deliver(req.Answers))
+	bodyBuf := getBuf()
+	defer putBuf(bodyBuf)
+	body, err := readBody((*bodyBuf)[:0], r.Body)
+	*bodyBuf = body[:0]
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reading request body: %w", err))
+		return
+	}
+	scratch := answerPool.Get().(*answerScratch)
+	defer func() {
+		scratch.pairs = scratch.pairs[:0]
+		scratch.rep.unknown = scratch.rep.unknown[:0]
+		answerPool.Put(scratch)
+	}()
+	pairs, fast := parseAnswers(body, scratch.pairs[:0])
+	if !fast {
+		// The body used escapes, unknown fields, or is malformed: let
+		// encoding/json produce the verdict and the error message.
+		var req AnswerRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+			return
+		}
+		pairs = pairs[:0]
+		for k, a := range req.Answers {
+			pairs = append(pairs, wireAnswer{key: []byte(k), answer: a})
+		}
+		// A missing key with an answer means the empty key (the
+		// empty-set question; omitempty drops "" on the wire). A key
+		// without an answer is an error.
+		if req.Answer != nil {
+			pairs = append(pairs, wireAnswer{key: []byte(req.Key), answer: *req.Answer})
+		} else if req.Key != "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: the single-question form needs an answer with its key"))
+			return
+		}
+	}
+	scratch.pairs = pairs
+	rep := &scratch.rep
+	*rep = answerOutcome{unknown: rep.unknown[:0]}
+	sess.deliver(pairs, rep)
+
+	outBuf := getBuf()
+	b := appendAnswerReport((*outBuf)[:0], rep, wait > 0)
+	if wait > 0 {
+		// The fused round trip: long-poll the next batch (or the
+		// remainder of this one, on a partial delivery) into the same
+		// response.
+		b = append(b, `,"next":`...)
+		b = sess.questionsInto(b, wait, limit)
+		b = append(b, '}')
+	}
+	w.Header()["Content-Type"] = jsonCT
+	w.Write(b) //nolint:errcheck // the write error is the client's disconnect
+	*outBuf = b
+	putBuf(outBuf)
+}
+
+// readBody reads rc into the (pooled) buffer b, growing as needed.
+func readBody(b []byte, rc io.Reader) ([]byte, error) {
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := rc.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			return b, nil
+		}
+		if err != nil {
+			return b, err
+		}
+	}
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {

@@ -35,7 +35,6 @@ import (
 
 	"qhorn/internal/boolean"
 	"qhorn/internal/learn"
-	"qhorn/internal/obs"
 	"qhorn/internal/oracle"
 	"qhorn/internal/query"
 	"qhorn/internal/revise"
@@ -64,9 +63,13 @@ type abortError struct{ reason string }
 
 func (e abortError) Error() string { return "serve: session aborted: " + e.reason }
 
-// pendingQ is one outstanding question of the current batch.
+// pendingQ is one outstanding question of the current batch. The
+// session reuses its pqs slice across rounds, so entries (and their
+// tuples slices) are recycled rather than reallocated per question.
 type pendingQ struct {
+	key      string
 	q        boolean.Set
+	tuples   []string // fixed-width wire rendering, formatted once at publish
 	posted   time.Time
 	answered bool
 	answer   bool
@@ -105,11 +108,11 @@ type session struct {
 	histEntries []qsession.Entry
 	histLen     int
 	histLive    int
-	pending     map[string]*pendingQ
-	pendingKeys []string // posted order
+	pending     map[string]int32 // key → index into pqs
+	pqs         []pendingQ       // current batch in posted order, reused across rounds
 	remaining   int
-	waiting     bool          // a batch is blocked on batchReady
-	batchReady  chan struct{} // closed when the batch settles or aborts
+	waiting     bool          // a batch is blocked on wake
+	wake        chan struct{} // cap 1; one token when the batch settles or aborts
 	settled     map[string]bool
 
 	runs        int
@@ -138,7 +141,8 @@ func newSession(srv *Server, id, mode string, alg run.Algorithm, variables int, 
 		budgetCap: budgetCap,
 		state:     StateLearning,
 		stateSeq:  make(chan struct{}),
-		pending:   map[string]*pendingQ{},
+		wake:      make(chan struct{}, 1),
+		pending:   map[string]int32{},
 		settled:   map[string]bool{},
 	}
 	// The oracle under the interaction history, innermost first:
@@ -309,6 +313,9 @@ func (e exchange) Ask(q boolean.Set) bool { return e.AskBatch([]boolean.Set{q})[
 
 // AskBatch implements oracle.BatchOracle. The session history above
 // guarantees the batch holds distinct, never-before-asked questions.
+// The pending table (pqs + index map) and the wake channel are reused
+// across rounds, so a round allocates only the answers slice handed
+// back up the oracle stack.
 func (e exchange) AskBatch(qs []boolean.Set) []bool {
 	s := e.s
 	s.mu.Lock()
@@ -318,20 +325,26 @@ func (e exchange) AskBatch(qs []boolean.Set) []bool {
 		panic(abortError{reason})
 	}
 	now := time.Now()
-	ready := make(chan struct{})
-	s.batchReady, s.waiting = ready, true
+	s.waiting = true
 	s.remaining = len(qs)
-	for _, q := range qs {
+	if n := len(qs); n <= cap(s.pqs) {
+		s.pqs = s.pqs[:n]
+	} else {
+		s.pqs = append(s.pqs[:cap(s.pqs)], make([]pendingQ, n-cap(s.pqs))...)
+	}
+	for i, q := range qs {
+		p := &s.pqs[i]
 		key := q.Key()
-		s.pending[key] = &pendingQ{q: q, posted: now}
-		s.pendingKeys = append(s.pendingKeys, key)
+		p.key, p.q, p.posted, p.answered = key, q, now, false
+		p.tuples = formatTuplesInto(p.tuples[:0], s.u, q)
+		s.pending[key] = int32(i)
 	}
 	s.srv.outstanding.Add(float64(len(qs)))
 	s.captureHistoryLocked() // the learner is about to block: hist is quiescent
 	s.setStateLocked(StateAwaiting)
 	s.mu.Unlock()
 
-	<-ready
+	<-s.wake
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -339,57 +352,80 @@ func (e exchange) AskBatch(qs []boolean.Set) []bool {
 		panic(abortError{s.abortReason})
 	}
 	answers := make([]bool, len(qs))
-	for i, q := range qs {
-		answers[i] = s.pending[q.Key()].answer
+	for i := range s.pqs {
+		answers[i] = s.pqs[i].answer
 	}
-	s.pending = map[string]*pendingQ{}
-	s.pendingKeys = s.pendingKeys[:0]
+	clear(s.pending)
+	s.pqs = s.pqs[:0]
 	return answers
 }
 
-// deliver applies a (possibly partial, possibly out-of-order) answer
-// map to the outstanding batch. Unknown keys are reported, repeats of
-// settled questions counted as duplicates; when the last outstanding
-// question settles the learner wakes and the state returns to
-// learning.
-func (s *session) deliver(answers map[string]bool) AnswerReport {
+// deliver applies (possibly partial, possibly out-of-order) answer
+// pairs to the outstanding batch, filling rep. Unknown keys are
+// reported (as borrowed slices of the request buffer — the handler
+// encodes before releasing it), repeats of settled questions counted
+// as duplicates; when the last outstanding question settles the
+// learner wakes and the state returns to learning. Keys reach the
+// pending and settled maps through the m[string(b)] form, which the
+// compiler lowers to an allocation-free lookup.
+func (s *session) deliver(pairs []wireAnswer, rep *answerOutcome) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var rep AnswerReport
-	for key, ans := range answers {
-		p, ok := s.pending[key]
+	for _, pa := range pairs {
+		idx, ok := s.pending[string(pa.key)]
 		if !ok {
-			if s.settled[key] {
-				rep.Duplicate++
+			if s.settled[string(pa.key)] {
+				rep.duplicate++
 			} else {
-				rep.Unknown = append(rep.Unknown, key)
+				rep.unknown = append(rep.unknown, pa.key)
 			}
 			continue
 		}
+		p := &s.pqs[idx]
 		if p.answered {
-			rep.Duplicate++
+			rep.duplicate++
 			continue
 		}
-		p.answered, p.answer = true, ans
-		s.settled[key] = true
+		p.answered, p.answer = true, pa.answer
+		s.settled[p.key] = true
 		s.remaining--
-		rep.Accepted++
+		rep.accepted++
 		s.srv.outstanding.Add(-1)
-		s.srv.reg.Histogram(obs.MetricServeAnswerSeconds, obs.AnswerLatencyBuckets).
-			Observe(time.Since(p.posted).Seconds())
+		s.srv.answerLatency.Observe(time.Since(p.posted).Seconds())
 	}
 	if s.remaining == 0 && s.waiting {
 		s.waiting = false
-		close(s.batchReady)
+		s.wake <- struct{}{} // cap 1; at most one token in flight (see abort)
 		s.setStateLocked(StateLearning)
 	}
-	rep.Outstanding = s.remaining
-	rep.State = s.state
+	rep.outstanding = s.remaining
+	rep.state = s.state
 	if s.aborted {
 		// The abort cleared the batch, so answers that were
 		// legitimately in flight land in Unknown; the reason tells the
 		// driver the session died rather than that it typo'd a key.
-		rep.AbortReason = s.abortReason
+		rep.abortReason = s.abortReason
+	}
+}
+
+// deliverMap adapts deliver to a decoded answer map — the cold path
+// of bodies the fast scanner refused, and of direct in-process use.
+func (s *session) deliverMap(answers map[string]bool) AnswerReport {
+	pairs := make([]wireAnswer, 0, len(answers))
+	for k, a := range answers {
+		pairs = append(pairs, wireAnswer{key: []byte(k), answer: a})
+	}
+	var out answerOutcome
+	s.deliver(pairs, &out)
+	rep := AnswerReport{
+		Accepted:    out.accepted,
+		Duplicate:   out.duplicate,
+		Outstanding: out.outstanding,
+		State:       out.state,
+		AbortReason: out.abortReason,
+	}
+	for _, k := range out.unknown {
+		rep.Unknown = append(rep.Unknown, string(k))
 	}
 	return rep
 }
@@ -409,34 +445,54 @@ func (s *session) abort(reason string) {
 		s.waiting = false
 		s.srv.outstanding.Add(-float64(s.remaining))
 		s.remaining = 0
-		s.pending = map[string]*pendingQ{}
-		s.pendingKeys = s.pendingKeys[:0]
-		close(s.batchReady)
+		clear(s.pending)
+		s.pqs = s.pqs[:0]
+		s.wake <- struct{}{} // cap 1; the waiting flag serializes producers
 	}
 }
 
-// questions returns the outstanding batch. A positive wait long-polls:
-// while the session is computing (state learning) the call blocks —
-// up to wait — for the next state change, so drivers see fresh batches
-// without busy-polling.
-func (s *session) questions(wait time.Duration) QuestionBatch {
+// questionsInto renders the outstanding batch as QuestionBatch wire
+// JSON appended to b. A positive wait long-polls: while the session
+// is computing (state learning) the call blocks — up to wait — for
+// the next state change, so drivers see fresh batches without
+// busy-polling. limit > 0 caps the rendered questions, the single-
+// question compatibility mode (?limit=1). Tuples were formatted once
+// at batch publication, so rendering is a pure append pass.
+func (s *session) questionsInto(b []byte, wait time.Duration, limit int) []byte {
 	deadline := time.Now().Add(wait)
 	for {
 		s.mu.Lock()
 		if s.state != StateLearning || time.Now().After(deadline) {
-			qb := QuestionBatch{State: s.state, Questions: []WireQuestion{}}
-			for _, key := range s.pendingKeys {
-				p := s.pending[key]
-				if p == nil || p.answered {
+			b = append(b, `{"state":`...)
+			b = appendJSONString(b, s.state)
+			b = append(b, `,"questions":[`...)
+			n := 0
+			for i := range s.pqs {
+				p := &s.pqs[i]
+				if p.answered {
 					continue
 				}
-				qb.Questions = append(qb.Questions, WireQuestion{
-					Key:    key,
-					Tuples: formatTuples(s.u, p.q),
-				})
+				if limit > 0 && n == limit {
+					break
+				}
+				if n > 0 {
+					b = append(b, ',')
+				}
+				n++
+				b = append(b, `{"key":`...)
+				b = appendJSONString(b, p.key)
+				b = append(b, `,"tuples":[`...)
+				for j, t := range p.tuples {
+					if j > 0 {
+						b = append(b, ',')
+					}
+					b = appendJSONString(b, t)
+				}
+				b = append(b, "]}"...)
 			}
+			b = append(b, "]}"...)
 			s.mu.Unlock()
-			return qb
+			return b
 		}
 		ch := s.stateSeq
 		s.mu.Unlock()
@@ -621,10 +677,9 @@ func (s *session) amend(req AmendRequest) error {
 	s.hist.ResetRun()
 	s.captureHistoryLocked()
 	s.mu.Unlock()
-	if !s.srv.readmit() {
+	if !s.srv.relaunch(s) {
 		return fmt.Errorf("serve: server is shutting down")
 	}
-	s.launch()
 	return nil
 }
 
@@ -649,10 +704,14 @@ func (s *session) amendByKeyLocked(key string) (int, error) {
 // formatTuples renders a question's tuples in the paper's fixed-width
 // notation, the wire format answerers evaluate against.
 func formatTuples(u boolean.Universe, q boolean.Set) []string {
-	tuples := q.Tuples()
-	out := make([]string, len(tuples))
-	for i, t := range tuples {
-		out[i] = u.Format(t)
+	return formatTuplesInto(make([]string, 0, len(q.Tuples())), u, q)
+}
+
+// formatTuplesInto is formatTuples appending into dst, so a recycled
+// pendingQ reuses its tuples slice across rounds.
+func formatTuplesInto(dst []string, u boolean.Universe, q boolean.Set) []string {
+	for _, t := range q.Tuples() {
+		dst = append(dst, u.Format(t))
 	}
-	return out
+	return dst
 }

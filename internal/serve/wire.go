@@ -125,9 +125,14 @@ type QuestionBatch struct {
 }
 
 // AnswerRequest is the body of POST /sessions/{id}/answers: answers
-// keyed by question key, in any order, possibly partial.
+// keyed by question key, in any order, possibly partial. A single-
+// question client may instead send {"key": ..., "answer": ...}; both
+// forms may appear in one body and are merged.
 type AnswerRequest struct {
-	Answers map[string]bool `json:"answers"`
+	Answers map[string]bool `json:"answers,omitempty"`
+	// Key/Answer are the single-question form.
+	Key    string `json:"key,omitempty"`
+	Answer *bool  `json:"answer,omitempty"`
 }
 
 // AnswerReport is the response to an answer delivery. Duplicate
@@ -143,6 +148,11 @@ type AnswerReport struct {
 	Outstanding int      `json:"outstanding"`
 	State       string   `json:"state"`
 	AbortReason string   `json:"abort_reason,omitempty"`
+	// Next is the fused-mode payload: POST /answers?wait=D responds,
+	// once the delivered batch settles, with the next outstanding batch
+	// (long-polled up to D) in the same round trip, halving the per-
+	// batch HTTP cost of a drive loop. Absent without ?wait.
+	Next *QuestionBatch `json:"next,omitempty"`
 }
 
 // HistoryEntry is one recorded question of GET /sessions/{id}/history.

@@ -50,6 +50,15 @@ type Session struct {
 	// LiveQuestions counts questions forwarded to the user during the
 	// current run (replayed questions are free).
 	LiveQuestions int
+
+	// AskBatch scratch, reused across rounds so a long adaptive run
+	// (hundreds of batches against the qhornd exchange) allocates per
+	// answer slice, not per bookkeeping pass. Safe because a Session
+	// is single-goroutine by contract and no oracle wrapper retains
+	// the sub-batch slice past AskAll.
+	sub   []boolean.Set
+	fill  []int
+	inSub map[string]bool
 }
 
 // New returns a session over the user's oracle.
@@ -82,9 +91,11 @@ func (s *Session) Ask(q boolean.Set) bool {
 // must still be driven from a single goroutine.
 func (s *Session) AskBatch(qs []boolean.Set) []bool {
 	answers := make([]bool, len(qs))
-	var sub []boolean.Set
-	var fill []int
-	inSub := map[string]bool{}
+	sub := s.sub[:0]
+	fill := s.fill[:0]
+	if s.inSub == nil {
+		s.inSub = map[string]bool{}
+	}
 	for i, q := range qs {
 		key := q.Key()
 		if e, ok := s.byKey[key]; ok {
@@ -92,11 +103,13 @@ func (s *Session) AskBatch(qs []boolean.Set) []bool {
 			continue
 		}
 		fill = append(fill, i)
-		if !inSub[key] {
-			inSub[key] = true
+		if !s.inSub[key] {
+			s.inSub[key] = true
 			sub = append(sub, q)
 		}
 	}
+	s.sub, s.fill = sub, fill
+	clear(s.inSub)
 	if len(sub) == 0 {
 		return answers
 	}

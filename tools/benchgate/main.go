@@ -1,12 +1,14 @@
 // Command benchgate compares a freshly measured BENCH_<exp>.json
-// against the committed copy and fails when a speedup column
-// regresses below a fraction of the committed value.
+// against the committed copy and fails when a speedup or reduction
+// column regresses below a fraction of the committed value.
 //
-// CI runs the kernel experiment in quick mode on shared runners, so
+// CI runs the experiments in quick mode on shared runners, so
 // absolute times are noisy; what must not regress is the *relative*
 // win — compiled vs interpreted evaluation, matrix vs serial brute
-// learning. The gate therefore compares only "speedup" columns, row
-// by row (matched by table title and first-column parameter), and
+// learning, batched vs single-question wire. The gate therefore
+// compares only ratio columns — headers containing "speedup"
+// (throughput ratios) or "reduction" (round-trip ratios) — row by
+// row (matched by table title and first-column parameter), and
 // tolerates a generous ratio:
 //
 //	benchgate -committed BENCH_kernel.json -fresh fresh.json -min-ratio 0.35
@@ -54,15 +56,17 @@ func load(path string) (summary, error) {
 // noise, not a measurement — its row is excluded from the gate.
 const noiseFloorMS = 0.05
 
-// speedups extracts every speedup cell of a summary keyed by
+// ratios extracts every gated ratio cell — speedup and reduction
+// columns — of a summary keyed by
 // "<table title>|<first column value>|<column name>". Rows whose
 // baseline timing sits under the noise floor are skipped — a ratio
 // against a sub-tick time carries no signal.
-func speedups(s summary) map[string]float64 {
+func ratios(s summary) map[string]float64 {
 	out := make(map[string]float64)
 	for _, t := range s.Tables {
 		for ci, col := range t.Columns {
-			if !strings.Contains(strings.ToLower(col), "speedup") {
+			lower := strings.ToLower(col)
+			if !strings.Contains(lower, "speedup") && !strings.Contains(lower, "reduction") {
 				continue
 			}
 			for _, row := range t.Rows {
@@ -108,10 +112,10 @@ func gate(committedPath, freshPath string, minRatio float64) error {
 	if committed.Experiment != fresh.Experiment {
 		return fmt.Errorf("experiment mismatch: committed %q, fresh %q", committed.Experiment, fresh.Experiment)
 	}
-	base := speedups(committed)
-	got := speedups(fresh)
+	base := ratios(committed)
+	got := ratios(fresh)
 	if len(base) == 0 {
-		return fmt.Errorf("%s: no speedup columns to gate on", committedPath)
+		return fmt.Errorf("%s: no speedup or reduction columns to gate on", committedPath)
 	}
 
 	var regressions []string
@@ -134,20 +138,20 @@ func gate(committedPath, freshPath string, minRatio float64) error {
 		}
 	}
 	if compared == 0 {
-		return fmt.Errorf("no overlapping speedup rows between %s and %s", committedPath, freshPath)
+		return fmt.Errorf("no overlapping gated rows between %s and %s", committedPath, freshPath)
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("speedup regression below %.0f%% of committed:\n%s",
+		return fmt.Errorf("ratio regression below %.0f%% of committed:\n%s",
 			minRatio*100, strings.Join(regressions, "\n"))
 	}
-	fmt.Printf("benchgate: %d speedup cells within tolerance\n", compared)
+	fmt.Printf("benchgate: %d ratio cells within tolerance\n", compared)
 	return nil
 }
 
 func main() {
 	committed := flag.String("committed", "BENCH_kernel.json", "committed benchmark summary")
 	fresh := flag.String("fresh", "", "freshly measured benchmark summary")
-	minRatio := flag.Float64("min-ratio", 0.35, "fresh speedup must be at least this fraction of committed")
+	minRatio := flag.Float64("min-ratio", 0.35, "fresh speedup/reduction must be at least this fraction of committed")
 	flag.Parse()
 	if *fresh == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -fresh is required")

@@ -79,8 +79,8 @@ func TestGateErrors(t *testing.T) {
 	if err := os.WriteFile(empty, []byte(`{"experiment": "kernel", "tables": [{"title": "t", "columns": ["n"], "rows": [["2"]]}]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := gate(empty, committed, 0.35); err == nil || !strings.Contains(err.Error(), "no speedup columns") {
-		t.Errorf("speedup-free committed summary accepted: %v", err)
+	if err := gate(empty, committed, 0.35); err == nil || !strings.Contains(err.Error(), "no speedup or reduction columns") {
+		t.Errorf("ratio-free committed summary accepted: %v", err)
 	}
 
 	// Overlap can also be empty when parameter values disagree.
@@ -93,14 +93,46 @@ func TestGateErrors(t *testing.T) {
 	}
 }
 
-func TestGateAgainstRealCommittedSummary(t *testing.T) {
-	// The committed kernel summary compared against itself is the
-	// identity gate — every format assumption checked on real data.
-	real := filepath.Join("..", "..", "BENCH_kernel.json")
-	if _, err := os.Stat(real); err != nil {
-		t.Skip("BENCH_kernel.json not present")
+// writeWireSummary builds a summary in the shape of the load
+// experiment's wire table: a speedup column and a reduction column
+// side by side, both of which must be gated.
+func writeWireSummary(t *testing.T, name, speedup, reduction string) string {
+	t.Helper()
+	doc := `{"experiment": "load", "quick": true, "tables": [
+		{"title": "E28 load — wire modes", "columns": ["alg/wire", "wall ms", "speedup vs single", "rt reduction"],
+		 "rows": [["qhorn1/fused", "140.0", "` + speedup + `", "` + reduction + `"]]}]}`
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
 	}
-	if err := gate(real, real, 0.35); err != nil {
-		t.Fatalf("self-comparison of the committed summary failed: %v", err)
+	return path
+}
+
+func TestGateCoversReductionColumns(t *testing.T) {
+	committed := writeWireSummary(t, "committed.json", "2.70", "3.35")
+	// Healthy speedup but collapsed round-trip reduction: the
+	// reduction column alone must trip the gate.
+	fresh := writeWireSummary(t, "fresh.json", "2.60", "1.01")
+	err := gate(committed, fresh, 0.35)
+	if err == nil || !strings.Contains(err.Error(), "rt reduction") {
+		t.Fatalf("reduction regression not caught: %v", err)
+	}
+	ok := writeWireSummary(t, "ok.json", "2.60", "3.10")
+	if err := gate(committed, ok, 0.35); err != nil {
+		t.Fatalf("in-tolerance reduction failed: %v", err)
+	}
+}
+
+func TestGateAgainstRealCommittedSummary(t *testing.T) {
+	// Each committed summary compared against itself is the identity
+	// gate — every format assumption checked on real data.
+	for _, name := range []string{"BENCH_kernel.json", "BENCH_serve.json", "BENCH_load.json"} {
+		real := filepath.Join("..", "..", name)
+		if _, err := os.Stat(real); err != nil {
+			t.Skipf("%s not present", name)
+		}
+		if err := gate(real, real, 0.35); err != nil {
+			t.Fatalf("self-comparison of %s failed: %v", name, err)
+		}
 	}
 }
